@@ -1,0 +1,53 @@
+# Mirrors the original artifact's interface (Appendix A.5: "to reproduce
+# Figure 14a, one can run make trackfm_fig14a").
+
+GO ?= go
+
+.PHONY: all build test smoke_test bench figs clean \
+        trackfm_table1 trackfm_table2 trackfm_table3 trackfm_table4 \
+        trackfm_fig6 trackfm_fig7 trackfm_fig8 trackfm_fig9 trackfm_fig10 \
+        trackfm_fig11 trackfm_fig12 trackfm_fig13 trackfm_fig14a trackfm_fig15 \
+        trackfm_fig16a trackfm_fig17a trackfm_compile trackfm_ablation \
+        trackfm_autotune
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+# The artifact's installation check.
+smoke_test:
+	$(GO) vet ./...
+	$(GO) test ./internal/sim ./internal/core ./internal/compiler
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+figs:
+	$(GO) run ./cmd/trackfm-bench -exp all
+
+trackfm_table1:   ; $(GO) run ./cmd/trackfm-bench -exp table1
+trackfm_table2:   ; $(GO) run ./cmd/trackfm-bench -exp table2
+trackfm_table3:   ; $(GO) run ./cmd/trackfm-bench -exp table3
+trackfm_table4:   ; $(GO) run ./cmd/trackfm-bench -exp table4
+trackfm_fig6:     ; $(GO) run ./cmd/trackfm-bench -exp fig6
+trackfm_fig7:     ; $(GO) run ./cmd/trackfm-bench -exp fig7
+trackfm_fig8:     ; $(GO) run ./cmd/trackfm-bench -exp fig8
+trackfm_fig9:     ; $(GO) run ./cmd/trackfm-bench -exp fig9
+trackfm_fig10:    ; $(GO) run ./cmd/trackfm-bench -exp fig10
+trackfm_fig11:    ; $(GO) run ./cmd/trackfm-bench -exp fig11
+trackfm_fig12:    ; $(GO) run ./cmd/trackfm-bench -exp fig12
+trackfm_fig13:    ; $(GO) run ./cmd/trackfm-bench -exp fig13
+trackfm_fig14a:   ; $(GO) run ./cmd/trackfm-bench -exp fig14
+trackfm_fig15:    ; $(GO) run ./cmd/trackfm-bench -exp fig15
+trackfm_fig16a:   ; $(GO) run ./cmd/trackfm-bench -exp fig16
+trackfm_fig17a:   ; $(GO) run ./cmd/trackfm-bench -exp fig17
+trackfm_compile:  ; $(GO) run ./cmd/trackfm-bench -exp compile
+trackfm_ablation: ; $(GO) run ./cmd/trackfm-bench -exp ablation
+trackfm_autotune: ; $(GO) run ./cmd/trackfm-bench -exp autotune
+
+clean:
+	$(GO) clean ./...

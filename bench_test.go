@@ -1,0 +1,175 @@
+package trackfm_test
+
+// Benchmarks regenerating every table and figure of the paper (wrapping
+// the experiment harness) plus Go-level micro-benchmarks of the runtime
+// primitives. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each BenchmarkFigN/BenchmarkTableN executes the full experiment once
+// per iteration; the reported ns/op is the wall time to regenerate that
+// figure, not a simulated quantity (simulated results are printed by
+// cmd/trackfm-bench and asserted by the internal/bench tests).
+
+import (
+	"testing"
+
+	"trackfm/internal/aifm"
+	"trackfm/internal/bench"
+	"trackfm/internal/core"
+	"trackfm/internal/fabric"
+	"trackfm/internal/fastswap"
+	"trackfm/internal/sim"
+	"trackfm/internal/workloads"
+	"trackfm/internal/workloads/dist"
+	"trackfm/internal/workloads/hashmap"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	e, err := bench.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if t := e.Run(); len(t.Rows) == 0 {
+			b.Fatalf("experiment %s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkTable1GuardCosts(b *testing.B)       { benchExperiment(b, "table1") }
+func BenchmarkTable2PrimitiveCosts(b *testing.B)   { benchExperiment(b, "table2") }
+func BenchmarkFig6CostModelCrossover(b *testing.B) { benchExperiment(b, "fig6") }
+func BenchmarkFig7LoopChunking(b *testing.B)       { benchExperiment(b, "fig7") }
+func BenchmarkFig8KMeansChunking(b *testing.B)     { benchExperiment(b, "fig8") }
+func BenchmarkFig9ObjectSizeHashmap(b *testing.B)  { benchExperiment(b, "fig9") }
+func BenchmarkFig10ObjectSizeStream(b *testing.B)  { benchExperiment(b, "fig10") }
+func BenchmarkFig11Prefetching(b *testing.B)       { benchExperiment(b, "fig11") }
+func BenchmarkFig12VsFastswapStream(b *testing.B)  { benchExperiment(b, "fig12") }
+func BenchmarkFig13IOAmplification(b *testing.B)   { benchExperiment(b, "fig13") }
+func BenchmarkFig14Analytics(b *testing.B)         { benchExperiment(b, "fig14") }
+func BenchmarkFig15AnalyticsChunking(b *testing.B) { benchExperiment(b, "fig15") }
+func BenchmarkFig16Memcached(b *testing.B)         { benchExperiment(b, "fig16") }
+func BenchmarkFig17NAS(b *testing.B)               { benchExperiment(b, "fig17") }
+func BenchmarkCompilePipeline(b *testing.B)        { benchExperiment(b, "compile") }
+
+// --- Micro-benchmarks: real Go cost of the runtime primitives ---
+
+func newBenchRuntime(b *testing.B, objSize int) *core.Runtime {
+	b.Helper()
+	rt, err := core.NewRuntime(core.Config{
+		Env: sim.NewEnv(), ObjectSize: objSize,
+		HeapSize: 1 << 24, LocalBudget: 1 << 24,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rt
+}
+
+func BenchmarkGuardFastPathLoad(b *testing.B) {
+	rt := newBenchRuntime(b, 4096)
+	p := rt.MustMalloc(4096)
+	rt.StoreU64(p, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += rt.LoadU64(p)
+	}
+	_ = sink
+}
+
+func BenchmarkGuardFastPathStore(b *testing.B) {
+	rt := newBenchRuntime(b, 4096)
+	p := rt.MustMalloc(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.StoreU64(p, uint64(i))
+	}
+}
+
+func BenchmarkCursorChunkedLoad(b *testing.B) {
+	rt := newBenchRuntime(b, 4096)
+	const n = 1 << 16
+	p := rt.MustMalloc(n * 8)
+	for i := uint64(0); i < n; i++ {
+		rt.StoreU64(p.Add(i*8), i)
+	}
+	cur := rt.NewCursor(p, 8, false)
+	defer cur.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += cur.LoadU64(uint64(i) % n)
+	}
+	_ = sink
+}
+
+func BenchmarkPoolLocalizeResident(b *testing.B) {
+	env := sim.NewEnv()
+	link := fabric.NewSimLink(env, fabric.BackendTCP)
+	pool, err := aifm.NewPool(aifm.Config{
+		Env: env, Transport: link,
+		ObjectSize: 4096, HeapSize: 1 << 24, LocalBudget: 1 << 24,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool.Localize(0, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool.Localize(0, false)
+	}
+}
+
+func BenchmarkFastswapMappedAccess(b *testing.B) {
+	sw, err := fastswap.New(fastswap.Config{
+		Env: sim.NewEnv(), HeapSize: 1 << 24, LocalBudget: 1 << 24,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	off := sw.MustMalloc(4096)
+	sw.StoreU64(off, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += sw.LoadU64(off)
+	}
+	_ = sink
+}
+
+func BenchmarkZipfNext(b *testing.B) {
+	z, err := dist.NewZipf(1_000_000, 1.02, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += z.Next()
+	}
+	_ = sink
+}
+
+func BenchmarkHashmapGet(b *testing.B) {
+	acc := &workloads.TrackFMAccessor{RT: newBenchRuntime(b, 256)}
+	tbl, err := hashmap.Build(acc, 10_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := tbl.Get(uint64(i%10_000) + 1); !ok {
+			b.Fatal("miss")
+		}
+	}
+}

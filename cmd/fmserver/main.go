@@ -1,0 +1,49 @@
+// Command fmserver runs a TrackFM remote-memory node: a TCP server that
+// stores evacuated far-memory objects for clients using the
+// fabric.TCPTransport. It is the real-network counterpart of the
+// simulated link the calibrated benchmarks use; examples/kvstore can run
+// against it.
+//
+//	fmserver -addr 127.0.0.1:7070
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"trackfm/internal/fabric"
+	"trackfm/internal/remote"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
+	stats := flag.Duration("stats", 10*time.Second, "stats reporting interval (0 disables)")
+	flag.Parse()
+
+	store := remote.NewStore()
+	srv := fabric.NewServer(store)
+	bound, err := srv.ListenAndServe(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fmserver: serving far memory on %s\n", bound)
+
+	if *stats > 0 {
+		go func() {
+			for range time.Tick(*stats) {
+				fmt.Printf("fmserver: %d objects, %d bytes resident\n",
+					store.Len(), store.Bytes())
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("\nfmserver: shutting down")
+	srv.Close()
+}

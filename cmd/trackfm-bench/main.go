@@ -1,0 +1,55 @@
+// Command trackfm-bench regenerates the tables and figures of the TrackFM
+// paper's evaluation (§4). Run one experiment by ID or all of them:
+//
+//	trackfm-bench -exp fig14
+//	trackfm-bench -exp all
+//	trackfm-bench -list
+//
+// Output is the same rows/series the paper plots; EXPERIMENTS.md maps each
+// experiment to its paper claim and records paper-vs-measured values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"trackfm/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (table1..table4, fig6..fig17, compile, ablation, autotune, nasx, all)")
+	scale := flag.Float64("scale", 1.0, "problem-size multiplier")
+	asJSON := flag.Bool("json", false, "emit JSON instead of aligned text")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	bench.DefaultScale = bench.Scale{Factor: *scale}
+
+	run := func(e bench.Experiment) {
+		t := e.Run()
+		if *asJSON {
+			fmt.Println(t.JSON())
+			return
+		}
+		fmt.Println(t.String())
+	}
+	if *exp == "all" {
+		for _, e := range bench.Experiments() {
+			run(e)
+		}
+		return
+	}
+	e, err := bench.Lookup(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	run(e)
+}

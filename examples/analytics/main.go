@@ -1,0 +1,106 @@
+// Analytics example: the paper's headline comparison in miniature.
+//
+// It runs the NYC-taxi-style analytics application on all four systems —
+// local-only, TrackFM, Fastswap, and the hand-ported AIFM version — under
+// the same local-memory constraint and prints the Fig. 14-style summary.
+//
+//	go run ./examples/analytics [-rows 8000] [-local 0.25]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"trackfm/internal/compiler"
+	"trackfm/internal/core"
+	"trackfm/internal/fastswap"
+	"trackfm/internal/interp"
+	"trackfm/internal/sim"
+	"trackfm/internal/workloads/analytics"
+)
+
+func main() {
+	rows := flag.Int64("rows", 6000, "trip rows")
+	local := flag.Float64("local", 0.25, "fraction of the working set allowed local")
+	flag.Parse()
+
+	cfg := analytics.Config{Rows: *rows}
+	ws := cfg.WorkingSetBytes()
+	budget := uint64(float64(ws) * *local)
+	heap := ws * 2
+	fmt.Printf("analytics over %d trips (%d KB working set, %.0f%% local)\n\n",
+		*rows, ws/1024, *local*100)
+
+	// Local-only reference.
+	localEnv := sim.NewEnv()
+	ref, err := interp.Run(analytics.Program(cfg), interp.NewLocalBackend(localEnv), interp.Options{})
+	if err != nil {
+		panic(err)
+	}
+	base := float64(localEnv.Clock.Cycles())
+
+	report := func(name string, env *sim.Env, checksum int64, extra string) {
+		if checksum != ref.Return {
+			panic(fmt.Sprintf("%s produced wrong results: %d != %d", name, checksum, ref.Return))
+		}
+		fmt.Printf("%-10s %6.2fx slowdown  (%.3fs simulated)  %s\n",
+			name, float64(env.Clock.Cycles())/base, env.Clock.Seconds(), extra)
+	}
+	report("local", localEnv, ref.Return, "")
+
+	// TrackFM: just recompile.
+	prog := analytics.Program(cfg)
+	if _, err := compiler.Compile(prog, compiler.Options{
+		Chunking: compiler.ChunkCostModel, ObjectSize: 4096, Prefetch: true,
+	}); err != nil {
+		panic(err)
+	}
+	tfmEnv := sim.NewEnv()
+	rt, err := core.NewRuntime(core.Config{Env: tfmEnv, ObjectSize: 4096, HeapSize: heap, LocalBudget: budget})
+	if err != nil {
+		panic(err)
+	}
+	res, err := interp.Run(prog, interp.NewTrackFMBackend(rt), interp.Options{})
+	if err != nil {
+		panic(err)
+	}
+	report("TrackFM", tfmEnv, res.Return,
+		fmt.Sprintf("%d guards", tfmEnv.Counters.Guards()))
+
+	// Fastswap: unmodified binary, kernel paging.
+	prog = analytics.Program(cfg)
+	if _, err := compiler.Compile(prog, compiler.Options{Chunking: compiler.ChunkNone}); err != nil {
+		panic(err)
+	}
+	fsEnv := sim.NewEnv()
+	sw, err := fastswap.New(fastswap.Config{Env: fsEnv, HeapSize: heap, LocalBudget: budget})
+	if err != nil {
+		panic(err)
+	}
+	res, err = interp.Run(prog, interp.NewFastswapBackend(sw), interp.Options{})
+	if err != nil {
+		panic(err)
+	}
+	report("Fastswap", fsEnv, res.Return,
+		fmt.Sprintf("%d faults", fsEnv.Counters.Faults()))
+
+	// AIFM: the hand-ported library version (no guards).
+	prog = analytics.Program(cfg)
+	if _, err := compiler.Compile(prog, compiler.Options{
+		Chunking: compiler.ChunkCostModel, ObjectSize: 4096, Prefetch: true,
+	}); err != nil {
+		panic(err)
+	}
+	aEnv := sim.NewEnv()
+	be, err := interp.NewAIFMBackend(interp.AIFMConfig{
+		Env: aEnv, ObjectSize: 4096, HeapSize: heap, LocalBudget: budget,
+	})
+	if err != nil {
+		panic(err)
+	}
+	res, err = interp.Run(prog, be, interp.Options{})
+	if err != nil {
+		panic(err)
+	}
+	report("AIFM", aEnv, res.Return, "hand-ported, no guards")
+}

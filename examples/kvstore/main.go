@@ -1,0 +1,79 @@
+// KV-store example: far memory over a real network.
+//
+// The memcached-style store from the paper's §4.5 runs with its far
+// memory backed by an actual TCP remote-memory node (cmd/fmserver). By
+// default the example starts an in-process server on a loopback socket;
+// point -server at a running fmserver to split the two halves across
+// processes (or machines).
+//
+//	go run ./examples/kvstore
+//	go run ./cmd/fmserver -addr 127.0.0.1:7070 &
+//	go run ./examples/kvstore -server 127.0.0.1:7070
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"trackfm/internal/core"
+	"trackfm/internal/fabric"
+	"trackfm/internal/remote"
+	"trackfm/internal/sim"
+	"trackfm/internal/workloads"
+	"trackfm/internal/workloads/kv"
+)
+
+func main() {
+	server := flag.String("server", "", "fmserver address (empty: start one in-process)")
+	keys := flag.Int("keys", 5000, "key population")
+	gets := flag.Int("gets", 20000, "get operations")
+	skew := flag.Float64("skew", 1.05, "zipf skew")
+	flag.Parse()
+
+	addr := *server
+	if addr == "" {
+		srv := fabric.NewServer(remote.NewStore())
+		bound, err := srv.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			panic(err)
+		}
+		defer srv.Close()
+		addr = bound
+		fmt.Printf("started in-process fmserver on %s\n", addr)
+	}
+	transport, err := fabric.Dial(addr)
+	if err != nil {
+		panic(err)
+	}
+	defer transport.Close()
+
+	itemBytes := kv.EstimatedItemBytes(1, 4096)
+	ws := uint64(*keys) * (itemBytes + 16)
+	env := sim.NewEnv()
+	rt, err := core.NewRuntime(core.Config{
+		Env:         env,
+		ObjectSize:  64, // small objects: the paper's anti-amplification choice
+		HeapSize:    ws * 4,
+		LocalBudget: ws / 4,
+		Transport:   transport, // evacuations really cross the socket
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	start := time.Now()
+	res, err := kv.Run(&workloads.TrackFMAccessor{RT: rt}, kv.Config{
+		Keys: *keys, Gets: *gets, Skew: *skew, Seed: 7,
+	})
+	if err != nil {
+		panic(err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("done: %d hits, %d misses (checksum %d)\n", res.Hits, res.Misses, res.CheckSum)
+	fmt.Printf("wall time %v; %d guards (%d slow), %d evacuations over TCP, %.1f KB pushed\n",
+		elapsed.Round(time.Millisecond),
+		env.Counters.Guards(), env.Counters.SlowPathGuards,
+		env.Counters.Evacuations, float64(env.Counters.BytesEvicted)/1024)
+}

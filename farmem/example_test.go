@@ -1,0 +1,41 @@
+package farmem_test
+
+import (
+	"fmt"
+
+	"trackfm/farmem"
+)
+
+// A far-memory slice bigger than local memory: random access through
+// guards, scans through chunked prefetching iterators.
+func Example() {
+	h, err := farmem.New(farmem.Config{
+		HeapBytes:  8 << 20, // 8 MB far heap
+		LocalBytes: 1 << 20, // only 1 MB local
+	})
+	if err != nil {
+		panic(err)
+	}
+	xs, err := farmem.NewUint64s(h, 500_000) // 4 MB: 4x local memory
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < xs.Len(); i++ {
+		xs.Set(i, uint64(i))
+	}
+
+	var sum uint64
+	xs.Range(func(i int, v uint64) bool {
+		sum += v
+		return true
+	})
+	fmt.Println("sum:", sum)
+
+	st := h.Stats()
+	fmt.Println("spilled to far memory:", st.BytesEvicted > 0)
+	fmt.Println("prefetch hits:", st.PrefetchHits > 0)
+	// Output:
+	// sum: 124999750000
+	// spilled to far memory: true
+	// prefetch hits: true
+}

@@ -1,0 +1,147 @@
+// Package farmem is the public, Go-idiomatic face of the TrackFM runtime:
+// a far-memory heap whose contents transparently spill to a remote node
+// (simulated by default, or a real fmserver over TCP) under a local-memory
+// budget, with typed slices whose iterators get the loop-chunking and
+// prefetching treatment the TrackFM compiler would emit.
+//
+// A downstream user never touches guards or cursors directly:
+//
+//	h, _ := farmem.New(farmem.Config{
+//	    HeapBytes:  1 << 30,
+//	    LocalBytes: 64 << 20,
+//	})
+//	xs, _ := farmem.NewUint64s(h, 1_000_000)
+//	xs.Set(42, 7)
+//	sum := uint64(0)
+//	xs.Range(func(i int, v uint64) bool { sum += v; return true })
+//
+// Range runs through a chunked, prefetching cursor; random access runs
+// through guards. Stats exposes what the runtime did.
+package farmem
+
+import (
+	"fmt"
+
+	"trackfm/internal/aifm"
+	"trackfm/internal/core"
+	"trackfm/internal/fabric"
+	"trackfm/internal/sim"
+)
+
+// Config parameterizes a far-memory heap.
+type Config struct {
+	// HeapBytes is the maximum far-memory heap (required).
+	HeapBytes uint64
+	// LocalBytes is the local-memory budget (required).
+	LocalBytes uint64
+	// ObjectBytes is the far-memory object (chunk) size: a power of two
+	// in [64, 65536]. Default 4096. Small objects suit fine-grained
+	// random access; large objects suit streaming (see the paper's
+	// Figs. 9-10, or use the autotuner).
+	ObjectBytes int
+	// RemoteAddr connects to a real remote-memory node (cmd/fmserver)
+	// instead of the in-process simulated one.
+	RemoteAddr string
+	// DisablePrefetch turns off prefetching in Range iterators.
+	DisablePrefetch bool
+	// Phantom disables the data plane: reads return zeros, but the
+	// control plane (budgets, evacuation, transfer accounting) runs at
+	// full fidelity. For capacity planning with huge heaps.
+	Phantom bool
+}
+
+// Heap is a far-memory heap. Not safe for concurrent use.
+type Heap struct {
+	rt  *core.Runtime
+	env *sim.Env
+	tcp *fabric.TCPTransport
+}
+
+// New creates a heap.
+func New(cfg Config) (*Heap, error) {
+	if cfg.HeapBytes == 0 || cfg.LocalBytes == 0 {
+		return nil, fmt.Errorf("farmem: HeapBytes and LocalBytes are required")
+	}
+	env := sim.NewEnv()
+	rc := core.Config{
+		Env:         env,
+		ObjectSize:  cfg.ObjectBytes,
+		HeapSize:    cfg.HeapBytes,
+		LocalBudget: cfg.LocalBytes,
+		NoPrefetch:  cfg.DisablePrefetch,
+	}
+	if cfg.Phantom {
+		rc.Backing = aifm.BackingPhantom
+	}
+	var tcp *fabric.TCPTransport
+	if cfg.RemoteAddr != "" {
+		t, err := fabric.Dial(cfg.RemoteAddr)
+		if err != nil {
+			return nil, fmt.Errorf("farmem: %w", err)
+		}
+		rc.Transport = t
+		tcp = t
+	}
+	rt, err := core.NewRuntime(rc)
+	if err != nil {
+		if tcp != nil {
+			tcp.Close()
+		}
+		return nil, fmt.Errorf("farmem: %w", err)
+	}
+	return &Heap{rt: rt, env: env, tcp: tcp}, nil
+}
+
+// Close releases the heap's network connection, if any.
+func (h *Heap) Close() error {
+	if h.tcp != nil {
+		return h.tcp.Close()
+	}
+	return nil
+}
+
+// Stats reports the runtime's accounting since the last ResetStats.
+type Stats struct {
+	// FastGuards and SlowGuards count guard executions by path.
+	FastGuards, SlowGuards uint64
+	// RemoteFetches counts objects pulled from the remote node;
+	// BytesFetched/BytesEvicted the data moved each way.
+	RemoteFetches              uint64
+	BytesFetched, BytesEvicted uint64
+	// PrefetchHits counts accesses served early by prefetching.
+	PrefetchHits uint64
+	// SimulatedSeconds is the modeled execution time at 2.4 GHz.
+	SimulatedSeconds float64
+}
+
+// Stats snapshots the heap's counters.
+func (h *Heap) Stats() Stats {
+	c := h.env.Counters
+	return Stats{
+		FastGuards:       c.FastPathGuards,
+		SlowGuards:       c.SlowPathGuards,
+		RemoteFetches:    c.RemoteFetches,
+		BytesFetched:     c.BytesFetched,
+		BytesEvicted:     c.BytesEvicted,
+		PrefetchHits:     c.PrefetchHits,
+		SimulatedSeconds: h.env.Clock.Seconds(),
+	}
+}
+
+// ResetStats zeroes the counters and the simulated clock.
+func (h *Heap) ResetStats() { h.env.Reset() }
+
+// InUse reports far-heap bytes currently allocated.
+func (h *Heap) InUse() uint64 { return h.rt.HeapBytesInUse() }
+
+// alloc is the shared slice constructor.
+func (h *Heap) alloc(n int, elemBytes int) (core.Ptr, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("farmem: negative length %d", n)
+	}
+	p, err := h.rt.Malloc(uint64(n) * uint64(elemBytes))
+	if err != nil {
+		return 0, fmt.Errorf("farmem: %w", err)
+	}
+	return p, nil
+}

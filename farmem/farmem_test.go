@@ -1,0 +1,230 @@
+package farmem
+
+import (
+	"bytes"
+	"testing"
+
+	"trackfm/internal/fabric"
+	"trackfm/internal/remote"
+)
+
+func newTestHeap(t *testing.T, heap, local uint64) *Heap {
+	t.Helper()
+	h, err := New(Config{HeapBytes: heap, LocalBytes: local})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return h
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatalf("empty config accepted")
+	}
+	if _, err := New(Config{HeapBytes: 1 << 20}); err == nil {
+		t.Fatalf("missing LocalBytes accepted")
+	}
+	if _, err := New(Config{HeapBytes: 1 << 20, LocalBytes: 1 << 16, ObjectBytes: 100}); err == nil {
+		t.Fatalf("bad object size accepted")
+	}
+	if _, err := New(Config{HeapBytes: 1 << 20, LocalBytes: 1 << 16, RemoteAddr: "127.0.0.1:1"}); err == nil {
+		t.Fatalf("dead remote accepted")
+	}
+}
+
+func TestUint64sRoundTripUnderPressure(t *testing.T) {
+	h := newTestHeap(t, 1<<22, 1<<14) // 16 KB local, far bigger slice
+	s, err := NewUint64s(h, 1<<14)    // 128 KB
+	if err != nil {
+		t.Fatalf("NewUint64s: %v", err)
+	}
+	for i := 0; i < s.Len(); i++ {
+		s.Set(i, uint64(i*3))
+	}
+	for i := 0; i < s.Len(); i += 997 {
+		if got := s.At(i); got != uint64(i*3) {
+			t.Fatalf("At(%d) = %d", i, got)
+		}
+	}
+	st := h.Stats()
+	if st.RemoteFetches == 0 || st.BytesEvicted == 0 {
+		t.Fatalf("no far-memory traffic under pressure: %+v", st)
+	}
+}
+
+func TestRangeMatchesAt(t *testing.T) {
+	h := newTestHeap(t, 1<<20, 1<<14)
+	s, _ := NewUint64s(h, 5000)
+	for i := 0; i < s.Len(); i++ {
+		s.Set(i, uint64(i))
+	}
+	var sum uint64
+	count := 0
+	s.Range(func(i int, v uint64) bool {
+		sum += v
+		count++
+		return true
+	})
+	if count != 5000 || sum != 5000*4999/2 {
+		t.Fatalf("Range visited %d, sum %d", count, sum)
+	}
+	// Early stop.
+	count = 0
+	s.Range(func(i int, v uint64) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestRangeIsCheaperThanAt(t *testing.T) {
+	h := newTestHeap(t, 1<<22, 1<<22) // all local: isolate guard cost
+	s, _ := NewUint64s(h, 1<<14)
+	s.Fill(1)
+
+	h.ResetStats()
+	var sum uint64
+	for i := 0; i < s.Len(); i++ {
+		sum += s.At(i)
+	}
+	atSecs := h.Stats().SimulatedSeconds
+
+	h.ResetStats()
+	s.Range(func(i int, v uint64) bool { sum += v; return true })
+	rangeSecs := h.Stats().SimulatedSeconds
+	if rangeSecs >= atSecs {
+		t.Fatalf("Range (%v) not cheaper than At loop (%v)", rangeSecs, atSecs)
+	}
+	_ = sum
+}
+
+func TestFloat64s(t *testing.T) {
+	h := newTestHeap(t, 1<<20, 1<<13)
+	s, err := NewFloat64s(h, 1000)
+	if err != nil {
+		t.Fatalf("NewFloat64s: %v", err)
+	}
+	for i := 0; i < s.Len(); i++ {
+		s.Set(i, float64(i)*0.5)
+	}
+	var sum float64
+	s.Range(func(i int, v float64) bool { sum += v; return true })
+	if want := float64(1000*999/2) * 0.5; sum != want {
+		t.Fatalf("sum = %v, want %v", sum, want)
+	}
+	if s.At(999) != 499.5 {
+		t.Fatalf("At(999) = %v", s.At(999))
+	}
+}
+
+func TestBytes(t *testing.T) {
+	h := newTestHeap(t, 1<<20, 1<<13)
+	b, err := NewBytes(h, 10000)
+	if err != nil {
+		t.Fatalf("NewBytes: %v", err)
+	}
+	payload := []byte("the quick brown fox jumps over the far heap")
+	b.WriteAt(4097, payload) // spans objects
+	got := make([]byte, len(payload))
+	b.ReadAt(4097, got)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("ReadAt = %q", got)
+	}
+}
+
+func TestBoundsPanics(t *testing.T) {
+	h := newTestHeap(t, 1<<20, 1<<13)
+	s, _ := NewUint64s(h, 10)
+	for _, fn := range []func(){
+		func() { s.At(10) },
+		func() { s.At(-1) },
+		func() { s.Set(10, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("out-of-range access did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+	b, _ := NewBytes(h, 10)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("out-of-range ReadAt did not panic")
+		}
+	}()
+	b.ReadAt(8, make([]byte, 4))
+}
+
+func TestNegativeLength(t *testing.T) {
+	h := newTestHeap(t, 1<<20, 1<<13)
+	if _, err := NewUint64s(h, -1); err == nil {
+		t.Fatalf("negative length accepted")
+	}
+}
+
+func TestInUseAccounting(t *testing.T) {
+	h := newTestHeap(t, 1<<20, 1<<13)
+	if h.InUse() != 0 {
+		t.Fatalf("fresh heap InUse = %d", h.InUse())
+	}
+	NewUint64s(h, 100)
+	if h.InUse() != 800 {
+		t.Fatalf("InUse = %d, want 800", h.InUse())
+	}
+}
+
+func TestPhantomHeap(t *testing.T) {
+	// A 1 GB heap with a 1 MB local budget; the object state table (8 B
+	// per 4 KB object, like a single-level page table) is the only real
+	// allocation.
+	h, err := New(Config{HeapBytes: 1 << 30, LocalBytes: 1 << 20, Phantom: true})
+	if err != nil {
+		t.Fatalf("New phantom: %v", err)
+	}
+	s, err := NewUint64s(h, 1<<24) // 128 MB of elements, no real storage
+	if err != nil {
+		t.Fatalf("NewUint64s: %v", err)
+	}
+	s.Set(1<<23, 7)
+	if s.At(1<<23) != 0 {
+		t.Fatalf("phantom heap retained data")
+	}
+	if h.Stats().FastGuards+h.Stats().SlowGuards == 0 {
+		t.Fatalf("phantom heap charged no guards")
+	}
+}
+
+func TestRealRemoteNode(t *testing.T) {
+	srv := fabric.NewServer(remote.NewStore())
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ListenAndServe: %v", err)
+	}
+	defer srv.Close()
+
+	h, err := New(Config{
+		HeapBytes: 1 << 20, LocalBytes: 1 << 13, // 8 KB local: two objects
+		RemoteAddr: addr,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer h.Close()
+	s, _ := NewUint64s(h, 2048) // 16 KB: must round-trip through TCP
+	cur := 0
+	for i := 0; i < s.Len(); i++ {
+		s.Set(i, uint64(i)+5)
+		cur++
+	}
+	for _, i := range []int{0, 511, 512, 2047} {
+		if got := s.At(i); got != uint64(i)+5 {
+			t.Fatalf("At(%d) = %d over TCP", i, got)
+		}
+	}
+	_ = cur
+}

@@ -1,0 +1,3 @@
+module trackfm
+
+go 1.22

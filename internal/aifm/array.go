@@ -1,0 +1,135 @@
+package aifm
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Array is AIFM's library-mode remote array: the data structure a
+// programmer reaches for when porting code to AIFM by hand (Listing 1).
+// Elements are fixed-size records chunked into pool objects; every access
+// goes through a DerefScope and pays the smart-pointer indirection cost,
+// but — unlike TrackFM — no guard instructions, because the programmer
+// (not the compiler) proved which accesses touch far memory.
+//
+// Array is the comparator used for the paper's AIFM curves (Fig. 14).
+type Array struct {
+	pool     *Pool
+	elemSize int
+	length   int
+	perObj   int // elements per object
+	baseID   ObjectID
+}
+
+// NewArray allocates a remote array of length fixed-size elements starting
+// at object baseID within pool. Element size must divide the object size
+// so elements never straddle object boundaries (AIFM data structures are
+// laid out this way by their library developers).
+func NewArray(pool *Pool, baseID ObjectID, elemSize, length int) (*Array, error) {
+	if elemSize <= 0 || elemSize > pool.objSize {
+		return nil, fmt.Errorf("aifm: element size %d out of range for %dB objects", elemSize, pool.objSize)
+	}
+	if pool.objSize%elemSize != 0 {
+		return nil, fmt.Errorf("aifm: element size %d does not divide object size %d", elemSize, pool.objSize)
+	}
+	perObj := pool.objSize / elemSize
+	nObjects := (length + perObj - 1) / perObj
+	if uint64(baseID)+uint64(nObjects) > pool.NumObjects() {
+		return nil, fmt.Errorf("aifm: array of %d elements exceeds pool heap", length)
+	}
+	return &Array{pool: pool, elemSize: elemSize, length: length, perObj: perObj, baseID: baseID}, nil
+}
+
+// Len reports the element count.
+func (a *Array) Len() int { return a.length }
+
+// Objects reports how many pool objects the array spans.
+func (a *Array) Objects() int { return (a.length + a.perObj - 1) / a.perObj }
+
+func (a *Array) locate(i int) (ObjectID, uint64) {
+	if i < 0 || i >= a.length {
+		panic(fmt.Sprintf("aifm: array index %d out of range [0,%d)", i, a.length))
+	}
+	return a.baseID + ObjectID(i/a.perObj), uint64(i%a.perObj) * uint64(a.elemSize)
+}
+
+// At reads element i within scope into dst (len(dst) == element size).
+func (a *Array) At(scope *DerefScope, i int, dst []byte) {
+	id, off := a.locate(i)
+	a.pool.env.Clock.Advance(a.pool.env.Costs.SmartPointerIndirection)
+	scope.Deref(id, false)
+	a.pool.Read(id, off, dst)
+}
+
+// Set writes element i within scope from src.
+func (a *Array) Set(scope *DerefScope, i int, src []byte) {
+	id, off := a.locate(i)
+	a.pool.env.Clock.Advance(a.pool.env.Costs.SmartPointerIndirection)
+	scope.Deref(id, true)
+	a.pool.Write(id, off, src)
+}
+
+// AtU64 reads element i as a little-endian uint64 (element size must be 8).
+func (a *Array) AtU64(scope *DerefScope, i int) uint64 {
+	var buf [8]byte
+	a.At(scope, i, buf[:])
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+// SetU64 writes element i as a little-endian uint64 (element size must be 8).
+func (a *Array) SetU64(scope *DerefScope, i int, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	a.Set(scope, i, buf[:])
+}
+
+// Iterator streams the array sequentially the way AIFM's library iterators
+// do: one scope pin per object (not per element) and prefetch of upcoming
+// objects, which is the hand-optimized behaviour TrackFM's loop chunking
+// recovers automatically.
+type Iterator struct {
+	arr      *Array
+	i        int
+	curObj   ObjectID
+	pinned   bool
+	prefetch int
+}
+
+// Iter returns an iterator starting at element 0 that prefetches depth
+// objects ahead (0 disables prefetch).
+func (a *Array) Iter(prefetchDepth int) *Iterator {
+	return &Iterator{arr: a, curObj: ObjectID(^uint64(0)), prefetch: prefetchDepth}
+}
+
+// Next reads the next element into dst and reports false when exhausted.
+func (it *Iterator) Next(dst []byte) bool {
+	a := it.arr
+	if it.i >= a.length {
+		it.Close()
+		return false
+	}
+	id, off := a.locate(it.i)
+	if id != it.curObj {
+		if it.pinned {
+			a.pool.Unpin(it.curObj)
+		}
+		a.pool.env.Clock.Advance(a.pool.env.Costs.SmartPointerIndirection)
+		a.pool.Localize(id, false)
+		a.pool.Pin(id)
+		it.curObj, it.pinned = id, true
+		for k := 1; k <= it.prefetch; k++ {
+			a.pool.Prefetch(id + ObjectID(k))
+		}
+	}
+	a.pool.Read(id, off, dst)
+	it.i++
+	return true
+}
+
+// Close releases the iterator's pin. Safe to call repeatedly.
+func (it *Iterator) Close() {
+	if it.pinned {
+		it.arr.pool.Unpin(it.curObj)
+		it.pinned = false
+	}
+}

@@ -1,0 +1,182 @@
+package aifm
+
+import (
+	"testing"
+
+	"trackfm/internal/fabric"
+	"trackfm/internal/sim"
+)
+
+func newArrayPool(t *testing.T, objSize int, budget uint64) (*Pool, *sim.Env) {
+	t.Helper()
+	env := sim.NewEnv()
+	link := fabric.NewSimLink(env, fabric.BackendTCP)
+	p, err := NewPool(Config{
+		Env: env, Transport: link,
+		ObjectSize: objSize, HeapSize: 1 << 20, LocalBudget: budget,
+	})
+	if err != nil {
+		t.Fatalf("NewPool: %v", err)
+	}
+	return p, env
+}
+
+func TestArrayValidation(t *testing.T) {
+	p, _ := newArrayPool(t, 256, 1<<12)
+	if _, err := NewArray(p, 0, 0, 10); err == nil {
+		t.Errorf("zero element size accepted")
+	}
+	if _, err := NewArray(p, 0, 512, 10); err == nil {
+		t.Errorf("element larger than object accepted")
+	}
+	if _, err := NewArray(p, 0, 24, 10); err == nil {
+		t.Errorf("non-dividing element size accepted")
+	}
+	if _, err := NewArray(p, 0, 8, 1<<40); err == nil {
+		t.Errorf("array exceeding heap accepted")
+	}
+}
+
+func TestArraySumMatchesReference(t *testing.T) {
+	// The paper's Listing 1: sum over a remote array using DerefScopes.
+	p, _ := newArrayPool(t, 256, 1<<11) // 8 slots: forces evictions
+	const n = 500
+	arr, err := NewArray(p, 0, 8, n)
+	if err != nil {
+		t.Fatalf("NewArray: %v", err)
+	}
+	var want uint64
+	for i := 0; i < n; i++ {
+		scope := NewScope(p)
+		arr.SetU64(scope, i, uint64(i*3))
+		scope.Close()
+		want += uint64(i * 3)
+	}
+	var got uint64
+	for i := 0; i < n; i++ {
+		scope := NewScope(p)
+		got += arr.AtU64(scope, i)
+		scope.Close()
+	}
+	if got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}
+
+func TestArrayOutOfRangePanics(t *testing.T) {
+	p, _ := newArrayPool(t, 256, 1<<12)
+	arr, _ := NewArray(p, 0, 8, 4)
+	scope := NewScope(p)
+	defer scope.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("out-of-range At did not panic")
+		}
+	}()
+	arr.AtU64(scope, 4)
+}
+
+func TestArrayObjects(t *testing.T) {
+	p, _ := newArrayPool(t, 256, 1<<12)
+	arr, _ := NewArray(p, 0, 8, 100) // 32 elems per object -> 4 objects
+	if got := arr.Objects(); got != 4 {
+		t.Fatalf("Objects() = %d, want 4", got)
+	}
+	if arr.Len() != 100 {
+		t.Fatalf("Len() = %d", arr.Len())
+	}
+}
+
+func TestIteratorPinsPerObjectNotPerElement(t *testing.T) {
+	p, env := newArrayPool(t, 256, 1<<11)
+	const n = 128 // 32 per object -> 4 objects
+	arr, _ := NewArray(p, 0, 8, n)
+	for i := 0; i < n; i++ {
+		scope := NewScope(p)
+		arr.SetU64(scope, i, uint64(i))
+		scope.Close()
+	}
+	p.EvacuateAll()
+	env.Counters.Reset()
+
+	it := arr.Iter(0)
+	var sum, want uint64
+	buf := make([]byte, 8)
+	i := 0
+	for it.Next(buf) {
+		sum += uint64(buf[0]) | uint64(buf[1])<<8
+		want += uint64(i)
+		i++
+	}
+	if i != n {
+		t.Fatalf("iterated %d elements, want %d", i, n)
+	}
+	// Demand fetches: one per object, not per element.
+	if env.Counters.RemoteFetches != 4 {
+		t.Fatalf("RemoteFetches = %d, want 4", env.Counters.RemoteFetches)
+	}
+	// Iterator closed: nothing should remain pinned.
+	for id := ObjectID(0); id < 4; id++ {
+		if p.Pinned(id) {
+			t.Fatalf("object %d still pinned after iteration", id)
+		}
+	}
+}
+
+func TestIteratorPrefetchReducesCriticalFetches(t *testing.T) {
+	p, env := newArrayPool(t, 256, 1<<11)
+	const n = 512 // 16 objects
+	arr, _ := NewArray(p, 0, 8, n)
+	for i := 0; i < n; i++ {
+		scope := NewScope(p)
+		arr.SetU64(scope, i, 1)
+		scope.Close()
+	}
+
+	run := func(depth int) uint64 {
+		p.EvacuateAll()
+		env.Counters.Reset()
+		it := arr.Iter(depth)
+		buf := make([]byte, 8)
+		for it.Next(buf) {
+		}
+		return env.Counters.CriticalFetches
+	}
+	noPrefetch := run(0)
+	withPrefetch := run(4)
+	if withPrefetch >= noPrefetch {
+		t.Fatalf("prefetch did not reduce critical fetches: %d vs %d", withPrefetch, noPrefetch)
+	}
+}
+
+func TestScopeCloseIdempotent(t *testing.T) {
+	p, _ := newArrayPool(t, 256, 1<<12)
+	scope := NewScope(p)
+	scope.Deref(0, false)
+	scope.Close()
+	scope.Close() // second close is a no-op
+	if p.Pinned(0) {
+		t.Fatalf("scope close did not unpin")
+	}
+}
+
+func TestDerefOnClosedScopePanics(t *testing.T) {
+	p, _ := newArrayPool(t, 256, 1<<12)
+	scope := NewScope(p)
+	scope.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Deref on closed scope did not panic")
+		}
+	}()
+	scope.Deref(0, false)
+}
+
+func TestScopeChargesEntryCost(t *testing.T) {
+	p, env := newArrayPool(t, 256, 1<<12)
+	before := env.Clock.Cycles()
+	NewScope(p).Close()
+	if env.Clock.Cycles()-before != env.Costs.DerefScopeCost {
+		t.Fatalf("scope charged %d cycles", env.Clock.Cycles()-before)
+	}
+}

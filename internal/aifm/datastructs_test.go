@@ -1,0 +1,178 @@
+package aifm
+
+import (
+	"testing"
+
+	"trackfm/internal/sim"
+)
+
+func TestHashMapValidation(t *testing.T) {
+	p, _, _ := newTestPool(t, 64, 1<<20, 1<<12)
+	if _, err := NewHashMap(p, 0, 0); err == nil {
+		t.Errorf("zero capacity accepted")
+	}
+	if _, err := NewHashMap(p, 0, 1<<30); err == nil {
+		t.Errorf("over-heap capacity accepted")
+	}
+}
+
+func TestHashMapPutGet(t *testing.T) {
+	p, _, _ := newTestPool(t, 256, 1<<20, 1<<12) // tight: evictions
+	m, err := NewHashMap(p, 0, 300)
+	if err != nil {
+		t.Fatalf("NewHashMap: %v", err)
+	}
+	for k := uint64(1); k <= 300; k++ {
+		scope := NewScope(p)
+		if err := m.Put(scope, k, k*7); err != nil {
+			t.Fatalf("Put(%d): %v", k, err)
+		}
+		scope.Close()
+	}
+	if m.Len() != 300 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	for k := uint64(1); k <= 300; k++ {
+		scope := NewScope(p)
+		v, ok := m.Get(scope, k)
+		scope.Close()
+		if !ok || v != k*7 {
+			t.Fatalf("Get(%d) = (%d, %v)", k, v, ok)
+		}
+	}
+	scope := NewScope(p)
+	defer scope.Close()
+	if _, ok := m.Get(scope, 9999); ok {
+		t.Fatalf("absent key found")
+	}
+}
+
+func TestHashMapOverwriteAndReservedKey(t *testing.T) {
+	p, _, _ := newTestPool(t, 256, 1<<20, 1<<13)
+	m, _ := NewHashMap(p, 0, 16)
+	scope := NewScope(p)
+	defer scope.Close()
+	if err := m.Put(scope, 0, 1); err == nil {
+		t.Fatalf("key 0 accepted")
+	}
+	m.Put(scope, 5, 1)
+	m.Put(scope, 5, 2)
+	if m.Len() != 1 {
+		t.Fatalf("overwrite double-counted")
+	}
+	if v, _ := m.Get(scope, 5); v != 2 {
+		t.Fatalf("overwrite lost: %d", v)
+	}
+}
+
+func TestHashMapFullRejects(t *testing.T) {
+	p, _, _ := newTestPool(t, 256, 1<<20, 1<<13)
+	m, _ := NewHashMap(p, 0, 2) // 8 slots; full at 4 items
+	scope := NewScope(p)
+	defer scope.Close()
+	var err error
+	for k := uint64(1); k <= 8 && err == nil; k++ {
+		err = m.Put(scope, k, k)
+	}
+	if err == nil {
+		t.Fatalf("overfull map accepted every insert")
+	}
+}
+
+func TestHashMapAgainstModel(t *testing.T) {
+	p, _, _ := newTestPool(t, 256, 1<<20, 1<<12)
+	m, _ := NewHashMap(p, 0, 500)
+	model := map[uint64]uint64{}
+	rng := sim.NewRNG(17)
+	for step := 0; step < 3000; step++ {
+		key := uint64(rng.Intn(400)) + 1
+		scope := NewScope(p)
+		if rng.Intn(2) == 0 && len(model) < 450 {
+			val := rng.Uint64()
+			if err := m.Put(scope, key, val); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			model[key] = val
+		} else {
+			v, ok := m.Get(scope, key)
+			mv, want := model[key]
+			if ok != want || (ok && v != mv) {
+				t.Fatalf("step %d: Get(%d) = (%d,%v), want (%d,%v)", step, key, v, ok, mv, want)
+			}
+		}
+		scope.Close()
+	}
+}
+
+func TestListPushWalkSum(t *testing.T) {
+	p, _, _ := newTestPool(t, 64, 1<<20, 1<<10) // 16 local nodes: chases fetch
+	l, err := NewList(p, 0, 500)
+	if err != nil {
+		t.Fatalf("NewList: %v", err)
+	}
+	var want uint64
+	for i := uint64(1); i <= 500; i++ {
+		scope := NewScope(p)
+		if err := l.PushFront(scope, i); err != nil {
+			t.Fatalf("PushFront: %v", err)
+		}
+		scope.Close()
+		want += i
+	}
+	if l.Len() != 500 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if got := l.Sum(); got != want {
+		t.Fatalf("Sum = %d, want %d", got, want)
+	}
+	// Walk order is LIFO.
+	first := true
+	l.Walk(func(v uint64) bool {
+		if first && v != 500 {
+			t.Fatalf("head = %d, want 500", v)
+		}
+		first = false
+		return first
+	})
+}
+
+func TestListCapacity(t *testing.T) {
+	p, _, _ := newTestPool(t, 64, 1<<20, 1<<10)
+	l, _ := NewList(p, 0, 2)
+	scope := NewScope(p)
+	defer scope.Close()
+	l.PushFront(scope, 1)
+	l.PushFront(scope, 2)
+	if err := l.PushFront(scope, 3); err == nil {
+		t.Fatalf("over-capacity push accepted")
+	}
+	if _, err := NewList(p, 0, 0); err == nil {
+		t.Fatalf("zero capacity accepted")
+	}
+	if _, err := NewList(p, 0, 1<<40); err == nil {
+		t.Fatalf("over-heap capacity accepted")
+	}
+}
+
+func TestListChasingCausesFetches(t *testing.T) {
+	// The defining property: walking a cold list fetches per node.
+	p, env, _ := newTestPool(t, 64, 1<<20, 1<<10)
+	l, _ := NewList(p, 0, 200)
+	for i := uint64(1); i <= 200; i++ {
+		scope := NewScope(p)
+		l.PushFront(scope, i)
+		scope.Close()
+	}
+	p.EvacuateAll()
+	env.Counters.Reset()
+	l.Sum()
+	if env.Counters.RemoteFetches < 150 {
+		t.Fatalf("cold list walk fetched only %d nodes", env.Counters.RemoteFetches)
+	}
+	// And the stride prefetcher must NOT have fired: list node IDs are
+	// sequential here only as an allocation artifact; the pool was built
+	// without AutoPrefetch.
+	if env.Counters.PrefetchIssued != 0 {
+		t.Fatalf("unexpected prefetches on pointer chase")
+	}
+}

@@ -1,0 +1,47 @@
+package aifm_test
+
+import (
+	"fmt"
+
+	"trackfm/internal/aifm"
+	"trackfm/internal/fabric"
+	"trackfm/internal/sim"
+)
+
+// Library-mode far memory, as an AIFM programmer writes it (the paper's
+// Listing 1): a remote array accessed through DerefScopes.
+func ExampleArray() {
+	env := sim.NewEnv()
+	pool, err := aifm.NewPool(aifm.Config{
+		Env:         env,
+		Transport:   fabric.NewSimLink(env, fabric.BackendTCP),
+		ObjectSize:  256,
+		HeapSize:    1 << 20,
+		LocalBudget: 1 << 12, // 16 objects local: evictions will happen
+	})
+	if err != nil {
+		panic(err)
+	}
+	arr, err := aifm.NewArray(pool, 0, 8, 1000)
+	if err != nil {
+		panic(err)
+	}
+
+	// int sum(RemoteArray *array, int n) — Listing 1.
+	for i := 0; i < arr.Len(); i++ {
+		scope := aifm.NewScope(pool)
+		arr.SetU64(scope, i, uint64(i))
+		scope.Close()
+	}
+	var sum uint64
+	for i := 0; i < arr.Len(); i++ {
+		scope := aifm.NewScope(pool)
+		sum += arr.AtU64(scope, i)
+		scope.Close()
+	}
+	fmt.Println("sum:", sum)
+	fmt.Println("evacuations happened:", env.Counters.Evacuations > 0)
+	// Output:
+	// sum: 499500
+	// evacuations happened: true
+}

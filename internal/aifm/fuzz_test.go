@@ -1,0 +1,79 @@
+package aifm
+
+import "testing"
+
+// FuzzMetaRoundTrip drives the Figure-3 metadata packing with arbitrary
+// field values; any packing that loses or cross-contaminates a field is a
+// guard-correctness bug.
+func FuzzMetaRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint16(64), uint8(0), uint64(0))
+	f.Add(uint64(1)<<37, uint16(4096), uint8(255), uint64(1)<<46)
+	f.Add(uint64(12345), uint16(256), uint8(7), uint64(0xDEADBEEF))
+	f.Fuzz(func(t *testing.T, idRaw uint64, size uint16, ds uint8, addrRaw uint64) {
+		id := ObjectID(idRaw & ((1 << 38) - 1))
+		rm := RemoteMeta(id, uint32(size), ds)
+		if rm.Present() {
+			t.Fatalf("remote meta marked present")
+		}
+		if rm.Safe() {
+			t.Fatalf("remote meta marked safe")
+		}
+		if rm.RemoteID() != id || rm.RemoteSize() != uint32(size) || rm.DSID() != ds {
+			t.Fatalf("remote round trip lost fields: %x", uint64(rm))
+		}
+
+		addr := addrRaw & ((1 << 47) - 1)
+		lm := LocalMeta(addr, ds)
+		if !lm.Present() || !lm.Safe() {
+			t.Fatalf("fresh local meta not safe")
+		}
+		if lm.DataAddr() != addr || lm.DSID() != ds {
+			t.Fatalf("local round trip lost fields: %x", uint64(lm))
+		}
+		// Flags never corrupt payloads.
+		flagged := lm | MetaD | MetaH | MetaPF
+		if flagged.DataAddr() != addr || flagged.DSID() != ds {
+			t.Fatalf("flags corrupted payload")
+		}
+		if (lm | MetaE).Safe() {
+			t.Fatalf("evacuating object marked safe")
+		}
+	})
+}
+
+// FuzzPoolAccessPattern drives a tiny pool with an arbitrary access
+// pattern; invariants: budget never exceeded, data written is data read.
+func FuzzPoolAccessPattern(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5})
+	f.Add([]byte{0, 0, 0, 255, 255})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		if len(script) > 256 {
+			script = script[:256]
+		}
+		p, _, _ := newTestPool(t, 64, 1<<14, 256) // 4 slots, 256 objects
+		shadow := make(map[ObjectID]byte)
+		for i, b := range script {
+			id := ObjectID(b) % ObjectID(p.NumObjects())
+			switch i % 3 {
+			case 0:
+				p.Localize(id, true)
+				p.Write(id, 3, []byte{b})
+				shadow[id] = b
+			case 1:
+				if v, ok := shadow[id]; ok {
+					p.Localize(id, false)
+					got := make([]byte, 1)
+					p.Read(id, 3, got)
+					if got[0] != v {
+						t.Fatalf("step %d: object %d = %d, want %d", i, id, got[0], v)
+					}
+				}
+			case 2:
+				p.Prefetch(id)
+			}
+			if p.LocalBytes() > 256 {
+				t.Fatalf("budget exceeded: %d", p.LocalBytes())
+			}
+		}
+	})
+}

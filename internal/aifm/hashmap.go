@@ -1,0 +1,122 @@
+package aifm
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// HashMap is AIFM's flagship remote data structure (the paper's "remote
+// HashMap" that library users switch to): an open-addressing table of
+// fixed-size key/value slots chunked into pool objects. Every operation
+// runs under a DerefScope and pays the smart-pointer indirection — but no
+// guards, because the library's own code provably handles far memory.
+//
+// Keys are uint64 (0 reserved for empty slots); values are uint64.
+type HashMap struct {
+	pool   *Pool
+	baseID ObjectID
+	slots  uint64 // power of two
+	perObj uint64
+	items  int
+}
+
+// hashMapSlotBytes is the packed (key, value) slot size.
+const hashMapSlotBytes = 16
+
+// NewHashMap builds a remote hash map with capacity for roughly
+// `capacity` entries (the table is sized at 2x, rounded to a power of
+// two) starting at object baseID.
+func NewHashMap(pool *Pool, baseID ObjectID, capacity int) (*HashMap, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("aifm: HashMap capacity must be positive")
+	}
+	if pool.objSize%hashMapSlotBytes != 0 {
+		return nil, fmt.Errorf("aifm: object size %d not a multiple of the slot size", pool.objSize)
+	}
+	slots := uint64(2)
+	for slots < uint64(capacity)*2 {
+		slots <<= 1
+	}
+	perObj := uint64(pool.objSize) / hashMapSlotBytes
+	nObjects := (slots + perObj - 1) / perObj
+	if uint64(baseID)+nObjects > pool.NumObjects() {
+		return nil, fmt.Errorf("aifm: HashMap of %d slots exceeds pool heap", slots)
+	}
+	return &HashMap{pool: pool, baseID: baseID, slots: slots, perObj: perObj}, nil
+}
+
+// Objects reports how many pool objects the table spans.
+func (m *HashMap) Objects() int { return int((m.slots + m.perObj - 1) / m.perObj) }
+
+// Len reports the number of stored entries.
+func (m *HashMap) Len() int { return m.items }
+
+func (m *HashMap) locate(slot uint64) (ObjectID, uint64) {
+	return m.baseID + ObjectID(slot/m.perObj), (slot % m.perObj) * hashMapSlotBytes
+}
+
+func hashMapMix(k uint64) uint64 {
+	k ^= k >> 30
+	k *= 0xBF58476D1CE4E5B9
+	k ^= k >> 27
+	k *= 0x94D049BB133111EB
+	k ^= k >> 31
+	return k
+}
+
+// slotKV reads one slot within scope.
+func (m *HashMap) slotKV(scope *DerefScope, slot uint64) (key, val uint64) {
+	id, off := m.locate(slot)
+	m.pool.env.Clock.Advance(m.pool.env.Costs.SmartPointerIndirection)
+	scope.Deref(id, false)
+	var buf [hashMapSlotBytes]byte
+	m.pool.Read(id, off, buf[:])
+	return binary.LittleEndian.Uint64(buf[:8]), binary.LittleEndian.Uint64(buf[8:])
+}
+
+func (m *HashMap) setSlot(scope *DerefScope, slot uint64, key, val uint64) {
+	id, off := m.locate(slot)
+	m.pool.env.Clock.Advance(m.pool.env.Costs.SmartPointerIndirection)
+	scope.Deref(id, true)
+	var buf [hashMapSlotBytes]byte
+	binary.LittleEndian.PutUint64(buf[:8], key)
+	binary.LittleEndian.PutUint64(buf[8:], val)
+	m.pool.Write(id, off, buf[:])
+}
+
+// Put inserts or overwrites key (which must be non-zero).
+func (m *HashMap) Put(scope *DerefScope, key, val uint64) error {
+	if key == 0 {
+		return fmt.Errorf("aifm: HashMap key 0 is reserved")
+	}
+	if uint64(m.items)*2 >= m.slots {
+		return fmt.Errorf("aifm: HashMap full (%d items in %d slots)", m.items, m.slots)
+	}
+	slot := hashMapMix(key) & (m.slots - 1)
+	for {
+		k, _ := m.slotKV(scope, slot)
+		if k == 0 || k == key {
+			m.setSlot(scope, slot, key, val)
+			if k == 0 {
+				m.items++
+			}
+			return nil
+		}
+		slot = (slot + 1) & (m.slots - 1)
+	}
+}
+
+// Get looks key up, returning (value, found).
+func (m *HashMap) Get(scope *DerefScope, key uint64) (uint64, bool) {
+	slot := hashMapMix(key) & (m.slots - 1)
+	for {
+		k, v := m.slotKV(scope, slot)
+		if k == key {
+			return v, true
+		}
+		if k == 0 {
+			return 0, false
+		}
+		slot = (slot + 1) & (m.slots - 1)
+	}
+}

@@ -1,0 +1,94 @@
+package aifm
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// List is a remote singly-linked list, the paper's example of a data
+// structure whose natural AIFM object size is one node ("a remote linked
+// list might use an AIFM object size of 64B to constitute a single linked
+// list node"). Nodes are allocated one per pool object from a bump
+// cursor; each node packs (next ObjectID, value). The zero ObjectID in a
+// next field terminates the list, so node allocation starts at baseID+1.
+//
+// Lists are the pointer-chasing structure far-memory systems struggle
+// with: every hop may be a remote fetch, and there is no stride for a
+// prefetcher to find.
+type List struct {
+	pool   *Pool
+	baseID ObjectID
+	nextID ObjectID
+	limit  ObjectID
+	head   ObjectID
+	length int
+}
+
+// NewList builds an empty list that may allocate up to capacity nodes
+// from the object range [baseID+1, baseID+1+capacity).
+func NewList(pool *Pool, baseID ObjectID, capacity int) (*List, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("aifm: List capacity must be positive")
+	}
+	end := uint64(baseID) + 1 + uint64(capacity)
+	if end > pool.NumObjects() {
+		return nil, fmt.Errorf("aifm: List of %d nodes exceeds pool heap", capacity)
+	}
+	return &List{pool: pool, baseID: baseID, nextID: baseID + 1, limit: ObjectID(end)}, nil
+}
+
+// Len reports the element count.
+func (l *List) Len() int { return l.length }
+
+func (l *List) readNode(scope *DerefScope, id ObjectID) (next ObjectID, val uint64) {
+	l.pool.env.Clock.Advance(l.pool.env.Costs.SmartPointerIndirection)
+	scope.Deref(id, false)
+	var buf [16]byte
+	l.pool.Read(id, 0, buf[:])
+	return ObjectID(binary.LittleEndian.Uint64(buf[:8])), binary.LittleEndian.Uint64(buf[8:])
+}
+
+func (l *List) writeNode(scope *DerefScope, id ObjectID, next ObjectID, val uint64) {
+	l.pool.env.Clock.Advance(l.pool.env.Costs.SmartPointerIndirection)
+	scope.Deref(id, true)
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], uint64(next))
+	binary.LittleEndian.PutUint64(buf[8:], val)
+	l.pool.Write(id, 0, buf[:])
+}
+
+// PushFront prepends a value.
+func (l *List) PushFront(scope *DerefScope, val uint64) error {
+	if l.nextID >= l.limit {
+		return fmt.Errorf("aifm: List node capacity exhausted")
+	}
+	id := l.nextID
+	l.nextID++
+	l.writeNode(scope, id, l.head, val)
+	l.head = id
+	l.length++
+	return nil
+}
+
+// Walk visits values front to back, stopping early if fn returns false.
+// Each hop opens its own short scope so the evacuator can make progress
+// between nodes, as AIFM's list iterators do.
+func (l *List) Walk(fn func(val uint64) bool) {
+	id := l.head
+	for id != 0 {
+		scope := NewScope(l.pool)
+		next, val := l.readNode(scope, id)
+		scope.Close()
+		if !fn(val) {
+			return
+		}
+		id = next
+	}
+}
+
+// Sum folds the list, a convenience for benchmarks.
+func (l *List) Sum() uint64 {
+	var s uint64
+	l.Walk(func(v uint64) bool { s += v; return true })
+	return s
+}

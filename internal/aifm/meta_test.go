@@ -1,0 +1,122 @@
+package aifm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLocalMetaRoundTrip(t *testing.T) {
+	m := LocalMeta(0x7ABCD1234, 0x5E)
+	if !m.Present() {
+		t.Fatalf("local meta not present")
+	}
+	if got := m.DataAddr(); got != 0x7ABCD1234 {
+		t.Fatalf("DataAddr = %#x", got)
+	}
+	if got := m.DSID(); got != 0x5E {
+		t.Fatalf("DSID = %#x", got)
+	}
+}
+
+func TestRemoteMetaRoundTrip(t *testing.T) {
+	m := RemoteMeta(0x3F_FFFF_FFFF, 0xFFFF, 0xAB)
+	if m.Present() {
+		t.Fatalf("remote meta marked present")
+	}
+	if got := m.RemoteID(); got != 0x3F_FFFF_FFFF {
+		t.Fatalf("RemoteID = %#x", got)
+	}
+	if got := m.RemoteSize(); got != 0xFFFF {
+		t.Fatalf("RemoteSize = %#x", got)
+	}
+	if got := m.DSID(); got != 0xAB {
+		t.Fatalf("DSID = %#x", got)
+	}
+}
+
+func TestRemoteMetaRoundTripProperty(t *testing.T) {
+	if err := quick.Check(func(idRaw uint64, size uint16, ds uint8) bool {
+		id := ObjectID(idRaw & ((1 << 38) - 1))
+		m := RemoteMeta(id, uint32(size), ds)
+		return m.RemoteID() == id && m.RemoteSize() == uint32(size) &&
+			m.DSID() == ds && !m.Present()
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocalMetaRoundTripProperty(t *testing.T) {
+	if err := quick.Check(func(addrRaw uint64, ds uint8) bool {
+		addr := addrRaw & ((1 << 47) - 1)
+		m := LocalMeta(addr, ds)
+		return m.DataAddr() == addr && m.DSID() == ds && m.Present()
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRemoteMetaFieldLimits(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("oversized size", func() { RemoteMeta(1, 0x10000, 0) })
+	mustPanic("oversized id", func() { RemoteMeta(1<<38, 64, 0) })
+}
+
+func TestSafetyBits(t *testing.T) {
+	local := LocalMeta(0x1000, 0)
+	if !local.Safe() {
+		t.Fatalf("plain local object should be safe")
+	}
+	if (local | MetaE).Safe() {
+		t.Fatalf("evacuating object must not be safe")
+	}
+	remote := RemoteMeta(5, 4096, 0)
+	if remote.Safe() {
+		t.Fatalf("remote object must not be safe")
+	}
+	var zero Meta
+	if zero.Safe() {
+		t.Fatalf("zero (unallocated) meta must not be safe")
+	}
+}
+
+func TestFlagBits(t *testing.T) {
+	m := LocalMeta(0, 0)
+	if m.Dirty() || m.Hot() || m.Prefetched() {
+		t.Fatalf("fresh local meta has stray flags")
+	}
+	m |= MetaD | MetaH | MetaPF
+	if !m.Dirty() || !m.Hot() || !m.Prefetched() {
+		t.Fatalf("flag setters lost bits")
+	}
+	// Flags must not corrupt the payload fields.
+	if m.DataAddr() != 0 || m.DSID() != 0 {
+		t.Fatalf("flags overlap payload fields")
+	}
+}
+
+func TestFlagFieldsDisjointProperty(t *testing.T) {
+	if err := quick.Check(func(addrRaw uint64, ds uint8, d, h, pf bool) bool {
+		addr := addrRaw & ((1 << 47) - 1)
+		m := LocalMeta(addr, ds)
+		if d {
+			m |= MetaD
+		}
+		if h {
+			m |= MetaH
+		}
+		if pf {
+			m |= MetaPF
+		}
+		return m.DataAddr() == addr && m.DSID() == ds &&
+			m.Dirty() == d && m.Hot() == h && m.Prefetched() == pf
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,444 @@
+package aifm
+
+import (
+	"fmt"
+	"math/bits"
+
+	"trackfm/internal/fabric"
+	"trackfm/internal/mem"
+	"trackfm/internal/sim"
+)
+
+// Backing selects the data plane for a pool's local arena.
+type Backing int
+
+const (
+	// BackingReal stores actual bytes, so workloads compute real results.
+	BackingReal Backing = iota
+	// BackingPhantom discards data; only the control plane runs. Use for
+	// paper-scale object counts that would not fit in RAM.
+	BackingPhantom
+)
+
+// Config parameterizes a Pool.
+type Config struct {
+	// Env supplies the clock, counters and cost model. Required.
+	Env *sim.Env
+	// Transport moves object data to and from the remote node. Required.
+	Transport fabric.Transport
+	// ObjectSize is the fixed object (chunk) size in bytes. Must be a
+	// power of two in [64, 65536]. The paper argues only powers of two
+	// from the cache-line size (64B) to the base page size (4KB) are
+	// sensible (§3.2).
+	ObjectSize int
+	// HeapSize is the maximum far-memory heap in bytes; it determines the
+	// object-count capacity (HeapSize / ObjectSize metadata entries, 8B
+	// each — the paper's single-level-page-table-like overhead analysis).
+	HeapSize uint64
+	// LocalBudget is the local memory available for object data, in
+	// bytes. The number of local slots is LocalBudget / ObjectSize.
+	LocalBudget uint64
+	// DSID tags this pool's objects in metadata words (AIFM data
+	// structure id; TrackFM uses a single unified pool, id 0 by default).
+	DSID uint8
+	// Backing selects real or phantom data.
+	Backing Backing
+	// AutoPrefetch enables the runtime stride prefetcher: sequential
+	// demand misses trigger asynchronous fetches of the next
+	// PrefetchDepth objects (AIFM's stride prefetcher, §4.3).
+	AutoPrefetch bool
+	// PrefetchDepth is how many objects ahead to prefetch (default 8).
+	PrefetchDepth int
+}
+
+// Pool is an AIFM-style far-memory object pool: a contiguous metadata table
+// (one 8-byte word per object — this very table is what TrackFM exposes as
+// its object state table), a local arena divided into object-size slots, a
+// clock evacuator, and pin counts implementing the DerefScope barrier.
+//
+// Pool is not safe for concurrent use; the simulation engine serializes
+// accesses onto one logical timeline.
+type Pool struct {
+	env       *sim.Env
+	transport fabric.Transport
+	objSize   int
+	shift     uint // log2(objSize)
+	dsID      uint8
+
+	table []Meta // object state table, indexed by ObjectID
+
+	arena     mem.Store
+	slotOwner []ObjectID // per-slot owner; freeSlot sentinel when empty
+	freeSlots []uint32
+	hand      int // clock hand over slots
+
+	pins map[ObjectID]uint32
+
+	// Stride-prefetch state.
+	autoPrefetch  bool
+	prefetchDepth int
+	lastMiss      ObjectID
+	missStreak    int
+
+	// Evacuations counts objects this pool evacuated, mirrored into the
+	// shared counters as well.
+	Evacuations uint64
+}
+
+const noOwner = ObjectID(^uint64(0))
+
+// NewPool validates cfg and builds a pool.
+func NewPool(cfg Config) (*Pool, error) {
+	if cfg.Env == nil {
+		return nil, fmt.Errorf("aifm: Config.Env is required")
+	}
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("aifm: Config.Transport is required")
+	}
+	if cfg.ObjectSize < 64 || cfg.ObjectSize > 65536 || bits.OnesCount(uint(cfg.ObjectSize)) != 1 {
+		return nil, fmt.Errorf("aifm: ObjectSize %d must be a power of two in [64, 65536]", cfg.ObjectSize)
+	}
+	if cfg.HeapSize == 0 {
+		return nil, fmt.Errorf("aifm: HeapSize is required")
+	}
+	nObjects := (cfg.HeapSize + uint64(cfg.ObjectSize) - 1) / uint64(cfg.ObjectSize)
+	if nObjects >= 1<<38 {
+		return nil, fmt.Errorf("aifm: HeapSize/ObjectSize = %d objects exceeds the 38-bit object-id space", nObjects)
+	}
+	nSlots := cfg.LocalBudget / uint64(cfg.ObjectSize)
+	if nSlots == 0 {
+		return nil, fmt.Errorf("aifm: LocalBudget %d holds no %dB objects", cfg.LocalBudget, cfg.ObjectSize)
+	}
+	arenaSize := nSlots * uint64(cfg.ObjectSize)
+	var arena mem.Store
+	if cfg.Backing == BackingPhantom {
+		arena = mem.NewPhantomStore(arenaSize)
+	} else {
+		arena = mem.NewRealStore(arenaSize)
+	}
+	depth := cfg.PrefetchDepth
+	if depth <= 0 {
+		depth = 8
+	}
+	// Cap the stride-prefetch window to a quarter of local memory so
+	// speculation cannot crowd out the resident set.
+	if cap := int(nSlots) / 4; depth > cap {
+		depth = cap
+		if depth < 1 {
+			depth = 1
+		}
+	}
+	p := &Pool{
+		env:           cfg.Env,
+		transport:     cfg.Transport,
+		objSize:       cfg.ObjectSize,
+		shift:         uint(bits.TrailingZeros(uint(cfg.ObjectSize))),
+		dsID:          cfg.DSID,
+		table:         make([]Meta, nObjects),
+		arena:         arena,
+		slotOwner:     make([]ObjectID, nSlots),
+		freeSlots:     make([]uint32, 0, nSlots),
+		pins:          make(map[ObjectID]uint32),
+		autoPrefetch:  cfg.AutoPrefetch,
+		prefetchDepth: depth,
+		lastMiss:      noOwner,
+	}
+	for i := range p.slotOwner {
+		p.slotOwner[i] = noOwner
+		p.freeSlots = append(p.freeSlots, uint32(i))
+	}
+	return p, nil
+}
+
+// ObjectSize reports the pool's fixed object size in bytes.
+func (p *Pool) ObjectSize() int { return p.objSize }
+
+// NumObjects reports the metadata table capacity.
+func (p *Pool) NumObjects() uint64 { return uint64(len(p.table)) }
+
+// NumSlots reports how many objects fit in local memory at once.
+func (p *Pool) NumSlots() int { return len(p.slotOwner) }
+
+// Table exposes the contiguous metadata table. The TrackFM layer aliases
+// this slice as its object state table; because it is the same storage,
+// the table is coherent with pool state by construction (the paper
+// modified AIFM to keep its table coherent — sharing storage achieves the
+// same contract).
+func (p *Pool) Table() []Meta { return p.table }
+
+// Meta returns the metadata word for id.
+func (p *Pool) Meta(id ObjectID) Meta { return p.table[id] }
+
+// LocalBytes reports bytes of object data currently resident locally.
+func (p *Pool) LocalBytes() uint64 {
+	return uint64(len(p.slotOwner)-len(p.freeSlots)) * uint64(p.objSize)
+}
+
+// transportKey namespaces object keys by pool so multiple pools can share
+// one remote node.
+func (p *Pool) transportKey(id ObjectID) uint64 {
+	return uint64(p.dsID)<<56 | uint64(id)
+}
+
+// Localize ensures object id is resident in local memory and returns the
+// arena offset of its first byte. forWrite marks the object dirty. The
+// bool result reports whether the call had to perform a blocking remote
+// fetch (a "critical" fetch in the paper's terminology).
+func (p *Pool) Localize(id ObjectID, forWrite bool) (uint64, bool) {
+	m := p.table[id]
+	if m.Present() {
+		nm := m | MetaH
+		if forWrite {
+			nm |= MetaD
+		}
+		if m.Prefetched() {
+			nm &^= MetaPF
+			p.env.Counters.PrefetchHits++
+		}
+		if nm != m {
+			p.table[id] = nm
+		}
+		return m.DataAddr(), false
+	}
+	slot := p.takeSlot()
+	base := uint64(slot) * uint64(p.objSize)
+	fresh := m == 0 // never touched: materialize a zeroed object locally
+	if fresh {
+		p.arena.WriteAt(base, make([]byte, p.objSize))
+	} else {
+		// Demand miss on an evacuated object: blocking remote fetch.
+		p.fetchInto(id, base, false)
+	}
+	p.slotOwner[slot] = id
+	nm := LocalMeta(base, p.dsID) | MetaH
+	if forWrite {
+		nm |= MetaD
+	}
+	p.table[id] = nm
+	if fresh {
+		return base, false
+	}
+	p.env.Counters.RemoteFetches++
+	p.env.Counters.CriticalFetches++
+	p.maybeStridePrefetch(id)
+	return base, true
+}
+
+// Prefetch asynchronously localizes id if it is remote and a slot can be
+// found without displacing hot data: a prefetch may reuse free slots or
+// evict cold objects, but never steals a slot whose object was accessed
+// since the last sweep — speculative data must not pollute the working
+// set. It is used both by the TrackFM compiler-directed prefetch pass and
+// by the runtime stride detector.
+func (p *Pool) Prefetch(id ObjectID) {
+	if id >= ObjectID(len(p.table)) {
+		return
+	}
+	if p.table[id].Present() {
+		return
+	}
+	slot, ok := p.tryTakeSlotGentle()
+	if !ok {
+		return // nothing cold to displace; skip rather than pollute
+	}
+	base := uint64(slot) * uint64(p.objSize)
+	if p.table[id] == 0 {
+		// Never-touched object: materialize zeros without network.
+		p.arena.WriteAt(base, make([]byte, p.objSize))
+	} else {
+		p.fetchInto(id, base, true)
+		p.env.Counters.PrefetchIssued++
+		p.env.Counters.RemoteFetches++
+	}
+	p.slotOwner[slot] = id
+	p.table[id] = LocalMeta(base, p.dsID) | MetaPF
+}
+
+func (p *Pool) fetchInto(id ObjectID, base uint64, async bool) {
+	buf := make([]byte, p.objSize)
+	if async {
+		p.transport.FetchAsync(p.transportKey(id), buf)
+	} else {
+		p.transport.Fetch(p.transportKey(id), buf)
+	}
+	p.arena.WriteAt(base, buf)
+}
+
+func (p *Pool) maybeStridePrefetch(id ObjectID) {
+	if !p.autoPrefetch {
+		return
+	}
+	if p.lastMiss != noOwner && id == p.lastMiss+1 {
+		p.missStreak++
+	} else {
+		p.missStreak = 0
+	}
+	p.lastMiss = id
+	if p.missStreak >= 2 {
+		for k := 1; k <= p.prefetchDepth; k++ {
+			p.Prefetch(id + ObjectID(k))
+		}
+	}
+}
+
+// Pin increments id's pin count, preventing evacuation. This is the
+// DerefScope / out-of-scope barrier: while any application thread holds an
+// object in scope, the evacuator cannot converge on it.
+func (p *Pool) Pin(id ObjectID) { p.pins[id]++ }
+
+// Unpin decrements id's pin count. Unpinning an unpinned object panics:
+// it indicates a scope bookkeeping bug.
+func (p *Pool) Unpin(id ObjectID) {
+	n, ok := p.pins[id]
+	if !ok {
+		panic("aifm: Unpin of unpinned object")
+	}
+	if n == 1 {
+		delete(p.pins, id)
+	} else {
+		p.pins[id] = n - 1
+	}
+}
+
+// Pinned reports whether id is currently pinned.
+func (p *Pool) Pinned(id ObjectID) bool { return p.pins[id] > 0 }
+
+// takeSlot returns a free slot, evicting if necessary. It panics if every
+// resident object is pinned, which mirrors AIFM aborting when local memory
+// is exhausted by in-scope objects.
+func (p *Pool) takeSlot() uint32 {
+	if slot, ok := p.tryTakeSlot(); ok {
+		return slot
+	}
+	panic("aifm: local memory exhausted: every resident object is pinned")
+}
+
+// tryTakeSlotGentle returns a free slot, or evicts a cold (H-clear,
+// unpinned) object without clearing anyone's hotness bit. Used by the
+// prefetcher so speculation cannot displace demand-loaded data.
+func (p *Pool) tryTakeSlotGentle() (uint32, bool) {
+	if n := len(p.freeSlots); n > 0 {
+		slot := p.freeSlots[n-1]
+		p.freeSlots = p.freeSlots[:n-1]
+		return slot, true
+	}
+	nSlots := len(p.slotOwner)
+	for i := 0; i < nSlots; i++ {
+		slot := p.hand
+		p.hand = (p.hand + 1) % nSlots
+		id := p.slotOwner[slot]
+		if id == noOwner || p.pins[id] > 0 {
+			continue
+		}
+		m := p.table[id]
+		// Never displace hot data, and never displace another not-yet-
+		// consumed prefetch — otherwise a deep prefetch window churns
+		// its own speculative fetches into double work.
+		if m.Hot() || m.Prefetched() {
+			continue
+		}
+		p.evictSlot(uint32(slot), id)
+		return uint32(slot), true
+	}
+	return 0, false
+}
+
+// tryTakeSlot returns a free slot if one exists or can be made by evicting
+// an unpinned object (clock with one hotness second chance).
+func (p *Pool) tryTakeSlot() (uint32, bool) {
+	if n := len(p.freeSlots); n > 0 {
+		slot := p.freeSlots[n-1]
+		p.freeSlots = p.freeSlots[:n-1]
+		return slot, true
+	}
+	nSlots := len(p.slotOwner)
+	// First pass: clock with second chance. Second pass: evict any
+	// unpinned object regardless of hotness.
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < nSlots; i++ {
+			slot := p.hand
+			p.hand = (p.hand + 1) % nSlots
+			id := p.slotOwner[slot]
+			if id == noOwner {
+				continue
+			}
+			if p.pins[id] > 0 {
+				continue
+			}
+			m := p.table[id]
+			if pass == 0 && m.Hot() {
+				p.table[id] = m &^ MetaH
+				continue
+			}
+			p.evictSlot(uint32(slot), id)
+			return uint32(slot), true
+		}
+	}
+	return 0, false
+}
+
+// evictSlot evacuates the object owning slot to the remote node.
+func (p *Pool) evictSlot(slot uint32, id ObjectID) {
+	m := p.table[id]
+	base := uint64(slot) * uint64(p.objSize)
+	p.env.Clock.Advance(p.env.Costs.EvacuateObject)
+	if m.Dirty() {
+		buf := make([]byte, p.objSize)
+		p.arena.ReadAt(base, buf)
+		p.transport.Push(p.transportKey(id), buf)
+	}
+	p.table[id] = RemoteMeta(id, uint32(p.objSize), p.dsID)
+	p.slotOwner[slot] = noOwner
+	p.env.Counters.Evacuations++
+	p.Evacuations++
+}
+
+// EvacuateAll force-evacuates every unpinned resident object; tests and
+// experiment setup use it to start measurement phases fully cold.
+func (p *Pool) EvacuateAll() {
+	for slot, id := range p.slotOwner {
+		if id == noOwner || p.pins[id] > 0 {
+			continue
+		}
+		p.evictSlot(uint32(slot), id)
+		p.freeSlots = append(p.freeSlots, uint32(slot))
+	}
+}
+
+// Read copies object bytes [off, off+len(dst)) into dst. The object must
+// be resident (call Localize first); the TrackFM guard layer guarantees
+// this ordering.
+func (p *Pool) Read(id ObjectID, off uint64, dst []byte) {
+	m := p.table[id]
+	if !m.Present() {
+		panic("aifm: Read of non-resident object (guard ordering bug)")
+	}
+	p.arena.ReadAt(m.DataAddr()+off, dst)
+}
+
+// Write copies src into object bytes starting at off and marks the object
+// dirty. The object must be resident.
+func (p *Pool) Write(id ObjectID, off uint64, src []byte) {
+	m := p.table[id]
+	if !m.Present() {
+		panic("aifm: Write of non-resident object (guard ordering bug)")
+	}
+	p.arena.WriteAt(m.DataAddr()+off, src)
+	p.table[id] = m | MetaD
+}
+
+// Free releases id: drops the local copy, deletes the remote copy, and
+// resets metadata. Freeing a pinned object panics.
+func (p *Pool) Free(id ObjectID) {
+	if p.pins[id] > 0 {
+		panic("aifm: Free of pinned object")
+	}
+	m := p.table[id]
+	if m.Present() {
+		slot := uint32(m.DataAddr() / uint64(p.objSize))
+		p.slotOwner[slot] = noOwner
+		p.freeSlots = append(p.freeSlots, slot)
+	}
+	p.transport.Delete(p.transportKey(id))
+	p.table[id] = 0
+}

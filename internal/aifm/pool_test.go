@@ -1,0 +1,404 @@
+package aifm
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"trackfm/internal/fabric"
+	"trackfm/internal/sim"
+)
+
+func newTestPool(t *testing.T, objSize int, heap, budget uint64, opts ...func(*Config)) (*Pool, *sim.Env, *fabric.SimLink) {
+	t.Helper()
+	env := sim.NewEnv()
+	link := fabric.NewSimLink(env, fabric.BackendTCP)
+	cfg := Config{
+		Env:         env,
+		Transport:   link,
+		ObjectSize:  objSize,
+		HeapSize:    heap,
+		LocalBudget: budget,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	p, err := NewPool(cfg)
+	if err != nil {
+		t.Fatalf("NewPool: %v", err)
+	}
+	return p, env, link
+}
+
+func TestNewPoolValidation(t *testing.T) {
+	env := sim.NewEnv()
+	link := fabric.NewSimLink(env, fabric.BackendTCP)
+	bad := []Config{
+		{Transport: link, ObjectSize: 64, HeapSize: 1 << 20, LocalBudget: 1 << 16},                // no env
+		{Env: env, ObjectSize: 64, HeapSize: 1 << 20, LocalBudget: 1 << 16},                       // no transport
+		{Env: env, Transport: link, ObjectSize: 48, HeapSize: 1 << 20, LocalBudget: 1 << 16},      // not power of two
+		{Env: env, Transport: link, ObjectSize: 32, HeapSize: 1 << 20, LocalBudget: 1 << 16},      // too small
+		{Env: env, Transport: link, ObjectSize: 1 << 17, HeapSize: 1 << 20, LocalBudget: 1 << 18}, // too large
+		{Env: env, Transport: link, ObjectSize: 64, LocalBudget: 1 << 16},                         // no heap
+		{Env: env, Transport: link, ObjectSize: 64, HeapSize: 1 << 20, LocalBudget: 32},           // budget < one object
+	}
+	for i, cfg := range bad {
+		if _, err := NewPool(cfg); err == nil {
+			t.Errorf("config %d accepted, want error", i)
+		}
+	}
+}
+
+func TestLocalizeMaterializesFirstTouchWithoutNetwork(t *testing.T) {
+	p, env, _ := newTestPool(t, 64, 1<<16, 1<<12)
+	// First touch of a never-evacuated object is a local zero-fill,
+	// not a remote fetch (freshly malloc'd memory).
+	_, fetched := p.Localize(3, true)
+	if fetched {
+		t.Fatalf("first touch performed a remote fetch")
+	}
+	if env.Counters.RemoteFetches != 0 || env.Counters.BytesFetched != 0 {
+		t.Fatalf("first touch moved data: %s", env.Counters.String())
+	}
+	got := make([]byte, 4)
+	p.Read(3, 8, got)
+	if !bytes.Equal(got, []byte{0, 0, 0, 0}) {
+		t.Fatalf("fresh object not zeroed: %v", got)
+	}
+}
+
+func TestLocalizeFetchesEvacuatedObjectAndReadsBack(t *testing.T) {
+	p, env, _ := newTestPool(t, 64, 1<<16, 1<<12)
+	p.Localize(3, true)
+	p.Write(3, 8, []byte{0xAA, 0xBB})
+	p.EvacuateAll()
+
+	_, fetched := p.Localize(3, false)
+	if !fetched {
+		t.Fatalf("Localize of evacuated object did not fetch")
+	}
+	if env.Counters.RemoteFetches != 1 || env.Counters.CriticalFetches != 1 {
+		t.Fatalf("fetch counters = %d/%d", env.Counters.RemoteFetches, env.Counters.CriticalFetches)
+	}
+
+	// Second localize: already present, no fetch, no extra cost.
+	before := env.Clock.Cycles()
+	_, fetched = p.Localize(3, false)
+	if fetched {
+		t.Fatalf("resident Localize fetched")
+	}
+	if env.Clock.Cycles() != before {
+		t.Fatalf("resident Localize charged cycles")
+	}
+	got := make([]byte, 2)
+	p.Read(3, 8, got)
+	if !bytes.Equal(got, []byte{0xAA, 0xBB}) {
+		t.Fatalf("Read = %v", got)
+	}
+}
+
+func TestEvictionWritesBackDirtyData(t *testing.T) {
+	// Budget of exactly 2 slots; touching a 3rd object must evict.
+	p, env, link := newTestPool(t, 64, 1<<16, 128)
+	p.Localize(0, true)
+	p.Write(0, 0, []byte{42})
+	p.Localize(1, false)
+	if p.LocalBytes() != 128 {
+		t.Fatalf("LocalBytes = %d", p.LocalBytes())
+	}
+	p.Localize(2, false) // evicts one of {0,1}
+	if p.LocalBytes() != 128 {
+		t.Fatalf("LocalBytes after eviction = %d", p.LocalBytes())
+	}
+	if env.Counters.Evacuations != 1 {
+		t.Fatalf("Evacuations = %d", env.Counters.Evacuations)
+	}
+	// Object 0 was dirty: if it was the victim, its data must be on the
+	// remote node and read back intact on re-localize.
+	if !p.Meta(0).Present() {
+		if link.RemoteKeys() != 1 {
+			t.Fatalf("dirty victim not pushed to remote")
+		}
+		p.Localize(0, false)
+		got := make([]byte, 1)
+		p.Read(0, 0, got)
+		if got[0] != 42 {
+			t.Fatalf("dirty data lost across eviction: %v", got)
+		}
+	}
+}
+
+func TestCleanEvictionSkipsWriteback(t *testing.T) {
+	p, env, _ := newTestPool(t, 64, 1<<16, 64) // one slot
+	p.Localize(0, false)                       // clean
+	before := env.Counters.BytesEvicted
+	p.Localize(1, false) // evicts 0
+	if env.Counters.BytesEvicted != before {
+		t.Fatalf("clean eviction pushed %d bytes", env.Counters.BytesEvicted-before)
+	}
+	if p.Meta(0).Present() {
+		t.Fatalf("object 0 still present")
+	}
+	m := p.Meta(0)
+	if m.RemoteID() != 0 || m.RemoteSize() != 64 {
+		t.Fatalf("remote meta fields wrong: id=%d size=%d", m.RemoteID(), m.RemoteSize())
+	}
+}
+
+func TestPinnedObjectsSurviveEviction(t *testing.T) {
+	p, _, _ := newTestPool(t, 64, 1<<16, 128) // two slots
+	p.Localize(0, false)
+	p.Pin(0)
+	p.Localize(1, false)
+	p.Localize(2, false) // must evict 1, not pinned 0
+	if !p.Meta(0).Present() {
+		t.Fatalf("pinned object was evicted")
+	}
+	if p.Meta(1).Present() {
+		t.Fatalf("unpinned object survived while pinned object should be protected")
+	}
+	p.Unpin(0)
+}
+
+func TestAllPinnedPanics(t *testing.T) {
+	p, _, _ := newTestPool(t, 64, 1<<16, 64) // one slot
+	p.Localize(0, false)
+	p.Pin(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Localize with all slots pinned did not panic")
+		}
+	}()
+	p.Localize(1, false)
+}
+
+func TestUnpinUnpinnedPanics(t *testing.T) {
+	p, _, _ := newTestPool(t, 64, 1<<16, 64)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Unpin of unpinned object did not panic")
+		}
+	}()
+	p.Unpin(7)
+}
+
+func TestHotnessSecondChance(t *testing.T) {
+	p, _, _ := newTestPool(t, 64, 1<<16, 128) // two slots
+	p.Localize(0, false)                      // hot
+	p.Localize(1, false)                      // hot
+	// Make object 0 cold (as a completed clock sweep would); object 1
+	// keeps its H bit. The next eviction must pick the cold object even
+	// though the clock hand reaches the hot one first.
+	p.Table()[0] &^= MetaH
+	p.Localize(2, false)
+	if !p.Meta(1).Present() {
+		t.Fatalf("hot object evicted before cold object")
+	}
+	if p.Meta(0).Present() {
+		t.Fatalf("cold object survived; nothing was evicted")
+	}
+}
+
+func TestPrefetchHitAvoidsCriticalFetch(t *testing.T) {
+	p, env, _ := newTestPool(t, 64, 1<<16, 1<<12)
+	p.Localize(5, true) // touch so the object has remote state after eviction
+	p.EvacuateAll()
+	env.Counters.Reset()
+	p.Prefetch(5)
+	if env.Counters.PrefetchIssued != 1 {
+		t.Fatalf("PrefetchIssued = %d", env.Counters.PrefetchIssued)
+	}
+	if !p.Meta(5).Prefetched() {
+		t.Fatalf("prefetched object lacks PF bit")
+	}
+	critBefore := env.Counters.CriticalFetches
+	_, fetched := p.Localize(5, false)
+	if fetched {
+		t.Fatalf("Localize after prefetch performed a blocking fetch")
+	}
+	if env.Counters.CriticalFetches != critBefore {
+		t.Fatalf("prefetch hit still counted as critical fetch")
+	}
+	if env.Counters.PrefetchHits != 1 {
+		t.Fatalf("PrefetchHits = %d", env.Counters.PrefetchHits)
+	}
+	if p.Meta(5).Prefetched() {
+		t.Fatalf("PF bit not cleared on demand access")
+	}
+}
+
+func TestPrefetchCheaperThanDemandFetch(t *testing.T) {
+	p, env, _ := newTestPool(t, 4096, 1<<20, 1<<16)
+	p.Localize(1, true)
+	p.Localize(2, true)
+	p.EvacuateAll()
+	env.Clock.Reset()
+	p.Prefetch(1)
+	prefetchCost := env.Clock.Cycles()
+	env.Clock.Reset()
+	p.Localize(2, false)
+	demandCost := env.Clock.Cycles()
+	if prefetchCost*3 > demandCost {
+		t.Fatalf("prefetch (%d cycles) should be far cheaper than demand fetch (%d)", prefetchCost, demandCost)
+	}
+}
+
+func TestAutoStridePrefetcher(t *testing.T) {
+	p, env, _ := newTestPool(t, 64, 1<<16, 1<<12, func(c *Config) {
+		c.AutoPrefetch = true
+		c.PrefetchDepth = 4
+	})
+	// Touch a range so it has remote state, evacuate, then three
+	// sequential demand misses arm the stride detector.
+	for id := ObjectID(10); id < 20; id++ {
+		p.Localize(id, true)
+	}
+	p.EvacuateAll()
+	env.Counters.Reset()
+	p.Localize(10, false)
+	p.Localize(11, false)
+	p.Localize(12, false)
+	if env.Counters.PrefetchIssued == 0 {
+		t.Fatalf("stride prefetcher never fired")
+	}
+	// The next objects in the stream should now be resident.
+	if !p.Meta(13).Present() {
+		t.Fatalf("object 13 not prefetched")
+	}
+	crit := env.Counters.CriticalFetches
+	p.Localize(13, false)
+	if env.Counters.CriticalFetches != crit {
+		t.Fatalf("prefetched object caused a critical fetch")
+	}
+}
+
+func TestStrideDetectorResetsOnRandomAccess(t *testing.T) {
+	p, env, _ := newTestPool(t, 64, 1<<16, 1<<12, func(c *Config) {
+		c.AutoPrefetch = true
+	})
+	for _, id := range []ObjectID{10, 50, 90} {
+		p.Localize(id, true)
+	}
+	p.EvacuateAll()
+	env.Counters.Reset()
+	p.Localize(10, false)
+	p.Localize(50, false)
+	p.Localize(90, false)
+	if env.Counters.PrefetchIssued != 0 {
+		t.Fatalf("random misses triggered %d prefetches", env.Counters.PrefetchIssued)
+	}
+}
+
+func TestFreeReleasesSlotAndRemote(t *testing.T) {
+	p, _, link := newTestPool(t, 64, 1<<16, 64)
+	p.Localize(0, true)
+	p.Write(0, 0, []byte{1})
+	p.Localize(1, false) // evict 0 (dirty -> pushed)
+	if link.RemoteKeys() != 1 {
+		t.Fatalf("remote keys = %d", link.RemoteKeys())
+	}
+	p.Free(0)
+	if link.RemoteKeys() != 0 {
+		t.Fatalf("Free left remote copy")
+	}
+	p.Free(1)
+	if p.LocalBytes() != 0 {
+		t.Fatalf("Free left local copy")
+	}
+	if p.Meta(1) != 0 {
+		t.Fatalf("Free left metadata %v", p.Meta(1))
+	}
+}
+
+func TestFreePinnedPanics(t *testing.T) {
+	p, _, _ := newTestPool(t, 64, 1<<16, 64)
+	p.Localize(0, false)
+	p.Pin(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Free of pinned object did not panic")
+		}
+	}()
+	p.Free(0)
+}
+
+func TestEvacuateAll(t *testing.T) {
+	p, _, _ := newTestPool(t, 64, 1<<16, 1<<12)
+	for id := ObjectID(0); id < 8; id++ {
+		p.Localize(id, true)
+	}
+	p.Pin(3)
+	p.EvacuateAll()
+	for id := ObjectID(0); id < 8; id++ {
+		if id == 3 {
+			if !p.Meta(id).Present() {
+				t.Fatalf("pinned object evacuated by EvacuateAll")
+			}
+			continue
+		}
+		if p.Meta(id).Present() {
+			t.Fatalf("object %d still present after EvacuateAll", id)
+		}
+	}
+	p.Unpin(3)
+}
+
+func TestLocalBudgetInvariantProperty(t *testing.T) {
+	p, _, _ := newTestPool(t, 64, 1<<20, 512) // 8 slots
+	rng := sim.NewRNG(99)
+	if err := quick.Check(func(steps []uint16) bool {
+		for _, s := range steps {
+			id := ObjectID(rng.Intn(int(p.NumObjects())))
+			p.Localize(id, s%2 == 0)
+			if p.LocalBytes() > 512 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDataIntegrityAcrossManyEvictions(t *testing.T) {
+	// 4 slots, 32 objects, random writes; every value must survive
+	// eviction round trips.
+	p, _, _ := newTestPool(t, 64, 1<<16, 256)
+	want := make(map[ObjectID]byte)
+	rng := sim.NewRNG(7)
+	for step := 0; step < 2000; step++ {
+		id := ObjectID(rng.Intn(32))
+		if rng.Intn(2) == 0 {
+			v := byte(rng.Intn(256))
+			p.Localize(id, true)
+			p.Write(id, 5, []byte{v})
+			want[id] = v
+		} else if v, ok := want[id]; ok {
+			p.Localize(id, false)
+			got := make([]byte, 1)
+			p.Read(id, 5, got)
+			if got[0] != v {
+				t.Fatalf("step %d: object %d byte = %d, want %d", step, id, got[0], v)
+			}
+		}
+	}
+}
+
+func TestReadNonResidentPanics(t *testing.T) {
+	p, _, _ := newTestPool(t, 64, 1<<16, 64)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Read of non-resident object did not panic")
+		}
+	}()
+	p.Read(0, 0, make([]byte, 1))
+}
+
+func TestTableIsSharedStorage(t *testing.T) {
+	p, _, _ := newTestPool(t, 64, 1<<16, 1<<12)
+	tbl := p.Table()
+	p.Localize(9, false)
+	if !tbl[9].Present() {
+		t.Fatalf("external table view not coherent with pool state")
+	}
+}

@@ -1,0 +1,45 @@
+package aifm
+
+// DerefScope pins objects for the duration of a dereference, reproducing
+// AIFM's scope API (Listing 1 in the paper): while a scope holds an object,
+// the evacuator's out-of-scope barrier cannot converge and the object stays
+// local. Scopes nest freely; Close releases every pin the scope acquired.
+//
+// The TrackFM slow-path guard opens a transient scope around each guarded
+// access; library-mode code (and the paper's AIFM comparator) opens one per
+// loop body, exactly as in Listing 1.
+type DerefScope struct {
+	pool   *Pool
+	pinned []ObjectID
+	closed bool
+}
+
+// NewScope opens a scope against pool and charges the scope-entry cost.
+func NewScope(pool *Pool) *DerefScope {
+	pool.env.Clock.Advance(pool.env.Costs.DerefScopeCost)
+	return &DerefScope{pool: pool}
+}
+
+// Deref localizes id, pins it for the scope's lifetime, and returns the
+// arena offset of the object's first byte.
+func (s *DerefScope) Deref(id ObjectID, forWrite bool) uint64 {
+	if s.closed {
+		panic("aifm: Deref on closed scope")
+	}
+	base, _ := s.pool.Localize(id, forWrite)
+	s.pool.Pin(id)
+	s.pinned = append(s.pinned, id)
+	return base
+}
+
+// Close releases all pins. Closing twice is a no-op.
+func (s *DerefScope) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, id := range s.pinned {
+		s.pool.Unpin(id)
+	}
+	s.pinned = nil
+}

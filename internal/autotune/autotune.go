@@ -1,0 +1,142 @@
+// Package autotune implements the object-size autotuning the paper
+// sketches in §3.2: "the small search space suggests that an autotuning
+// approach is feasible ... an exhaustive search involving recompilation
+// and a short-term execution would simply expand the short compile
+// times." The search space is exactly the paper's: powers of two from the
+// cache-line size (64 B) to the base page size (4 KB).
+//
+// For each candidate size the tuner rebuilds the program (compiler
+// annotations are per-object-size decisions), recompiles it with the full
+// pipeline, executes it against a TrackFM runtime under the deployment's
+// local-memory constraint, and picks the size with the fewest simulated
+// cycles.
+package autotune
+
+import (
+	"fmt"
+
+	"trackfm/internal/compiler"
+	"trackfm/internal/core"
+	"trackfm/internal/interp"
+	"trackfm/internal/ir"
+	"trackfm/internal/sim"
+)
+
+// SearchSpace is the paper's candidate set: 2^6 .. 2^12 bytes.
+var SearchSpace = []int{64, 128, 256, 512, 1024, 2048, 4096}
+
+// Config parameterizes a tuning run.
+type Config struct {
+	// Build returns a fresh copy of the program (required; the tuner
+	// compiles each candidate independently).
+	Build func() *ir.Program
+	// HeapSize and LocalBudget describe the target deployment.
+	HeapSize    uint64
+	LocalBudget uint64
+	// Sizes overrides the search space (default SearchSpace).
+	Sizes []int
+	// Chunking, Prefetch, O1 mirror compiler.Options (chunking defaults
+	// to the cost model, prefetch on).
+	Chunking compiler.ChunkMode
+	Prefetch bool
+	O1       bool
+	// Profile enables a profiling run per candidate so the cost model
+	// sees real trip counts.
+	Profile bool
+}
+
+// Trial records one candidate's outcome.
+type Trial struct {
+	ObjectSize int
+	Cycles     uint64
+	Guards     uint64
+	Fetches    uint64
+	BytesMoved uint64
+	Checksum   int64
+}
+
+// Result is the tuning outcome.
+type Result struct {
+	Best   int
+	Trials []Trial
+}
+
+// Run executes the search. Every trial must produce the same program
+// result; a mismatch is reported as an error (it would mean the runtime
+// miscompiles at some object size — the search doubles as a test).
+func Run(cfg Config) (*Result, error) {
+	if cfg.Build == nil {
+		return nil, fmt.Errorf("autotune: Config.Build is required")
+	}
+	if cfg.HeapSize == 0 || cfg.LocalBudget == 0 {
+		return nil, fmt.Errorf("autotune: HeapSize and LocalBudget are required")
+	}
+	sizes := cfg.Sizes
+	if len(sizes) == 0 {
+		sizes = SearchSpace
+	}
+	if cfg.Chunking == 0 && !cfg.Prefetch {
+		cfg.Chunking = compiler.ChunkCostModel
+		cfg.Prefetch = true
+	}
+
+	res := &Result{Best: -1}
+	var wantChecksum int64
+	var haveChecksum bool
+	var bestCycles uint64
+	for _, size := range sizes {
+		prog := cfg.Build()
+		opts := compiler.Options{
+			Chunking:   cfg.Chunking,
+			ObjectSize: size,
+			Prefetch:   cfg.Prefetch,
+			O1:         cfg.O1,
+		}
+		if cfg.Profile {
+			prof := compiler.NewProfile()
+			if _, err := interp.Run(prog, interp.NewLocalBackend(sim.NewEnv()), interp.Options{Profile: prof}); err != nil {
+				return nil, fmt.Errorf("autotune: profiling run: %w", err)
+			}
+			opts.Profile = prof
+		}
+		if _, err := compiler.Compile(prog, opts); err != nil {
+			return nil, fmt.Errorf("autotune: compile at %dB: %w", size, err)
+		}
+		env := sim.NewEnv()
+		budget := cfg.LocalBudget
+		if budget < uint64(size)*8 {
+			budget = uint64(size) * 8 // room for pinned chunks
+		}
+		rt, err := core.NewRuntime(core.Config{
+			Env: env, ObjectSize: size,
+			HeapSize: cfg.HeapSize, LocalBudget: budget,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("autotune: runtime at %dB: %w", size, err)
+		}
+		out, err := interp.Run(prog, interp.NewTrackFMBackend(rt), interp.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("autotune: run at %dB: %w", size, err)
+		}
+		if haveChecksum && out.Return != wantChecksum {
+			return nil, fmt.Errorf("autotune: result differs at %dB: %d vs %d",
+				size, out.Return, wantChecksum)
+		}
+		wantChecksum, haveChecksum = out.Return, true
+
+		tr := Trial{
+			ObjectSize: size,
+			Cycles:     env.Clock.Cycles(),
+			Guards:     env.Counters.Guards(),
+			Fetches:    env.Counters.RemoteFetches,
+			BytesMoved: env.Counters.BytesFetched,
+			Checksum:   out.Return,
+		}
+		res.Trials = append(res.Trials, tr)
+		if res.Best < 0 || tr.Cycles < bestCycles {
+			res.Best = size
+			bestCycles = tr.Cycles
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"trackfm/internal/compiler"
+	"trackfm/internal/ir"
+	"trackfm/internal/workloads/analytics"
+	"trackfm/internal/workloads/kmeans"
+	"trackfm/internal/workloads/nas"
+	"trackfm/internal/workloads/stream"
+)
+
+// Experiment is one regenerable table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() *Table
+}
+
+// Experiments lists every experiment in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"table1", "guard costs", Table1},
+		{"table2", "primitive overheads vs Fastswap", Table2},
+		{"table3", "NAS inventory", Table3},
+		{"table4", "comparison with prior work", Table4},
+		{"fig6", "cost-model crossover", Fig6},
+		{"fig7", "loop chunking on STREAM", Fig7},
+		{"fig8", "selective chunking on k-means", Fig8},
+		{"fig9", "object size on hashmap", Fig9},
+		{"fig10", "object size on STREAM", Fig10},
+		{"fig11", "prefetching on STREAM", Fig11},
+		{"fig12", "TrackFM vs Fastswap on STREAM", Fig12},
+		{"fig13", "I/O amplification on hashmap", Fig13},
+		{"fig14", "analytics vs Fastswap and AIFM", Fig14},
+		{"fig15", "chunking policies on analytics", Fig15},
+		{"fig16", "memcached vs Fastswap", Fig16},
+		{"fig17", "NAS benchmarks", Fig17},
+		{"compile", "compilation costs", CompileCosts},
+		{"ablation", "design ablations (extension)", Ablation},
+		{"autotune", "object-size autotuning (extension)", Autotune},
+		{"nasx", "NAS incl. EP/LU (extension)", NASExtended},
+	}
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, 0, len(Experiments()))
+	for _, e := range Experiments() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q (have %v)", id, ids)
+}
+
+// irWorkload names a buildable IR program for the compile-cost report.
+type irWorkload struct {
+	name  string
+	build func() *ir.Program
+	opts  func() compiler.Options
+}
+
+func irWorkloads(s Scale) []irWorkload {
+	std := func() compiler.Options {
+		return compiler.Options{Chunking: compiler.ChunkCostModel, ObjectSize: 4096, Prefetch: true}
+	}
+	ws := []irWorkload{
+		{"stream-sum", func() *ir.Program { return stream.Program(stream.Sum, s.n(1<<14)) }, std},
+		{"stream-copy", func() *ir.Program { return stream.Program(stream.Copy, s.n(1<<14)) }, std},
+		{"kmeans", func() *ir.Program { return kmeans.Program(kmeansConfig(s)) }, std},
+		{"analytics", func() *ir.Program { return analytics.Program(analyticsConfig(s)) }, std},
+	}
+	for _, b := range nas.All {
+		b := b
+		ws = append(ws, irWorkload{
+			"nas-" + b.String(),
+			func() *ir.Program { return nasProgram(b, s) },
+			std,
+		})
+	}
+	return ws
+}
+
+func mustCompileStats(prog *ir.Program, opts compiler.Options) *compiler.Stats {
+	stats, err := compiler.Compile(prog, opts)
+	if err != nil {
+		panic(fmt.Sprintf("bench: compile: %v", err))
+	}
+	return stats
+}

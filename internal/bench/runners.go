@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"fmt"
+
+	"trackfm/internal/compiler"
+	"trackfm/internal/core"
+	"trackfm/internal/fastswap"
+	"trackfm/internal/interp"
+	"trackfm/internal/ir"
+	"trackfm/internal/sim"
+)
+
+// Scale controls experiment sizing. Experiments multiply their default
+// problem sizes by Factor; Factor 1 targets a few seconds for the whole
+// suite. The benchmark CLI exposes it as -scale.
+type Scale struct {
+	Factor float64
+}
+
+// DefaultScale is the calibration every test and CLI default uses.
+var DefaultScale = Scale{Factor: 1.0}
+
+func (s Scale) n(base int64) int64 {
+	if s.Factor <= 0 {
+		return base
+	}
+	v := int64(float64(base) * s.Factor)
+	if v < 8 {
+		v = 8
+	}
+	return v
+}
+
+// localFractions is the local-memory sweep most figures share.
+var localFractions = []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+
+// newRuntime builds a TrackFM runtime or panics (experiment configs are
+// static, so failures are programming errors).
+func newRuntime(env *sim.Env, objSize int, heap, budget uint64, noPrefetch bool) *core.Runtime {
+	if budget < uint64(objSize) {
+		budget = uint64(objSize)
+	}
+	rt, err := core.NewRuntime(core.Config{
+		Env: env, ObjectSize: objSize, HeapSize: heap,
+		LocalBudget: budget, NoPrefetch: noPrefetch,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	return rt
+}
+
+// newSwap builds a Fastswap baseline or panics.
+func newSwap(env *sim.Env, heap, budget uint64) *fastswap.Swap {
+	if budget < 4096 {
+		budget = 4096
+	}
+	s, err := fastswap.New(fastswap.Config{Env: env, HeapSize: heap, LocalBudget: budget})
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	return s
+}
+
+// compiled compiles a fresh program with opts, panicking on error.
+func compiled(prog *ir.Program, opts compiler.Options) *ir.Program {
+	if _, err := compiler.Compile(prog, opts); err != nil {
+		panic(fmt.Sprintf("bench: compile: %v", err))
+	}
+	return prog
+}
+
+// runTrackFM executes prog on a TrackFM runtime and returns its env.
+func runTrackFM(prog *ir.Program, objSize int, heap, budget uint64, noPrefetch bool) *sim.Env {
+	env := sim.NewEnv()
+	rt := newRuntime(env, objSize, heap, budget, noPrefetch)
+	if _, err := interp.Run(prog, interp.NewTrackFMBackend(rt), interp.Options{}); err != nil {
+		panic(fmt.Sprintf("bench: trackfm run: %v", err))
+	}
+	return env
+}
+
+// runFastswap executes prog on the swap baseline and returns its env.
+func runFastswap(prog *ir.Program, heap, budget uint64) *sim.Env {
+	env := sim.NewEnv()
+	sw := newSwap(env, heap, budget)
+	if _, err := interp.Run(prog, interp.NewFastswapBackend(sw), interp.Options{}); err != nil {
+		panic(fmt.Sprintf("bench: fastswap run: %v", err))
+	}
+	return env
+}
+
+// runAIFM executes prog on the library-mode comparator.
+func runAIFM(prog *ir.Program, objSize int, heap, budget uint64) *sim.Env {
+	env := sim.NewEnv()
+	if budget < uint64(objSize) {
+		budget = uint64(objSize)
+	}
+	be, err := interp.NewAIFMBackend(interp.AIFMConfig{
+		Env: env, ObjectSize: objSize, HeapSize: heap, LocalBudget: budget,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	if _, err := interp.Run(prog, be, interp.Options{}); err != nil {
+		panic(fmt.Sprintf("bench: aifm run: %v", err))
+	}
+	return env
+}
+
+// runLocal executes prog entirely in local memory (the normalization
+// baseline of the slowdown figures).
+func runLocal(prog *ir.Program) *sim.Env {
+	env := sim.NewEnv()
+	if _, err := interp.Run(prog, interp.NewLocalBackend(env), interp.Options{}); err != nil {
+		panic(fmt.Sprintf("bench: local run: %v", err))
+	}
+	return env
+}
+
+// profileProgram runs prog once on the local backend collecting loop
+// coverage; the returned profile is tied to prog's loop nodes, so it must
+// be passed to a Compile of the same prog instance.
+func profileProgram(prog *ir.Program) *compiler.Profile {
+	prof := compiler.NewProfile()
+	if _, err := interp.Run(prog, interp.NewLocalBackend(sim.NewEnv()), interp.Options{Profile: prof}); err != nil {
+		panic(fmt.Sprintf("bench: profiling run: %v", err))
+	}
+	return prof
+}
+
+// budget computes fraction*workingSet, floored to eight pages/objects —
+// a run must always be able to hold the handful of chunks its active
+// cursors pin simultaneously (the paper's smallest configurations still
+// hold tens of thousands of pages).
+func budget(workingSet uint64, fraction float64) uint64 {
+	b := uint64(float64(workingSet) * fraction)
+	if b < 8*4096 {
+		b = 8 * 4096
+	}
+	return b
+}

@@ -1,0 +1,385 @@
+package compiler
+
+import (
+	"testing"
+
+	"trackfm/internal/ir"
+)
+
+// streamSum builds: a = malloc(n*8); for i { a[i] = i }; for j { s += a[j] }.
+func streamSum(n int64) *ir.Program {
+	p := ir.NewProgram()
+	p.AddFunc(ir.Fn("main", nil,
+		&ir.Malloc{Dst: "a", Size: ir.C(n * 8)},
+		ir.Let("sum", ir.C(0)),
+		ir.Loop("i", ir.C(0), ir.C(n),
+			ir.St(ir.Idx(ir.V("a"), ir.V("i"), 8), ir.V("i")),
+		),
+		ir.Loop("j", ir.C(0), ir.C(n),
+			ir.Let("sum", ir.Add(ir.V("sum"), ir.Ld(ir.Idx(ir.V("a"), ir.V("j"), 8)))),
+		),
+		&ir.Return{E: ir.V("sum")},
+	))
+	return p
+}
+
+func TestGuardAnalysisMarksHeapAccesses(t *testing.T) {
+	p := streamSum(100)
+	stats, err := Compile(p, Options{Chunking: ChunkNone})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if stats.GuardedAccesses != 2 {
+		t.Fatalf("GuardedAccesses = %d, want 2", stats.GuardedAccesses)
+	}
+	if stats.UnguardedAccesses != 0 {
+		t.Fatalf("UnguardedAccesses = %d", stats.UnguardedAccesses)
+	}
+	main := p.Funcs["main"]
+	st := main.Body[2].(*ir.For).Body[0].(*ir.Store)
+	if !st.Guarded {
+		t.Fatalf("heap store not guarded")
+	}
+}
+
+func TestGuardAnalysisIgnoresLocalAccesses(t *testing.T) {
+	// The pass must "ignore accesses to stack and global objects".
+	p := ir.NewProgram()
+	p.AddFunc(ir.Fn("main", nil,
+		&ir.LocalAlloc{Dst: "s", Size: ir.C(80)},
+		ir.Loop("i", ir.C(0), ir.C(10),
+			ir.St(ir.Idx(ir.V("s"), ir.V("i"), 8), ir.V("i")),
+		),
+		&ir.Return{E: ir.Ld(ir.V("s"))},
+	))
+	stats, err := Compile(p, Options{Chunking: ChunkNone})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if stats.GuardedAccesses != 0 {
+		t.Fatalf("GuardedAccesses = %d, want 0 for stack-only program", stats.GuardedAccesses)
+	}
+	if stats.UnguardedAccesses != 2 {
+		t.Fatalf("UnguardedAccesses = %d, want 2", stats.UnguardedAccesses)
+	}
+}
+
+func TestGuardAnalysisParamsConservative(t *testing.T) {
+	// Pointers can flow in from any caller: accesses through parameters
+	// must be guarded, with the run-time custody check deciding.
+	p := ir.NewProgram()
+	p.AddFunc(ir.Fn("main", nil,
+		&ir.Malloc{Dst: "a", Size: ir.C(64)},
+		&ir.Call{Dst: "x", Name: "deref", Args: []ir.Expr{ir.V("a")}},
+		&ir.Return{E: ir.V("x")},
+	))
+	p.AddFunc(ir.Fn("deref", []string{"p"},
+		&ir.Return{E: ir.Ld(ir.V("p"))},
+	))
+	stats, err := Compile(p, Options{Chunking: ChunkNone})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if stats.GuardedAccesses != 1 {
+		t.Fatalf("parameter deref not guarded: stats=%+v", stats)
+	}
+}
+
+func TestGuardAnalysisPointerArithmeticStaysHeap(t *testing.T) {
+	// Offset math (including integer casts — values are integers here)
+	// preserves heap provenance.
+	p := ir.NewProgram()
+	p.AddFunc(ir.Fn("main", nil,
+		&ir.Malloc{Dst: "a", Size: ir.C(64)},
+		ir.Let("q", ir.Add(ir.V("a"), ir.C(24))),
+		ir.St(ir.V("q"), ir.C(7)),
+	))
+	if _, err := Compile(p, Options{Chunking: ChunkNone}); err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if !p.Funcs["main"].Body[2].(*ir.Store).Guarded {
+		t.Fatalf("derived pointer store not guarded")
+	}
+}
+
+func TestChunkingMarksSequentialStreams(t *testing.T) {
+	p := streamSum(1 << 20)
+	stats, err := Compile(p, Options{Chunking: ChunkCostModel, ObjectSize: 4096, Prefetch: true})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if stats.StreamsChunked != 2 {
+		t.Fatalf("StreamsChunked = %d, want 2 (stats %+v)", stats.StreamsChunked, stats)
+	}
+	main := p.Funcs["main"]
+	writeLoop := main.Body[2].(*ir.For)
+	if !writeLoop.Chunked || len(writeLoop.StreamIDs) != 1 {
+		t.Fatalf("write loop not chunked: %+v", writeLoop)
+	}
+	st := writeLoop.Body[0].(*ir.Store)
+	if st.Chunk == nil || st.Chunk.Stride != 8 || !st.Chunk.Prefetch {
+		t.Fatalf("store chunk info = %+v", st.Chunk)
+	}
+}
+
+func TestChunkingCostModelRejectsShortLoops(t *testing.T) {
+	p := streamSum(16) // static trips = 16, far below crossover
+	stats, err := Compile(p, Options{Chunking: ChunkCostModel, ObjectSize: 4096})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if stats.StreamsChunked != 0 {
+		t.Fatalf("cost model chunked a 16-trip loop")
+	}
+	if stats.StreamsRejected != 2 {
+		t.Fatalf("StreamsRejected = %d, want 2", stats.StreamsRejected)
+	}
+}
+
+func TestChunkAllIgnoresCostModel(t *testing.T) {
+	p := streamSum(16)
+	stats, err := Compile(p, Options{Chunking: ChunkAll, ObjectSize: 4096})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if stats.StreamsChunked != 2 {
+		t.Fatalf("ChunkAll chunked %d streams, want 2", stats.StreamsChunked)
+	}
+}
+
+func TestChunkingUsesProfileTrips(t *testing.T) {
+	// Limit is a variable: static analysis cannot see the trip count.
+	build := func() *ir.Program {
+		p := ir.NewProgram()
+		p.AddFunc(ir.Fn("main", nil,
+			&ir.Malloc{Dst: "a", Size: ir.C(8192 * 8)},
+			ir.Let("n", ir.C(16)),
+			ir.Loop("i", ir.C(0), ir.V("n"),
+				ir.St(ir.Idx(ir.V("a"), ir.V("i"), 8), ir.V("i")),
+			),
+		))
+		return p
+	}
+
+	// Without a profile, the unknown-trip loop is assumed hot: chunked.
+	p1 := build()
+	s1, err := Compile(p1, Options{Chunking: ChunkCostModel, ObjectSize: 4096})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if s1.StreamsChunked != 1 {
+		t.Fatalf("unknown-trip loop not chunked without profile: %+v", s1)
+	}
+
+	// With a profile showing 16 trips/entry, the cost model rejects it.
+	p2 := build()
+	prof := NewProfile()
+	loop := p2.Funcs["main"].Body[2].(*ir.For)
+	prof.RecordEntry(loop)
+	prof.RecordTrips(loop, 16)
+	s2, err := Compile(p2, Options{Chunking: ChunkCostModel, ObjectSize: 4096, Profile: prof})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if s2.StreamsChunked != 0 {
+		t.Fatalf("profile-informed cost model chunked a cold loop: %+v", s2)
+	}
+}
+
+func TestChunkingNestedLoopOuterIV(t *testing.T) {
+	// a[i] accessed inside a j-loop: invariant in j, linear in i -> the
+	// stream must chunk at the OUTER loop.
+	p := ir.NewProgram()
+	p.AddFunc(ir.Fn("main", nil,
+		&ir.Malloc{Dst: "a", Size: ir.C(1 << 20)},
+		ir.Loop("i", ir.C(0), ir.C(100000),
+			ir.Loop("j", ir.C(0), ir.C(4),
+				ir.Let("x", ir.Ld(ir.Idx(ir.V("a"), ir.V("i"), 8))),
+			),
+		),
+	))
+	if _, err := Compile(p, Options{Chunking: ChunkAll, ObjectSize: 4096}); err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	outer := p.Funcs["main"].Body[1].(*ir.For)
+	inner := outer.Body[0].(*ir.For)
+	if !outer.Chunked || len(outer.StreamIDs) != 1 {
+		t.Fatalf("outer loop should own the stream")
+	}
+	if inner.Chunked {
+		t.Fatalf("inner loop wrongly owns the stream")
+	}
+}
+
+func TestChunkingRejectsNonLinearAddresses(t *testing.T) {
+	// a[b[i]] (gather): the address is not linear in i.
+	p := ir.NewProgram()
+	p.AddFunc(ir.Fn("main", nil,
+		&ir.Malloc{Dst: "a", Size: ir.C(1 << 16)},
+		&ir.Malloc{Dst: "b", Size: ir.C(1 << 16)},
+		ir.Loop("i", ir.C(0), ir.C(1000),
+			ir.Let("x", ir.Ld(ir.Idx(ir.V("a"), ir.Ld(ir.Idx(ir.V("b"), ir.V("i"), 8)), 8))),
+		),
+	))
+	stats, err := Compile(p, Options{Chunking: ChunkAll, ObjectSize: 4096})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	// Only the inner b[i] load is a linear stream; the gather must not
+	// be chunked (correctness would still hold, but the analysis should
+	// not claim a stride).
+	load := p.Funcs["main"].Body[2].(*ir.For).Body[0].(*ir.Assign).E.(*ir.Load)
+	if load.Chunk != nil {
+		t.Fatalf("gather access was chunked")
+	}
+	if stats.StreamsChunked != 1 {
+		t.Fatalf("StreamsChunked = %d, want 1 (just b[i])", stats.StreamsChunked)
+	}
+}
+
+func TestStrideOfPatterns(t *testing.T) {
+	mut := map[string]bool{"i": true}
+	cases := []struct {
+		e      ir.Expr
+		stride int64
+		ok     bool
+	}{
+		{ir.Idx(ir.V("a"), ir.V("i"), 8), 8, true},
+		{ir.Add(ir.V("a"), ir.V("i")), 1, true},
+		{ir.Add(ir.V("a"), ir.Mul(ir.Add(ir.Mul(ir.V("row"), ir.C(64)), ir.V("i")), ir.C(8))), 8, true},
+		{ir.B(ir.OpShl, ir.V("i"), ir.C(3)), 8, true},
+		{ir.Add(ir.V("a"), ir.Mul(ir.V("i"), ir.V("n"))), 0, false}, // unknown coefficient
+		{ir.Ld(ir.V("a")), 0, false},
+		{ir.V("a"), 0, true},
+		{ir.Sub(ir.Mul(ir.V("i"), ir.C(16)), ir.Mul(ir.V("i"), ir.C(8))), 8, true},
+	}
+	none := map[string]bool{}
+	for k, c := range cases {
+		stride, ok := strideOf(c.e, "i", mut, none, nil, 0)
+		if ok != c.ok || (ok && stride != c.stride) {
+			t.Errorf("case %d: strideOf = (%d, %v), want (%d, %v)", k, stride, ok, c.stride, c.ok)
+		}
+	}
+	// A variable mutated in the loop defeats linearity.
+	if _, ok := strideOf(ir.Add(ir.V("a"), ir.V("x")), "i", map[string]bool{"x": true}, none, nil, 0); ok {
+		t.Errorf("mutated variable accepted as invariant")
+	}
+	// A nested loop IV is a bounded offset: a[(i*64 + j)*8] is a
+	// stride-512 stream of the outer IV.
+	addr := ir.Add(ir.V("a"), ir.Mul(ir.Add(ir.Mul(ir.V("i"), ir.C(64)), ir.V("j")), ir.C(8)))
+	stride, ok := strideOf(addr, "i", map[string]bool{"j": true}, map[string]bool{"j": true}, nil, 0)
+	if !ok || stride != 512 {
+		t.Errorf("row-major outer stride = (%d, %v), want (512, true)", stride, ok)
+	}
+}
+
+func TestO1EliminatesRedundantLoads(t *testing.T) {
+	// x = a[i] + a[i]: the second load folds onto the first.
+	p := ir.NewProgram()
+	addr := func() ir.Expr { return ir.Idx(ir.V("a"), ir.V("i"), 8) }
+	p.AddFunc(ir.Fn("main", nil,
+		&ir.Malloc{Dst: "a", Size: ir.C(1 << 12)},
+		ir.Loop("i", ir.C(0), ir.C(8),
+			ir.Let("x", ir.Add(ir.Ld(addr()), ir.Ld(addr()))),
+		),
+	))
+	stats, err := Compile(p, Options{Chunking: ChunkNone, O1: true})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if stats.LoadsEliminated != 1 {
+		t.Fatalf("LoadsEliminated = %d, want 1", stats.LoadsEliminated)
+	}
+	if stats.MemAccessesBefore != 2 || stats.MemAccessesAfter != 1 {
+		t.Fatalf("mem accesses %d -> %d, want 2 -> 1", stats.MemAccessesBefore, stats.MemAccessesAfter)
+	}
+}
+
+func TestO1StoreInvalidatesLoads(t *testing.T) {
+	// x = a[i]; a[i] = 0; y = a[i]  -- the reload must survive.
+	p := ir.NewProgram()
+	addr := func() ir.Expr { return ir.Idx(ir.V("a"), ir.V("i"), 8) }
+	p.AddFunc(ir.Fn("main", nil,
+		&ir.Malloc{Dst: "a", Size: ir.C(1 << 12)},
+		ir.Let("i", ir.C(3)),
+		ir.Let("x", ir.Ld(addr())),
+		ir.St(addr(), ir.C(0)),
+		ir.Let("y", ir.Ld(addr())),
+	))
+	stats, err := Compile(p, Options{Chunking: ChunkNone, O1: true})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if stats.LoadsEliminated != 0 {
+		t.Fatalf("O1 removed a load across a store")
+	}
+}
+
+func TestO1VarAssignInvalidates(t *testing.T) {
+	// x = a[i]; i = i+1; y = a[i]  -- different addresses.
+	p := ir.NewProgram()
+	addr := func() ir.Expr { return ir.Idx(ir.V("a"), ir.V("i"), 8) }
+	p.AddFunc(ir.Fn("main", nil,
+		&ir.Malloc{Dst: "a", Size: ir.C(1 << 12)},
+		ir.Let("i", ir.C(0)),
+		ir.Let("x", ir.Ld(addr())),
+		ir.Let("i", ir.Add(ir.V("i"), ir.C(1))),
+		ir.Let("y", ir.Ld(addr())),
+	))
+	stats, err := Compile(p, Options{Chunking: ChunkNone, O1: true})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if stats.LoadsEliminated != 0 {
+		t.Fatalf("O1 removed a load across an IV update")
+	}
+}
+
+func TestCompileStats(t *testing.T) {
+	p := streamSum(1 << 20)
+	stats, err := Compile(p, Options{Chunking: ChunkNone})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if stats.AllocSitesTransformed != 1 {
+		t.Fatalf("AllocSitesTransformed = %d", stats.AllocSitesTransformed)
+	}
+	if !p.RuntimeInit {
+		t.Fatalf("runtime init pass did not run")
+	}
+	// §4.6: code size grows with guard expansion; with 2 guarded
+	// accesses in a small program the factor must be > 1 and sane.
+	if stats.CodeSizeFactor <= 1.0 || stats.CodeSizeFactor > 5.0 {
+		t.Fatalf("CodeSizeFactor = %v", stats.CodeSizeFactor)
+	}
+	if stats.CompileTime <= 0 {
+		t.Fatalf("CompileTime not measured")
+	}
+	if stats.String() == "" {
+		t.Fatalf("Stats.String empty")
+	}
+}
+
+func TestCompileTwiceRejected(t *testing.T) {
+	p := streamSum(8)
+	if _, err := Compile(p, Options{}); err != nil {
+		t.Fatalf("first Compile: %v", err)
+	}
+	if _, err := Compile(p, Options{}); err == nil {
+		t.Fatalf("second Compile accepted")
+	}
+}
+
+func TestCompileMissingMain(t *testing.T) {
+	p := ir.NewProgram()
+	if _, err := Compile(p, Options{}); err == nil {
+		t.Fatalf("Compile without main accepted")
+	}
+}
+
+func TestChunkModeString(t *testing.T) {
+	if ChunkNone.String() != "none" || ChunkAll.String() != "all-loops" ||
+		ChunkCostModel.String() != "cost-model" || ChunkMode(9).String() != "unknown" {
+		t.Fatalf("ChunkMode strings broken")
+	}
+}

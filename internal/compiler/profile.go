@@ -1,0 +1,63 @@
+package compiler
+
+import "trackfm/internal/ir"
+
+// Profile holds the loop coverage statistics the profiling pass collects
+// (§3.4: "we leverage NOELLE's profiling engine to collect loop code
+// coverage statistics"). The interpreter's profiling backend populates it
+// during a training run; the chunking analysis then filters low-density /
+// low-trip loops without source modifications.
+type Profile struct {
+	// Entries counts how many times each loop was entered.
+	Entries map[*ir.For]uint64
+	// Trips counts total iterations executed per loop.
+	Trips map[*ir.For]uint64
+	// AllocBytes records total bytes allocated per malloc site.
+	AllocBytes map[*ir.Malloc]uint64
+	// AllocAccesses counts memory accesses landing in each site's
+	// allocations (the access-frequency signal MaPHeA-style heap
+	// placement uses, §5).
+	AllocAccesses map[*ir.Malloc]uint64
+}
+
+// NewProfile returns an empty profile.
+func NewProfile() *Profile {
+	return &Profile{
+		Entries:       make(map[*ir.For]uint64),
+		Trips:         make(map[*ir.For]uint64),
+		AllocBytes:    make(map[*ir.Malloc]uint64),
+		AllocAccesses: make(map[*ir.Malloc]uint64),
+	}
+}
+
+// RecordEntry notes one entry of l.
+func (p *Profile) RecordEntry(l *ir.For) { p.Entries[l]++ }
+
+// RecordTrips adds n executed iterations of l.
+func (p *Profile) RecordTrips(l *ir.For, n uint64) { p.Trips[l] += n }
+
+// AvgTrips reports the mean iterations per entry for l, false if l was
+// never entered during profiling.
+func (p *Profile) AvgTrips(l *ir.For) (uint64, bool) {
+	e := p.Entries[l]
+	if e == 0 {
+		return 0, false
+	}
+	return p.Trips[l] / e, true
+}
+
+// RecordAlloc notes that site allocated n bytes.
+func (p *Profile) RecordAlloc(site *ir.Malloc, n uint64) { p.AllocBytes[site] += n }
+
+// RecordAllocAccess attributes one memory access to site.
+func (p *Profile) RecordAllocAccess(site *ir.Malloc) { p.AllocAccesses[site]++ }
+
+// AccessesPerWord reports site's access density: accesses divided by
+// allocated 8-byte words, the pruning pass's hotness metric.
+func (p *Profile) AccessesPerWord(site *ir.Malloc) float64 {
+	b := p.AllocBytes[site]
+	if b == 0 {
+		return 0
+	}
+	return float64(p.AllocAccesses[site]) / (float64(b) / 8)
+}

@@ -1,0 +1,141 @@
+// Package compiler implements TrackFM's analysis and transformation
+// pipeline (Figure 2 of the paper) over the mini-IR of package ir:
+//
+//	runtime initialization -> guard-check analysis -> loop-chunking
+//	analysis -> loop-chunking transform -> libc transformation
+//
+// plus the O1-style pre-optimization of §4.5 and the profiling support of
+// §3.4. The pipeline annotates the program in place; backends in package
+// interp execute the annotated program against the TrackFM, Fastswap, or
+// local-only runtimes.
+package compiler
+
+import "trackfm/internal/ir"
+
+// Provenance is the lattice the guard-check analysis computes per
+// variable: whether it may hold a pointer into the far heap.
+type Provenance int
+
+const (
+	// ProvLocal values provably never hold heap pointers (constants,
+	// stack/global addresses, arithmetic over such values).
+	ProvLocal Provenance = iota
+	// ProvHeap values derive from a Malloc result.
+	ProvHeap
+	// ProvUnknown values may or may not be heap pointers (loaded from
+	// memory, returned by calls, or received as parameters). Accesses
+	// through them must be guarded; the custody check sorts it out at
+	// run time — exactly the paper's design.
+	ProvUnknown
+)
+
+func join(a, b Provenance) Provenance {
+	if a == b {
+		return a
+	}
+	if a == ProvHeap || b == ProvHeap {
+		return ProvHeap
+	}
+	return ProvUnknown
+}
+
+// needsGuard reports whether an access through a value of this provenance
+// requires a guard.
+func (p Provenance) needsGuard() bool { return p != ProvLocal }
+
+// analyzeProvenance computes a fixpoint of variable provenance for f.
+// It stands in for the alias analyses behind NOELLE's program dependence
+// graph: it lets the pass "ignore accesses to stack and global objects".
+func analyzeProvenance(f *ir.Func) map[string]Provenance {
+	prov := make(map[string]Provenance)
+	for _, p := range f.Params {
+		prov[p] = ProvUnknown // pointers may flow in from any caller
+	}
+	for changed := true; changed; {
+		changed = false
+		set := func(name string, p Provenance) {
+			old, ok := prov[name]
+			if !ok {
+				prov[name] = p
+				changed = true
+				return
+			}
+			np := join(old, p)
+			if np != old {
+				prov[name] = np
+				changed = true
+			}
+		}
+		ir.VisitStmts(f.Body, func(s ir.Stmt) {
+			switch n := s.(type) {
+			case *ir.Assign:
+				set(n.Name, exprProvenance(n.E, prov))
+			case *ir.Malloc:
+				if n.PinLocal {
+					set(n.Dst, ProvLocal)
+				} else {
+					set(n.Dst, ProvHeap)
+				}
+			case *ir.LocalAlloc:
+				set(n.Dst, ProvLocal)
+			case *ir.For:
+				set(n.IV, ProvLocal)
+			case *ir.Call:
+				if n.Dst != "" {
+					set(n.Dst, ProvUnknown)
+				}
+			}
+		}, nil)
+	}
+	return prov
+}
+
+func exprProvenance(e ir.Expr, prov map[string]Provenance) Provenance {
+	switch n := e.(type) {
+	case *ir.Const:
+		return ProvLocal
+	case *ir.Var:
+		if p, ok := prov[n.Name]; ok {
+			return p
+		}
+		return ProvLocal // never assigned: zero value
+	case *ir.Bin:
+		return join(exprProvenance(n.L, prov), exprProvenance(n.R, prov))
+	case *ir.Load:
+		// A value read from memory may be a pointer somebody stored
+		// there; only the run-time custody check can classify it.
+		return ProvUnknown
+	default:
+		return ProvUnknown
+	}
+}
+
+// guardAnalysis marks every Load/Store whose address may reference the
+// heap as Guarded, and leaves provably-local accesses untouched. Returns
+// (guarded, unguarded) static counts.
+func guardAnalysis(f *ir.Func) (guarded, unguarded int) {
+	prov := analyzeProvenance(f)
+	mark := func(addr ir.Expr) bool {
+		return exprProvenance(addr, prov).needsGuard()
+	}
+	ir.VisitStmts(f.Body, func(s ir.Stmt) {
+		if st, ok := s.(*ir.Store); ok {
+			st.Guarded = mark(st.Addr)
+			if st.Guarded {
+				guarded++
+			} else {
+				unguarded++
+			}
+		}
+	}, func(e ir.Expr) {
+		if ld, ok := e.(*ir.Load); ok {
+			ld.Guarded = mark(ld.Addr)
+			if ld.Guarded {
+				guarded++
+			} else {
+				unguarded++
+			}
+		}
+	})
+	return guarded, unguarded
+}

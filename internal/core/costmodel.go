@@ -1,0 +1,103 @@
+package core
+
+import "trackfm/internal/sim"
+
+// The loop-chunking cost model of §3.4. The compiler must decide, per
+// loop, whether replacing fast-path guards with boundary checks pays for
+// the more expensive chunk machinery. Let
+//
+//	o   = object size, e = element size, d = o/e   (object density)
+//	c_f = fast-path guard cost      c_b = boundary check cost
+//	c_s = slow-path guard cost      c_l = locality-invariant guard cost
+//
+// Per object traversed, the naive transformation costs
+//
+//	C     = (d-1)·c_f + c_s                        (Eq. 1)
+//
+// and the chunked loop costs
+//
+//	C_opt = (d-1)·c_b + c_l                        (Eq. 2)
+//
+// so chunking pays (for long loops, where the one-time tfm_init cost
+// amortizes away) iff
+//
+//	d > (c_s - c_l) / (c_b - c_f)                  (Eq. 3)
+//
+// Short loops additionally pay the tfm_init runtime call on every loop
+// entry; ChunkingProfitable accounts for it, which is what makes the
+// compiler reject k-means' low-trip-count nested loops (Fig. 8) and
+// places the empirical crossover of Fig. 6 at ~730 elements.
+
+// ObjectDensity returns d = objectSize / elemSize, the number of elements
+// that fit in one object (minimum 1).
+func ObjectDensity(objectSize, elemSize int) int {
+	if elemSize <= 0 || elemSize >= objectSize {
+		return 1
+	}
+	return objectSize / elemSize
+}
+
+// NaiveLoopCost is Eq. 1: guard cycles per object traversed with the
+// standard per-access guards.
+func NaiveLoopCost(costs *sim.CostModel, density int) float64 {
+	return float64(density-1)*float64(costs.FastGuardReadCached) + float64(costs.SlowGuardReadCached)
+}
+
+// ChunkedLoopCost is Eq. 2: guard cycles per object traversed with the
+// loop-chunking transformation (excluding the amortized tfm_init).
+func ChunkedLoopCost(costs *sim.CostModel, density int) float64 {
+	return float64(density-1)*float64(costs.BoundaryCheck) + float64(costs.LocalityInvariantPin)
+}
+
+// DensityThreshold is the right-hand side of Eq. 3: the object density
+// above which chunking wins once tfm_init has amortized.
+func DensityThreshold(costs *sim.CostModel) float64 {
+	cf := float64(costs.FastGuardReadCached)
+	cb := float64(costs.BoundaryCheck)
+	cs := float64(costs.SlowGuardReadCached)
+	cl := float64(costs.LocalityInvariantPin)
+	return (cs - cl) / (cb - cf)
+}
+
+// CrossoverElements predicts the Fig. 6 break-even point: the iteration
+// count at which a loop confined to a single object starts to benefit
+// from chunking, with the tfm_init cost included. With the default cost
+// model this lands at ~730 elements, matching the paper's empirical plot.
+func CrossoverElements(costs *sim.CostModel) float64 {
+	cf := float64(costs.FastGuardReadCached)
+	cb := float64(costs.BoundaryCheck)
+	cs := float64(costs.SlowGuardReadCached)
+	cl := float64(costs.LocalityInvariantPin)
+	return (float64(costs.ChunkInit) + cl - cs) / (cf - cb)
+}
+
+// LoopGuardEstimate predicts total guard cycles for a loop executing
+// `trips` accesses over elements of elemSize bytes.
+type LoopGuardEstimate struct {
+	Naive   float64
+	Chunked float64
+}
+
+// EstimateLoop evaluates both transformations for one loop execution.
+func EstimateLoop(costs *sim.CostModel, trips uint64, elemSize, objectSize int) LoopGuardEstimate {
+	d := ObjectDensity(objectSize, elemSize)
+	objects := float64(trips) / float64(d)
+	if objects < 1 {
+		objects = 1
+	}
+	return LoopGuardEstimate{
+		Naive: float64(trips)*float64(costs.FastGuardReadCached) +
+			objects*float64(costs.SlowGuardReadCached),
+		Chunked: float64(costs.ChunkInit) +
+			float64(trips)*float64(costs.BoundaryCheck) +
+			objects*float64(costs.LocalityInvariantPin),
+	}
+}
+
+// ChunkingProfitable is the compiler's decision rule: apply the
+// loop-chunking transformation iff the chunked estimate beats the naive
+// one for the loop's (profiled or statically known) trip count.
+func ChunkingProfitable(costs *sim.CostModel, trips uint64, elemSize, objectSize int) bool {
+	est := EstimateLoop(costs, trips, elemSize, objectSize)
+	return est.Chunked < est.Naive
+}

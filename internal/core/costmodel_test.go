@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"trackfm/internal/sim"
+)
+
+func TestObjectDensity(t *testing.T) {
+	if d := ObjectDensity(4096, 8); d != 512 {
+		t.Fatalf("density(4096,8) = %d", d)
+	}
+	if d := ObjectDensity(64, 128); d != 1 {
+		t.Fatalf("oversized element density = %d, want 1", d)
+	}
+	if d := ObjectDensity(64, 0); d != 1 {
+		t.Fatalf("zero element density = %d, want 1", d)
+	}
+}
+
+func TestEquations1And2(t *testing.T) {
+	costs := sim.DefaultCosts()
+	// Eq. 1: (d-1)*c_f + c_s with d=512.
+	if got := NaiveLoopCost(&costs, 512); got != 511*21+144 {
+		t.Fatalf("Eq.1 = %v", got)
+	}
+	// Eq. 2: (d-1)*c_b + c_l.
+	if got := ChunkedLoopCost(&costs, 512); got != 511*1+180 {
+		t.Fatalf("Eq.2 = %v", got)
+	}
+}
+
+func TestDensityThresholdEq3(t *testing.T) {
+	costs := sim.DefaultCosts()
+	// (c_s - c_l)/(c_b - c_f) = (144-180)/(1-21) = 1.8: once tfm_init
+	// amortizes, chunking pays for any density above ~2.
+	got := DensityThreshold(&costs)
+	if math.Abs(got-1.8) > 1e-9 {
+		t.Fatalf("Eq.3 threshold = %v, want 1.8", got)
+	}
+}
+
+func TestCrossoverMatchesPaperFig6(t *testing.T) {
+	costs := sim.DefaultCosts()
+	// The paper's empirical break-even: ~730 elements per object.
+	got := CrossoverElements(&costs)
+	if got < 700 || got > 760 {
+		t.Fatalf("crossover = %v elements, want ~730", got)
+	}
+}
+
+func TestChunkingProfitableLongLoops(t *testing.T) {
+	costs := sim.DefaultCosts()
+	// STREAM shape: millions of trips, 8B elements, 4KB objects.
+	if !ChunkingProfitable(&costs, 1_000_000, 8, 4096) {
+		t.Fatalf("chunking rejected for STREAM-shaped loop")
+	}
+}
+
+func TestChunkingRejectedForShortLoops(t *testing.T) {
+	costs := sim.DefaultCosts()
+	// k-means inner-loop shape: a handful of trips per entry.
+	if ChunkingProfitable(&costs, 16, 8, 4096) {
+		t.Fatalf("chunking accepted for 16-trip loop")
+	}
+	if ChunkingProfitable(&costs, 512, 8, 4096) {
+		t.Fatalf("chunking accepted below the ~730-element crossover")
+	}
+	if !ChunkingProfitable(&costs, 800, 8, 4096) {
+		t.Fatalf("chunking rejected above the ~730-element crossover")
+	}
+}
+
+func TestEstimateLoopConsistentWithDecision(t *testing.T) {
+	costs := sim.DefaultCosts()
+	for _, trips := range []uint64{1, 10, 100, 730, 10_000, 1 << 20} {
+		est := EstimateLoop(&costs, trips, 8, 4096)
+		if ChunkingProfitable(&costs, trips, 8, 4096) != (est.Chunked < est.Naive) {
+			t.Fatalf("decision inconsistent with estimate at trips=%d", trips)
+		}
+	}
+}
+
+func TestCostModelAgreesWithMeasuredCursor(t *testing.T) {
+	// The model's predicted winner must match the simulated winner on
+	// both sides of the crossover (the Fig. 6 validation).
+	for _, tc := range []struct {
+		trips uint64
+		want  bool // chunking should win
+	}{
+		{64, false},
+		{8192, true},
+	} {
+		rt := newTestRuntime(t, 4096, 1<<24, 1<<24)
+		p := rt.MustMalloc(tc.trips * 8)
+		for i := uint64(0); i < tc.trips; i++ {
+			rt.StoreU64(p.Add(i*8), 1)
+		}
+		env := rt.Env()
+
+		env.Clock.Reset()
+		for i := uint64(0); i < tc.trips; i++ {
+			rt.LoadU64(p.Add(i * 8))
+		}
+		naive := env.Clock.Cycles()
+
+		env.Clock.Reset()
+		cur := rt.NewCursor(p, 8, false)
+		for i := uint64(0); i < tc.trips; i++ {
+			cur.LoadU64(i)
+		}
+		cur.Close()
+		chunked := env.Clock.Cycles()
+
+		measured := chunked < naive
+		if measured != tc.want {
+			t.Errorf("trips=%d: measured winner chunked=%v, want %v (naive=%d chunked=%d)",
+				tc.trips, measured, tc.want, naive, chunked)
+		}
+		predicted := ChunkingProfitable(&env.Costs, tc.trips, 8, 4096)
+		if predicted != tc.want {
+			t.Errorf("trips=%d: model predicts chunked=%v, want %v", tc.trips, predicted, tc.want)
+		}
+	}
+}

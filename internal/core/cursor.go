@@ -1,0 +1,149 @@
+package core
+
+import (
+	"encoding/binary"
+
+	"trackfm/internal/aifm"
+)
+
+// Cursor is the runtime half of the loop-chunking transformation (§3.4,
+// Figure 5). The compiler rewrites a guarded loop
+//
+//	for i := 0; i < N; i++ { sum += GUARD(a[i]) }
+//
+// into
+//
+//	cur := rt.NewCursor(a, elemSize, prefetch)   // tfm_init + tfm_rw
+//	for i := 0; i < N; i++ {
+//	    sum += cur.LoadU64(i)   // boundary check; locality guard on crossing
+//	}
+//	cur.Close()
+//
+// Within an object the per-access cost drops from a 14-instruction
+// fast-path guard to a 3-instruction boundary check; crossing an object
+// boundary pays the locality-invariant guard, which pins the new object in
+// local memory for the duration of the chunk (so the evacuator cannot
+// delocalize mid-chunk) and optionally prefetches the objects ahead.
+type Cursor struct {
+	rt       *Runtime
+	base     Ptr
+	elemSize uint64
+	write    bool
+
+	obj    aifm.ObjectID
+	pinned bool
+
+	prefetch bool
+	closed   bool
+}
+
+// NewCursor performs the tfm_init runtime call for a chunked loop over
+// elements of elemSize bytes starting at base. prefetch enables
+// compiler-directed stride prefetch at boundary crossings. The caller must
+// Close the cursor when the loop exits so the pinned chunk is released.
+func (r *Runtime) NewCursor(base Ptr, elemSize int, prefetch bool) *Cursor {
+	checkManaged(base, "NewCursor")
+	r.env.Clock.Advance(r.env.Costs.ChunkInit)
+	r.env.Counters.ChunkInits++
+	return &Cursor{
+		rt:       r,
+		base:     base,
+		elemSize: uint64(elemSize),
+		prefetch: prefetch && !r.noPrefetch,
+	}
+}
+
+// ensure runs the per-iteration boundary check and, when the access at
+// heap offset off crosses into a new object, the locality-invariant guard.
+func (c *Cursor) ensure(off uint64, write bool) aifm.ObjectID {
+	r := c.rt
+	r.env.Clock.Advance(r.env.Costs.BoundaryCheck)
+	r.env.Counters.BoundaryChecks++
+	id := aifm.ObjectID(off >> r.shift)
+	if c.pinned && id == c.obj {
+		if write && !r.ost[id].Dirty() {
+			r.pool.Localize(id, true) // set the dirty bit once
+		}
+		return id
+	}
+	// Object boundary crossed: locality-invariant guard.
+	if c.pinned {
+		r.pool.Unpin(c.obj)
+	}
+	r.env.Clock.Advance(r.env.Costs.LocalityInvariantPin)
+	r.env.Counters.LocalityGuards++
+	r.pool.Localize(id, write)
+	r.pool.Pin(id)
+	c.obj, c.pinned = id, true
+	if c.prefetch {
+		for k := 1; k <= r.prefetchDepth; k++ {
+			r.pool.Prefetch(id + aifm.ObjectID(k))
+		}
+	}
+	return id
+}
+
+// Access moves len(buf) bytes between buf and element i of the chunked
+// array (byte offset i*elemSize from the cursor base).
+func (c *Cursor) Access(i uint64, buf []byte, write bool) {
+	c.AccessAt(i*c.elemSize, buf, write)
+}
+
+// AccessAt moves len(buf) bytes at byte offset byteOff from the cursor
+// base — the form the compiler emits for records accessed at intra-element
+// offsets (e.g. struct fields within a strided stream). Accesses that
+// straddle an object boundary fall back to a regular guarded access; the
+// transformation only elides guards for accesses it can prove stay within
+// the pinned chunk.
+func (c *Cursor) AccessAt(byteOff uint64, buf []byte, write bool) {
+	if c.closed {
+		panic("core: access through closed Cursor")
+	}
+	r := c.rt
+	off := c.base.HeapOffset() + byteOff
+	if off+uint64(len(buf)) > ((off>>r.shift)+1)<<r.shift {
+		r.access(c.base.Add(byteOff), buf, write, "Cursor.Access")
+		return
+	}
+	id := c.ensure(off, write)
+	r.env.Clock.Advance(r.env.Costs.LocalLoadStore)
+	inObj := off & (uint64(r.objSize) - 1)
+	if write {
+		r.pool.Write(id, inObj, buf)
+	} else {
+		r.pool.Read(id, inObj, buf)
+	}
+}
+
+// LoadU64 reads element i as a uint64 (element size must be 8).
+func (c *Cursor) LoadU64(i uint64) uint64 {
+	var buf [8]byte
+	c.Access(i, buf[:], false)
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+// StoreU64 writes element i as a uint64 (element size must be 8).
+func (c *Cursor) StoreU64(i uint64, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	c.Access(i, buf[:], true)
+}
+
+// LoadF64 reads element i as a float64.
+func (c *Cursor) LoadF64(i uint64) float64 { return float64frombits(c.LoadU64(i)) }
+
+// StoreF64 writes element i as a float64.
+func (c *Cursor) StoreF64(i uint64, v float64) { c.StoreU64(i, float64bits(v)) }
+
+// Close releases the pinned chunk. Closing twice is a no-op, matching the
+// compiler emitting Close on every loop exit edge.
+func (c *Cursor) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	if c.pinned {
+		c.rt.pool.Unpin(c.obj)
+		c.pinned = false
+	}
+}

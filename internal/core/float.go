@@ -1,0 +1,10 @@
+package core
+
+import "math"
+
+// Thin aliases keep the guard code free of a math import at every call
+// site while making the bit-level contract explicit: far-memory floats are
+// stored as their IEEE-754 bit patterns in little-endian byte order.
+
+func float64bits(f float64) uint64     { return math.Float64bits(f) }
+func float64frombits(b uint64) float64 { return math.Float64frombits(b) }

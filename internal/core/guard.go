@@ -1,0 +1,164 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"trackfm/internal/aifm"
+)
+
+// guardObject is the compiler-injected guard of §3.3 / Figure 4 for the
+// object holding the target address. It performs the OST lookup, takes the
+// fast path when the safety bits allow, and otherwise calls into the
+// runtime (slow path), which localizes the object — possibly with a remote
+// fetch. Costs follow Table 1; the cached/uncached split is decided by the
+// OST warm-line model.
+func (r *Runtime) guardObject(id aifm.ObjectID, write bool) {
+	warm := r.cache.touch(uint64(id))
+	m := r.ost[id]
+	costs := &r.env.Costs
+	if r.noOST {
+		// Ablation: without the contiguous object state table the guard
+		// performs AIFM's two-reference lookup — find the object, then
+		// chase its metadata pointer.
+		if warm {
+			r.env.Clock.Advance(costs.MetaIndirectCached)
+		} else {
+			r.env.Clock.Advance(costs.MetaIndirectUncached)
+		}
+	}
+	if m.Safe() {
+		r.env.Counters.FastPathGuards++
+		switch {
+		case write && warm:
+			r.env.Clock.Advance(costs.FastGuardWriteCached)
+		case write:
+			r.env.Clock.Advance(costs.FastGuardWriteUncached)
+		case warm:
+			r.env.Clock.Advance(costs.FastGuardReadCached)
+		default:
+			r.env.Clock.Advance(costs.FastGuardReadUncached)
+		}
+		// Between the safety check and the access the evacuator cannot
+		// delocalize the object (out-of-scope barrier, §3.3); Localize
+		// on a resident object only refreshes hot/dirty bits.
+		r.pool.Localize(id, write)
+		return
+	}
+	// Slow path: runtime call adhering to AIFM's DerefScope API. The
+	// measured slow-guard constants (Table 1) already include the scope
+	// enter/exit work, so no separate scope cost is charged here.
+	r.env.Counters.SlowPathGuards++
+	switch {
+	case write && warm:
+		r.env.Clock.Advance(costs.SlowGuardWriteCached)
+	case write:
+		r.env.Clock.Advance(costs.SlowGuardWriteUncached)
+	case warm:
+		r.env.Clock.Advance(costs.SlowGuardReadCached)
+	default:
+		r.env.Clock.Advance(costs.SlowGuardReadUncached)
+	}
+	r.pool.Localize(id, write) // charges the remote fetch when absent
+	r.collectPoint()
+}
+
+// checkManaged panics on unmanaged pointers: by construction the compiler
+// only routes custody-passing pointers here, so an unmanaged pointer is a
+// transformation bug, the analogue of a general protection fault.
+func checkManaged(p Ptr, op string) {
+	if !p.Managed() {
+		panic(fmt.Sprintf("core: %s through unmanaged pointer %#x", op, uint64(p)))
+	}
+}
+
+// CustodyReject charges the cost of a custody check that failed (the
+// pointer is not TrackFM-managed, so the original load/store runs
+// unguarded). Callers — the IR interpreter, mainly — then perform the
+// access against their own local memory.
+func (r *Runtime) CustodyReject() {
+	r.env.Clock.Advance(r.env.Costs.CustodyCheck)
+	r.env.Counters.CustodyRejects++
+}
+
+// LoadU64 performs a guarded 8-byte load at p.
+func (r *Runtime) LoadU64(p Ptr) uint64 {
+	var buf [8]byte
+	r.access(p, buf[:], false, "LoadU64")
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+// StoreU64 performs a guarded 8-byte store at p.
+func (r *Runtime) StoreU64(p Ptr, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	r.access(p, buf[:], true, "StoreU64")
+}
+
+// LoadF64 performs a guarded 8-byte float load at p.
+func (r *Runtime) LoadF64(p Ptr) float64 {
+	return float64frombits(r.LoadU64(p))
+}
+
+// StoreF64 performs a guarded 8-byte float store at p.
+func (r *Runtime) StoreF64(p Ptr, v float64) {
+	r.StoreU64(p, float64bits(v))
+}
+
+// Load performs a guarded read of len(dst) bytes starting at p. Reads
+// spanning multiple objects are guarded once per object, matching the
+// per-access guards the compiler emits for the element loop a bulk copy
+// lowers to.
+func (r *Runtime) Load(p Ptr, dst []byte) {
+	r.access(p, dst, false, "Load")
+}
+
+// Store performs a guarded write of src starting at p.
+func (r *Runtime) Store(p Ptr, src []byte) {
+	r.access(p, src, true, "Store")
+}
+
+// access splits [p, p+len(buf)) into object-bounded segments, guards each
+// object, charges the data-access cost, and moves the bytes.
+func (r *Runtime) access(p Ptr, buf []byte, write bool, op string) {
+	checkManaged(p, op)
+	objSize := uint64(r.objSize)
+	off := p.HeapOffset()
+	if off+uint64(len(buf)) > r.heapSize {
+		panic(fmt.Sprintf("core: %s at %#x+%d beyond heap end", op, uint64(p), len(buf)))
+	}
+	done := uint64(0)
+	total := uint64(len(buf))
+	for done < total {
+		id := aifm.ObjectID((off + done) >> r.shift)
+		inObj := (off + done) & (objSize - 1)
+		n := objSize - inObj
+		if total-done < n {
+			n = total - done
+		}
+		r.guardObject(id, write)
+		// The target access itself: one load/store per 64B touched.
+		lines := (n + 63) / 64
+		r.env.Clock.Advance(lines * r.env.Costs.LocalLoadStore)
+		if write {
+			r.pool.Write(id, inObj, buf[done:done+n])
+		} else {
+			r.pool.Read(id, inObj, buf[done:done+n])
+		}
+		done += n
+	}
+}
+
+// PrefetchFrom issues compiler-directed prefetches for the `objects`
+// objects following the one containing p (exclusive). The loop-chunking
+// pass plants these for pointers governed by induction variables (§3.4).
+func (r *Runtime) PrefetchFrom(p Ptr, objects int) {
+	if r.noPrefetch {
+		return
+	}
+	checkManaged(p, "PrefetchFrom")
+	id, _ := p.object(r.shift)
+	for k := 1; k <= objects; k++ {
+		r.pool.Prefetch(id + aifm.ObjectID(k))
+	}
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"testing"
+
+	"trackfm/internal/sim"
+)
+
+func newMulti(t *testing.T, classes []int, heap, budget uint64) *MultiRuntime {
+	t.Helper()
+	m, err := NewMultiRuntime(MultiConfig{
+		Env: sim.NewEnv(), Classes: classes,
+		HeapPerClass: heap, LocalBudget: budget,
+	})
+	if err != nil {
+		t.Fatalf("NewMultiRuntime: %v", err)
+	}
+	return m
+}
+
+func TestMultiValidation(t *testing.T) {
+	env := sim.NewEnv()
+	bad := []MultiConfig{
+		{Classes: []int{64}, HeapPerClass: 1 << 16, LocalBudget: 1 << 12},
+		{Env: env, HeapPerClass: 1 << 16, LocalBudget: 1 << 12},
+		{Env: env, Classes: []int{64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384},
+			HeapPerClass: 1 << 16, LocalBudget: 1 << 12},
+		{Env: env, Classes: []int{64}, LocalBudget: 1 << 12},
+		{Env: env, Classes: []int{64}, HeapPerClass: 1 << 16},
+		{Env: env, Classes: []int{64, 4096}, HeapPerClass: 1 << 16,
+			LocalBudget: 1 << 14, Weights: []float64{1}},
+		{Env: env, Classes: []int{64, 4096}, HeapPerClass: 1 << 16,
+			LocalBudget: 1 << 14, Weights: []float64{1, -2}},
+	}
+	for i, cfg := range bad {
+		if _, err := NewMultiRuntime(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestMultiClassSelection(t *testing.T) {
+	m := newMulti(t, []int{64, 512, 4096}, 1<<20, 1<<16)
+	small, err := m.Malloc(48)
+	if err != nil {
+		t.Fatalf("Malloc: %v", err)
+	}
+	if classOf(small) != 0 {
+		t.Errorf("48B allocation got class %d, want 0 (64B)", classOf(small))
+	}
+	mid, _ := m.Malloc(300)
+	if classOf(mid) != 1 {
+		t.Errorf("300B allocation got class %d, want 1 (512B)", classOf(mid))
+	}
+	big, _ := m.Malloc(1 << 16) // larger than any class: spans objects
+	if classOf(big) != 2 {
+		t.Errorf("64KB allocation got class %d, want 2 (4KB)", classOf(big))
+	}
+}
+
+func TestMultiRoundTripAcrossClasses(t *testing.T) {
+	m := newMulti(t, []int{64, 4096}, 1<<20, 1<<14)
+	a, _ := m.MallocClass(8, 0)
+	b, _ := m.MallocClass(8192, 1)
+	m.StoreU64(a, 111)
+	m.StoreU64(b, 222)
+	m.StoreU64(Ptr(uint64(b)+8192-8), 333)
+	if m.LoadU64(a) != 111 || m.LoadU64(b) != 222 {
+		t.Fatalf("cross-class round trip failed")
+	}
+	if m.LoadU64(Ptr(uint64(b)+8192-8)) != 333 {
+		t.Fatalf("offset math across class tag failed")
+	}
+}
+
+func TestMultiPointersStayManaged(t *testing.T) {
+	m := newMulti(t, []int{64, 256, 1024, 4096}, 1<<20, 1<<16)
+	for class := range m.Classes() {
+		p, err := m.MallocClass(16, class)
+		if err != nil {
+			t.Fatalf("class %d: %v", class, err)
+		}
+		if !p.Managed() {
+			t.Errorf("class %d pointer %#x lost custody flag", class, uint64(p))
+		}
+		if classOf(p) != class {
+			t.Errorf("class %d pointer decodes to class %d", class, classOf(p))
+		}
+	}
+}
+
+func TestMultiDataIntegrityUnderPressure(t *testing.T) {
+	m := newMulti(t, []int{64, 4096}, 1<<22, 1<<13)
+	var ptrs []Ptr
+	for i := 0; i < 64; i++ {
+		var p Ptr
+		var err error
+		if i%2 == 0 {
+			p, err = m.MallocClass(8, 0)
+		} else {
+			p, err = m.MallocClass(4096, 1)
+		}
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		m.StoreU64(p, uint64(i)*7)
+		ptrs = append(ptrs, p)
+	}
+	for i, p := range ptrs {
+		if got := m.LoadU64(p); got != uint64(i)*7 {
+			t.Fatalf("ptr %d = %d, want %d", i, got, uint64(i)*7)
+		}
+	}
+	if m.Env().Counters.Evacuations == 0 {
+		t.Fatalf("no evictions; pressure test vacuous")
+	}
+}
+
+func TestMultiCursor(t *testing.T) {
+	m := newMulti(t, []int{64, 4096}, 1<<20, 1<<16)
+	arr, _ := m.MallocClass(1024*8, 1)
+	cur := m.NewCursor(arr, 8, false)
+	for i := uint64(0); i < 1024; i++ {
+		cur.StoreU64(i, i)
+	}
+	var sum uint64
+	for i := uint64(0); i < 1024; i++ {
+		sum += cur.LoadU64(i)
+	}
+	cur.Close()
+	if sum != 1024*1023/2 {
+		t.Fatalf("cursor sum = %d", sum)
+	}
+}
+
+func TestMultiMixedWorkloadBeatsSingleSize(t *testing.T) {
+	// The point of multiple classes: one application with a fine-grained
+	// structure (hot words scattered across a big table — Fig. 9's
+	// pattern, where the hot set fits locally only at small object
+	// granularity) AND a streaming array (Fig. 10's pattern, where large
+	// objects amortize per-message costs). A 64B+4KB MultiRuntime must
+	// beat both single-size configurations.
+	const tableElems = 65536 // 512 KB table
+	const hotWords = 150     // scattered: ~150 x 4KB never fits, 150 x 64B does
+	const streamElems = 8192 // 64 KB scan
+	run := func(small, large int) uint64 {
+		env := sim.NewEnv()
+		classes := []int{small}
+		if large != small {
+			classes = append(classes, large)
+		}
+		m, err := NewMultiRuntime(MultiConfig{
+			Env: env, Classes: classes,
+			HeapPerClass: 1 << 22, LocalBudget: 24 << 10,
+		})
+		if err != nil {
+			t.Fatalf("NewMultiRuntime: %v", err)
+		}
+		table, _ := m.MallocClass(tableElems*8, 0)
+		stream, _ := m.MallocClass(streamElems*8, len(classes)-1)
+		for i := uint64(0); i < streamElems; i++ {
+			m.StoreU64(Ptr(uint64(stream)+i*8), i)
+		}
+		rng := sim.NewRNG(3)
+		env.Clock.Reset()
+		// Interleave hot-word table updates with stream scans.
+		for round := 0; round < 4; round++ {
+			for i := 0; i < 2000; i++ {
+				idx := uint64(rng.Intn(hotWords)) * 271 % tableElems
+				m.StoreU64(Ptr(uint64(table)+idx*8), uint64(i))
+			}
+			cur := m.NewCursor(stream, 8, true)
+			for i := uint64(0); i < streamElems; i++ {
+				cur.LoadU64(i)
+			}
+			cur.Close()
+		}
+		return env.Clock.Cycles()
+	}
+	mixed := run(64, 4096)
+	all64 := run(64, 64)
+	all4k := run(4096, 4096)
+	if mixed >= all64 || mixed >= all4k {
+		t.Fatalf("mixed classes (%d) not better than 64B-only (%d) and 4KB-only (%d)",
+			mixed, all64, all4k)
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPtrCustody(t *testing.T) {
+	if Ptr(0x7FFF_0000).Managed() {
+		t.Fatalf("canonical pointer passed custody check")
+	}
+	if !(ptrBase + 0x1234).Managed() {
+		t.Fatalf("TrackFM pointer failed custody check")
+	}
+	if Ptr(0).Managed() {
+		t.Fatalf("nil pointer passed custody check")
+	}
+}
+
+func TestPtrHeapOffset(t *testing.T) {
+	p := ptrBase + Ptr(0xBEEF)
+	if got := p.HeapOffset(); got != 0xBEEF {
+		t.Fatalf("HeapOffset = %#x", got)
+	}
+}
+
+func TestPtrOffsetMathPreservesFlag(t *testing.T) {
+	// The paper: "even if a pointer is cast to an integer type (for
+	// example to perform offset math), the resulting load/store will
+	// still be properly guarded, provided that the non-canonical bits of
+	// the address are preserved."
+	p := ptrBase + Ptr(0x1000)
+	q := Ptr(uint64(p) + 24) // integer round trip with offset math
+	if !q.Managed() {
+		t.Fatalf("offset math lost the custody flag")
+	}
+	if q.HeapOffset() != 0x1018 {
+		t.Fatalf("HeapOffset after math = %#x", q.HeapOffset())
+	}
+}
+
+func TestPtrObjectMapping(t *testing.T) {
+	p := ptrBase + Ptr(4096*3+17)
+	id, off := p.object(12) // 4KB objects
+	if id != 3 || off != 17 {
+		t.Fatalf("object() = (%d, %d), want (3, 17)", id, off)
+	}
+}
+
+func TestPtrObjectMappingProperty(t *testing.T) {
+	if err := quick.Check(func(offRaw uint64, shiftRaw uint8) bool {
+		shift := uint(6 + shiftRaw%7) // 64B..4KB
+		off := offRaw & ((1 << 40) - 1)
+		p := ptrBase + Ptr(off)
+		id, inObj := p.object(shift)
+		return uint64(id)<<shift+inObj == off && inObj < 1<<shift
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPtrAdd(t *testing.T) {
+	p := ptrBase
+	if p.Add(100).HeapOffset() != 100 {
+		t.Fatalf("Add broken")
+	}
+}

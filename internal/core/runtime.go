@@ -1,0 +1,277 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"trackfm/internal/aifm"
+	"trackfm/internal/fabric"
+	"trackfm/internal/sim"
+)
+
+// Config parameterizes a TrackFM runtime.
+type Config struct {
+	// Env supplies the clock, counters, and cost model. Required.
+	Env *sim.Env
+	// ObjectSize is the single compile-time object size for the whole
+	// application (§3.2). Power of two in [64, 65536].
+	ObjectSize int
+	// HeapSize caps the far heap; it sizes the object state table
+	// (HeapSize/ObjectSize entries of 8 bytes, the paper's
+	// single-level-page-table-like overhead).
+	HeapSize uint64
+	// LocalBudget is local memory available for object data, in bytes —
+	// the "local mem %" axis of the paper's figures (metadata excluded,
+	// as in the paper).
+	LocalBudget uint64
+	// Backing selects real or phantom object data.
+	Backing aifm.Backing
+	// Transport overrides the default in-process simulated TCP link;
+	// used by the examples to run against a real fmserver.
+	Transport fabric.Transport
+	// PrefetchDepth is how many objects ahead compiler-directed streams
+	// prefetch (default 8; 0 keeps the default, use NoPrefetch to
+	// disable).
+	PrefetchDepth int
+	// NoPrefetch disables all prefetching (for the Fig. 11 ablation).
+	NoPrefetch bool
+	// OSTCacheLines sizes the warm-line model for cached/uncached guard
+	// costs; 0 selects an LLC-like default.
+	OSTCacheLines int
+	// CollectEvery triggers a runtime collection point after this many
+	// slow-path guards (0 selects a default). Collection lets the
+	// evacuator make progress at guard boundaries, as in §3.3.
+	CollectEvery int
+	// NoOST disables the object state table (ablation): every guard
+	// pays AIFM's second, indirect metadata reference instead of the
+	// single table-indexed load (§3.2).
+	NoOST bool
+}
+
+// Runtime is the TrackFM runtime attached to one transformed application.
+// It owns the unified object pool (the paper's abstract data structure
+// holding every remotable allocation), the object state table, and the
+// allocator. Not safe for concurrent use; the simulation serializes one
+// logical timeline.
+type Runtime struct {
+	env   *sim.Env
+	pool  *aifm.Pool
+	ost   []aifm.Meta // alias of pool.Table(): coherent by construction
+	cache *ostCache
+
+	objSize int
+	shift   uint
+
+	heapSize uint64
+	brk      uint64          // bump pointer, heap offset of next free byte
+	allocs   map[Ptr]uint64  // live allocation sizes, for free/realloc
+	link     *fabric.SimLink // nil when an external transport is used
+
+	prefetchDepth int
+	noPrefetch    bool
+
+	collectEvery int
+	sinceCollect int
+
+	noOST bool
+}
+
+// NewRuntime validates cfg and initializes the runtime — the work the
+// compiler's runtime-initialization pass injects into main (§3.1).
+func NewRuntime(cfg Config) (*Runtime, error) {
+	if cfg.Env == nil {
+		return nil, fmt.Errorf("core: Config.Env is required")
+	}
+	if cfg.ObjectSize == 0 {
+		cfg.ObjectSize = 4096
+	}
+	if cfg.HeapSize == 0 {
+		return nil, fmt.Errorf("core: Config.HeapSize is required")
+	}
+	if cfg.LocalBudget == 0 {
+		return nil, fmt.Errorf("core: Config.LocalBudget is required")
+	}
+	transport := cfg.Transport
+	var link *fabric.SimLink
+	if transport == nil {
+		link = fabric.NewSimLink(cfg.Env, fabric.BackendTCP)
+		transport = link
+	}
+	pool, err := aifm.NewPool(aifm.Config{
+		Env:           cfg.Env,
+		Transport:     transport,
+		ObjectSize:    cfg.ObjectSize,
+		HeapSize:      cfg.HeapSize,
+		LocalBudget:   cfg.LocalBudget,
+		Backing:       cfg.Backing,
+		AutoPrefetch:  false, // TrackFM prefetch is compiler-directed
+		PrefetchDepth: cfg.PrefetchDepth,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	depth := cfg.PrefetchDepth
+	if depth <= 0 {
+		depth = 8
+	}
+	// The prefetch window must fit comfortably within local memory:
+	// with only a handful of resident slots, a deep window would evict
+	// data ahead of its own consumption.
+	if slots := pool.NumSlots() / 4; depth > slots {
+		depth = slots
+		if depth < 1 {
+			depth = 1
+		}
+	}
+	collect := cfg.CollectEvery
+	if collect <= 0 {
+		collect = 64
+	}
+	return &Runtime{
+		env:           cfg.Env,
+		pool:          pool,
+		ost:           pool.Table(),
+		cache:         newOSTCache(cfg.OSTCacheLines),
+		objSize:       cfg.ObjectSize,
+		shift:         uint(bits.TrailingZeros(uint(cfg.ObjectSize))),
+		heapSize:      cfg.HeapSize,
+		allocs:        make(map[Ptr]uint64),
+		link:          link,
+		prefetchDepth: depth,
+		noPrefetch:    cfg.NoPrefetch,
+		collectEvery:  collect,
+		noOST:         cfg.NoOST,
+	}, nil
+}
+
+// Env returns the runtime's simulation environment.
+func (r *Runtime) Env() *sim.Env { return r.env }
+
+// Pool exposes the underlying AIFM pool (tests and the AIFM-comparator
+// configurations use it directly).
+func (r *Runtime) Pool() *aifm.Pool { return r.pool }
+
+// ObjectSize reports the compile-time object size.
+func (r *Runtime) ObjectSize() int { return r.objSize }
+
+// HeapBytesInUse reports bytes of far heap handed out by Malloc and not
+// yet freed.
+func (r *Runtime) HeapBytesInUse() uint64 {
+	var n uint64
+	for _, sz := range r.allocs {
+		n += sz
+	}
+	return n
+}
+
+// Malloc allocates n bytes of far memory and returns a TrackFM
+// (non-canonical) pointer. This is the entry point the libc
+// transformation pass rewires malloc to (§3.1). Allocations are 16-byte
+// aligned; allocations no larger than one object never straddle an object
+// boundary, so sub-word accesses always hit a single object.
+func (r *Runtime) Malloc(n uint64) (Ptr, error) {
+	if n == 0 {
+		n = 1
+	}
+	r.env.Clock.Advance(r.env.Costs.MallocCost)
+	r.env.Counters.Mallocs++
+
+	const align = 16
+	start := (r.brk + align - 1) &^ (align - 1)
+	if n <= uint64(r.objSize) {
+		// Group small allocations within a single object (§3.2).
+		objEnd := (start &^ (uint64(r.objSize) - 1)) + uint64(r.objSize)
+		if start+n > objEnd {
+			start = objEnd
+		}
+	}
+	if start+n > r.heapSize {
+		return 0, fmt.Errorf("core: far heap exhausted (%d of %d bytes in use)", r.brk, r.heapSize)
+	}
+	r.brk = start + n
+	p := ptrBase + Ptr(start)
+	r.allocs[p] = n
+	return p, nil
+}
+
+// MustMalloc is Malloc for callers holding a sized heap by construction
+// (the benchmark harness); it panics on exhaustion.
+func (r *Runtime) MustMalloc(n uint64) Ptr {
+	p, err := r.Malloc(n)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Free releases an allocation made by Malloc. Objects fully covered by
+// the allocation are released from the pool and the remote node; objects
+// shared with neighbouring small allocations are retained. Freeing an
+// unknown pointer panics, mirroring heap corruption aborting a real
+// allocator.
+func (r *Runtime) Free(p Ptr) {
+	n, ok := r.allocs[p]
+	if !ok {
+		panic(fmt.Sprintf("core: Free of unknown pointer %#x", uint64(p)))
+	}
+	r.env.Clock.Advance(r.env.Costs.FreeCost)
+	r.env.Counters.Frees++
+	delete(r.allocs, p)
+
+	start := p.HeapOffset()
+	end := start + n
+	firstFull := (start + uint64(r.objSize) - 1) / uint64(r.objSize)
+	lastFull := end / uint64(r.objSize)
+	for id := firstFull; id < lastFull; id++ {
+		r.pool.Free(aifm.ObjectID(id))
+	}
+}
+
+// Realloc grows or shrinks an allocation, copying min(old,new) bytes
+// through guarded accesses exactly as the transformed libc realloc does.
+func (r *Runtime) Realloc(p Ptr, n uint64) (Ptr, error) {
+	old, ok := r.allocs[p]
+	if !ok {
+		return 0, fmt.Errorf("core: Realloc of unknown pointer %#x", uint64(p))
+	}
+	np, err := r.Malloc(n)
+	if err != nil {
+		return 0, err
+	}
+	cpy := old
+	if n < cpy {
+		cpy = n
+	}
+	buf := make([]byte, 256)
+	for off := uint64(0); off < cpy; {
+		chunk := uint64(len(buf))
+		if cpy-off < chunk {
+			chunk = cpy - off
+		}
+		r.Load(p.Add(off), buf[:chunk])
+		r.Store(np.Add(off), buf[:chunk])
+		off += chunk
+	}
+	r.Free(p)
+	return np, nil
+}
+
+// collectPoint gives the evacuator a chance to run at guard boundaries
+// (§3.3: the slow path "triggers a periodic collection point to allow
+// stale objects to be evacuated"). Under memory pressure eviction already
+// happens on demand; the collection point only decays hotness so cold
+// objects become eviction candidates sooner.
+func (r *Runtime) collectPoint() {
+	r.sinceCollect++
+	if r.sinceCollect < r.collectEvery {
+		return
+	}
+	r.sinceCollect = 0
+}
+
+// FlushOSTCache empties the warm-line model so subsequent guards pay
+// uncached costs (Table 1 methodology).
+func (r *Runtime) FlushOSTCache() { r.cache.flush() }
+
+// EvacuateAll force-evacuates the pool, starting a measurement cold.
+func (r *Runtime) EvacuateAll() { r.pool.EvacuateAll() }

@@ -1,0 +1,354 @@
+package core
+
+import (
+	"testing"
+
+	"trackfm/internal/aifm"
+	"trackfm/internal/sim"
+)
+
+func newTestRuntime(t *testing.T, objSize int, heap, budget uint64) *Runtime {
+	t.Helper()
+	rt, err := NewRuntime(Config{
+		Env:         sim.NewEnv(),
+		ObjectSize:  objSize,
+		HeapSize:    heap,
+		LocalBudget: budget,
+	})
+	if err != nil {
+		t.Fatalf("NewRuntime: %v", err)
+	}
+	return rt
+}
+
+func TestNewRuntimeValidation(t *testing.T) {
+	env := sim.NewEnv()
+	if _, err := NewRuntime(Config{ObjectSize: 64, HeapSize: 1 << 16, LocalBudget: 1 << 12}); err == nil {
+		t.Errorf("missing Env accepted")
+	}
+	if _, err := NewRuntime(Config{Env: env, ObjectSize: 64, LocalBudget: 1 << 12}); err == nil {
+		t.Errorf("missing HeapSize accepted")
+	}
+	if _, err := NewRuntime(Config{Env: env, ObjectSize: 64, HeapSize: 1 << 16}); err == nil {
+		t.Errorf("missing LocalBudget accepted")
+	}
+	if _, err := NewRuntime(Config{Env: env, ObjectSize: 100, HeapSize: 1 << 16, LocalBudget: 1 << 12}); err == nil {
+		t.Errorf("non-power-of-two object size accepted")
+	}
+	rt, err := NewRuntime(Config{Env: env, HeapSize: 1 << 20, LocalBudget: 1 << 16})
+	if err != nil {
+		t.Fatalf("default object size rejected: %v", err)
+	}
+	if rt.ObjectSize() != 4096 {
+		t.Errorf("default ObjectSize = %d, want 4096", rt.ObjectSize())
+	}
+}
+
+func TestMallocReturnsManagedPointers(t *testing.T) {
+	rt := newTestRuntime(t, 64, 1<<16, 1<<12)
+	p, err := rt.Malloc(128)
+	if err != nil {
+		t.Fatalf("Malloc: %v", err)
+	}
+	if !p.Managed() {
+		t.Fatalf("Malloc returned canonical pointer %#x", uint64(p))
+	}
+	if rt.Env().Counters.Mallocs != 1 {
+		t.Fatalf("Mallocs counter = %d", rt.Env().Counters.Mallocs)
+	}
+	if rt.HeapBytesInUse() != 128 {
+		t.Fatalf("HeapBytesInUse = %d", rt.HeapBytesInUse())
+	}
+}
+
+func TestMallocZeroBytes(t *testing.T) {
+	rt := newTestRuntime(t, 64, 1<<16, 1<<12)
+	p, err := rt.Malloc(0)
+	if err != nil {
+		t.Fatalf("Malloc(0): %v", err)
+	}
+	rt.Free(p) // must be a valid, freeable pointer
+}
+
+func TestMallocSmallAllocationsShareObjects(t *testing.T) {
+	rt := newTestRuntime(t, 4096, 1<<20, 1<<16)
+	a := rt.MustMalloc(16)
+	b := rt.MustMalloc(16)
+	idA, _ := a.object(12)
+	idB, _ := b.object(12)
+	if idA != idB {
+		t.Fatalf("small allocations not grouped: objects %d and %d", idA, idB)
+	}
+}
+
+func TestMallocSmallAllocationNeverStraddles(t *testing.T) {
+	rt := newTestRuntime(t, 64, 1<<20, 1<<14)
+	for i := 0; i < 200; i++ {
+		n := uint64(8 + (i%7)*8) // 8..56 bytes
+		p := rt.MustMalloc(n)
+		start, end := p.HeapOffset(), p.HeapOffset()+n-1
+		if start>>6 != end>>6 {
+			t.Fatalf("allocation %d of %dB straddles objects: [%#x,%#x]", i, n, start, end)
+		}
+	}
+}
+
+func TestMallocExhaustion(t *testing.T) {
+	rt := newTestRuntime(t, 64, 1<<10, 1<<10)
+	if _, err := rt.Malloc(1 << 11); err == nil {
+		t.Fatalf("over-heap Malloc succeeded")
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	rt := newTestRuntime(t, 64, 1<<16, 1<<12)
+	p := rt.MustMalloc(64)
+	rt.StoreU64(p, 0xDEAD_BEEF)
+	if got := rt.LoadU64(p); got != 0xDEAD_BEEF {
+		t.Fatalf("LoadU64 = %#x", got)
+	}
+	rt.StoreF64(p.Add(8), 3.5)
+	if got := rt.LoadF64(p.Add(8)); got != 3.5 {
+		t.Fatalf("LoadF64 = %v", got)
+	}
+}
+
+func TestLoadStoreSurvivesEviction(t *testing.T) {
+	// One local slot: every alternate access evicts the other object.
+	rt := newTestRuntime(t, 64, 1<<16, 64)
+	a := rt.MustMalloc(8)
+	b := rt.MustMalloc(64) // lands in the next object
+	rt.StoreU64(a, 111)
+	rt.StoreU64(b, 222)
+	if rt.LoadU64(a) != 111 {
+		t.Fatalf("a lost across eviction")
+	}
+	if rt.LoadU64(b) != 222 {
+		t.Fatalf("b lost across eviction")
+	}
+	if rt.Env().Counters.Evacuations == 0 {
+		t.Fatalf("no evictions happened; test is vacuous")
+	}
+}
+
+func TestBulkAccessSpansObjects(t *testing.T) {
+	rt := newTestRuntime(t, 64, 1<<16, 1<<12)
+	p := rt.MustMalloc(256) // 4 objects
+	src := make([]byte, 256)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	rt.Store(p, src)
+	dst := make([]byte, 256)
+	rt.Load(p, dst)
+	for i := range dst {
+		if dst[i] != byte(i) {
+			t.Fatalf("byte %d = %d", i, dst[i])
+		}
+	}
+	// 4 objects written + 4 read = at least 8 guards.
+	if g := rt.Env().Counters.Guards(); g < 8 {
+		t.Fatalf("Guards = %d, want >= 8", g)
+	}
+}
+
+func TestGuardFastVsSlowPaths(t *testing.T) {
+	rt := newTestRuntime(t, 64, 1<<16, 1<<12)
+	p := rt.MustMalloc(8)
+	rt.StoreU64(p, 1) // first touch: slow path (object not yet local)
+	c := &rt.Env().Counters
+	if c.SlowPathGuards != 1 || c.FastPathGuards != 0 {
+		t.Fatalf("first access: fast=%d slow=%d", c.FastPathGuards, c.SlowPathGuards)
+	}
+	rt.LoadU64(p) // resident now: fast path
+	if c.FastPathGuards != 1 {
+		t.Fatalf("second access: fast=%d", c.FastPathGuards)
+	}
+}
+
+func TestGuardCostsChargedPerTable1(t *testing.T) {
+	rt := newTestRuntime(t, 64, 1<<16, 1<<12)
+	env := rt.Env()
+	p := rt.MustMalloc(8)
+	rt.StoreU64(p, 1) // localize
+
+	// Warm fast-path read: guard (21) + load/store (36).
+	before := env.Clock.Cycles()
+	rt.LoadU64(p)
+	got := env.Clock.Cycles() - before
+	want := env.Costs.FastGuardReadCached + env.Costs.LocalLoadStore
+	if got != want {
+		t.Fatalf("warm fast read charged %d, want %d", got, want)
+	}
+
+	// Cold OST line: uncached fast-path cost.
+	rt.FlushOSTCache()
+	before = env.Clock.Cycles()
+	rt.LoadU64(p)
+	got = env.Clock.Cycles() - before
+	want = env.Costs.FastGuardReadUncached + env.Costs.LocalLoadStore
+	if got != want {
+		t.Fatalf("cold fast read charged %d, want %d", got, want)
+	}
+}
+
+func TestSlowGuardRemoteCost(t *testing.T) {
+	// Table 2: an access whose object was evacuated pays the slow guard
+	// plus the ~35K-cycle remote fetch.
+	rt := newTestRuntime(t, 4096, 1<<20, 1<<16)
+	env := rt.Env()
+	p := rt.MustMalloc(8)
+	rt.StoreU64(p, 1)
+	rt.EvacuateAll()
+	rt.FlushOSTCache()
+	before := env.Clock.Cycles()
+	rt.LoadU64(p) // slow path + remote fetch
+	got := env.Clock.Cycles() - before
+	fetch := env.Costs.RemoteObjectFetch(4096)
+	if got < fetch {
+		t.Fatalf("remote slow access charged %d, below fetch cost %d", got, fetch)
+	}
+	if got > fetch+2*env.Costs.SlowGuardReadUncached {
+		t.Fatalf("remote slow access charged %d, way above fetch+guard", got)
+	}
+}
+
+func TestFirstTouchIsCheapMaterialization(t *testing.T) {
+	// Freshly malloc'd memory must not cross the network on first touch.
+	rt := newTestRuntime(t, 4096, 1<<20, 1<<16)
+	env := rt.Env()
+	p := rt.MustMalloc(8)
+	before := env.Clock.Cycles()
+	rt.StoreU64(p, 1)
+	got := env.Clock.Cycles() - before
+	if got >= env.Costs.RemoteObjectFetch(4096) {
+		t.Fatalf("first touch charged %d cycles (a remote fetch)", got)
+	}
+	if env.Counters.BytesFetched != 0 {
+		t.Fatalf("first touch moved %d bytes", env.Counters.BytesFetched)
+	}
+}
+
+func TestCustodyReject(t *testing.T) {
+	rt := newTestRuntime(t, 64, 1<<16, 1<<12)
+	env := rt.Env()
+	before := env.Clock.Cycles()
+	rt.CustodyReject()
+	if env.Clock.Cycles()-before != env.Costs.CustodyCheck {
+		t.Fatalf("custody reject charged %d", env.Clock.Cycles()-before)
+	}
+	if env.Counters.CustodyRejects != 1 {
+		t.Fatalf("CustodyRejects = %d", env.Counters.CustodyRejects)
+	}
+}
+
+func TestUnmanagedAccessPanics(t *testing.T) {
+	rt := newTestRuntime(t, 64, 1<<16, 1<<12)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("unmanaged access did not panic")
+		}
+	}()
+	rt.LoadU64(Ptr(0x1000))
+}
+
+func TestOutOfHeapAccessPanics(t *testing.T) {
+	rt := newTestRuntime(t, 64, 1<<10, 1<<10)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("out-of-heap access did not panic")
+		}
+	}()
+	rt.LoadU64(ptrBase + Ptr(1<<10))
+}
+
+func TestFreeReleasesObjects(t *testing.T) {
+	rt := newTestRuntime(t, 64, 1<<16, 1<<12)
+	p := rt.MustMalloc(256) // 4 whole objects
+	rt.StoreU64(p, 7)
+	rt.Free(p)
+	if rt.HeapBytesInUse() != 0 {
+		t.Fatalf("HeapBytesInUse = %d after Free", rt.HeapBytesInUse())
+	}
+	if rt.Env().Counters.Frees != 1 {
+		t.Fatalf("Frees = %d", rt.Env().Counters.Frees)
+	}
+}
+
+func TestFreeUnknownPanics(t *testing.T) {
+	rt := newTestRuntime(t, 64, 1<<16, 1<<12)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Free of unknown pointer did not panic")
+		}
+	}()
+	rt.Free(ptrBase + 123)
+}
+
+func TestReallocPreservesData(t *testing.T) {
+	rt := newTestRuntime(t, 64, 1<<16, 1<<12)
+	p := rt.MustMalloc(32)
+	rt.StoreU64(p, 42)
+	rt.StoreU64(p.Add(8), 43)
+	q, err := rt.Realloc(p, 512)
+	if err != nil {
+		t.Fatalf("Realloc: %v", err)
+	}
+	if rt.LoadU64(q) != 42 || rt.LoadU64(q.Add(8)) != 43 {
+		t.Fatalf("Realloc lost data")
+	}
+	if _, err := rt.Realloc(ptrBase+9999, 8); err == nil {
+		t.Fatalf("Realloc of unknown pointer succeeded")
+	}
+}
+
+func TestPrefetchFromAvoidsCriticalFetch(t *testing.T) {
+	rt := newTestRuntime(t, 64, 1<<16, 1<<12)
+	env := rt.Env()
+	p := rt.MustMalloc(64 * 8) // 8 objects
+	rt.StoreU64(p, 1)          // object 0 local
+	rt.PrefetchFrom(p, 3)      // objects 1..3
+	crit := env.Counters.CriticalFetches
+	rt.LoadU64(p.Add(64)) // object 1: prefetched
+	if env.Counters.CriticalFetches != crit {
+		t.Fatalf("prefetched access still blocked")
+	}
+	if env.Counters.PrefetchHits == 0 {
+		t.Fatalf("no prefetch hit recorded")
+	}
+}
+
+func TestNoPrefetchConfig(t *testing.T) {
+	rt, err := NewRuntime(Config{
+		Env: sim.NewEnv(), ObjectSize: 64,
+		HeapSize: 1 << 16, LocalBudget: 1 << 12, NoPrefetch: true,
+	})
+	if err != nil {
+		t.Fatalf("NewRuntime: %v", err)
+	}
+	p := rt.MustMalloc(64 * 4)
+	rt.PrefetchFrom(p, 3)
+	if rt.Env().Counters.PrefetchIssued != 0 {
+		t.Fatalf("NoPrefetch runtime issued prefetches")
+	}
+}
+
+func TestPhantomBackingRuns(t *testing.T) {
+	rt, err := NewRuntime(Config{
+		Env: sim.NewEnv(), ObjectSize: 4096,
+		HeapSize: 1 << 30, LocalBudget: 1 << 20,
+		Backing: aifm.BackingPhantom,
+	})
+	if err != nil {
+		t.Fatalf("NewRuntime: %v", err)
+	}
+	p := rt.MustMalloc(1 << 24) // 16 MB with no real storage
+	rt.StoreU64(p.Add(12345*8), 7)
+	// Phantom reads are zeros; the point is the control plane works.
+	if rt.LoadU64(p.Add(12345*8)) != 0 {
+		t.Fatalf("phantom store retained data")
+	}
+	if rt.Env().Counters.Guards() == 0 {
+		t.Fatalf("no guards charged under phantom backing")
+	}
+}

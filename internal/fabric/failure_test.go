@@ -1,0 +1,124 @@
+package fabric
+
+import (
+	"net"
+	"testing"
+
+	"trackfm/internal/remote"
+)
+
+// Failure injection: the TCP transport must degrade to "not found" rather
+// than corrupt data or hang when the remote node misbehaves or dies.
+
+func TestFetchAfterServerClose(t *testing.T) {
+	store := remote.NewStore()
+	srv := NewServer(store)
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ListenAndServe: %v", err)
+	}
+	tr, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer tr.Close()
+	tr.Push(1, []byte{1, 2, 3, 4})
+
+	srv.Close()
+
+	dst := []byte{9, 9, 9, 9}
+	if tr.Fetch(1, dst) {
+		t.Fatalf("Fetch after server close reported found")
+	}
+	// Push and Delete after close must not panic or hang.
+	tr.Push(2, []byte{5})
+	tr.Delete(1)
+}
+
+func TestDialFailure(t *testing.T) {
+	// A port nobody listens on: grab one and close it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	if _, err := Dial(addr); err == nil {
+		t.Fatalf("Dial to closed port succeeded")
+	}
+}
+
+func TestServerSurvivesGarbageClient(t *testing.T) {
+	store := remote.NewStore()
+	srv := NewServer(store)
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ListenAndServe: %v", err)
+	}
+	defer srv.Close()
+
+	// A client that speaks garbage: unknown opcode.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	conn.Write([]byte{0xFF, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	conn.Close()
+
+	// A client advertising an absurd payload length.
+	conn, err = net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	conn.Write([]byte{2, 0, 0, 0, 0, 0, 0, 0, 1, 0xFF, 0xFF, 0xFF, 0xFF})
+	conn.Close()
+
+	// A half-written request (header only, missing payload).
+	conn, err = net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	conn.Write([]byte{2, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 8})
+	conn.Close()
+
+	// The server must still serve well-formed clients.
+	tr, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial after garbage clients: %v", err)
+	}
+	defer tr.Close()
+	tr.Push(7, []byte{42})
+	dst := make([]byte, 1)
+	if !tr.Fetch(7, dst) || dst[0] != 42 {
+		t.Fatalf("server corrupted by garbage clients")
+	}
+}
+
+func TestTransportReconnectSemantics(t *testing.T) {
+	// Data pushed before a client disconnect must be visible to a new
+	// connection: the store outlives connections.
+	store := remote.NewStore()
+	srv := NewServer(store)
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ListenAndServe: %v", err)
+	}
+	defer srv.Close()
+
+	tr1, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	tr1.Push(100, []byte{7, 7})
+	tr1.Close()
+
+	tr2, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("re-Dial: %v", err)
+	}
+	defer tr2.Close()
+	dst := make([]byte, 2)
+	if !tr2.Fetch(100, dst) || dst[0] != 7 {
+		t.Fatalf("data lost across reconnect")
+	}
+}

@@ -1,0 +1,154 @@
+// Package fabric models the interconnect between the local machine and the
+// remote memory node.
+//
+// Two transports are provided. SimLink charges cycle costs to a sim.Env and
+// moves data through an in-process remote store — this is the transport all
+// deterministic experiments use. TCPTransport moves the same protocol over
+// real sockets (stdlib net) so the library can also drive an actual remote
+// memory server (see cmd/fmserver); it is used by the examples, not by the
+// calibrated benchmarks.
+package fabric
+
+import "trackfm/internal/sim"
+
+// Backend identifies which network backend's cost profile a SimLink uses.
+// The paper's two systems use different backends: Fastswap rides one-sided
+// RDMA; AIFM (and therefore TrackFM) rides Shenango's TCP stack.
+type Backend int
+
+const (
+	// BackendTCP models AIFM's TCP-based backend (~35K cycles for a
+	// remote 4KB object, Table 2).
+	BackendTCP Backend = iota
+	// BackendRDMA models Fastswap's one-sided RDMA backend (~34K cycles
+	// for a remote 4KB page, Table 2).
+	BackendRDMA
+)
+
+// String implements fmt.Stringer.
+func (b Backend) String() string {
+	switch b {
+	case BackendTCP:
+		return "tcp"
+	case BackendRDMA:
+		return "rdma"
+	default:
+		return "unknown"
+	}
+}
+
+// Transport is the interface the runtimes use to move object or page data
+// to and from the remote node. Implementations charge their cost model as
+// a side effect.
+type Transport interface {
+	// Fetch retrieves the n-byte blob stored under key into dst
+	// (len(dst) == n) and returns whether the key was present. A fetch of
+	// an absent key still pays the round trip (the remote node answers
+	// with zeros, modelling freshly allocated remote memory).
+	Fetch(key uint64, dst []byte) bool
+
+	// Push stores src under key on the remote node.
+	Push(key uint64, src []byte)
+
+	// FetchAsync retrieves key like Fetch but models an asynchronous
+	// prefetch: the fixed network latency overlaps with computation, so
+	// only the issue cost and the bandwidth term are charged.
+	FetchAsync(key uint64, dst []byte) bool
+
+	// Delete drops key from the remote node (object freed).
+	Delete(key uint64)
+}
+
+// SimLink is the deterministic in-process transport. It stores pushed blobs
+// in a map and charges the calibrated fixed+bandwidth cycle cost of its
+// backend for every operation.
+type SimLink struct {
+	env     *sim.Env
+	backend Backend
+	store   map[uint64][]byte
+	// ChargePush controls whether Push charges the clock. Evacuation
+	// write-back is charged by default; tests can disable it to isolate
+	// fetch costs.
+	ChargePush bool
+}
+
+// NewSimLink returns a link charging env with the given backend's costs.
+func NewSimLink(env *sim.Env, backend Backend) *SimLink {
+	return &SimLink{env: env, backend: backend, store: make(map[uint64][]byte), ChargePush: true}
+}
+
+func (l *SimLink) fetchCost(n int) uint64 {
+	if l.backend == BackendRDMA {
+		return l.env.Costs.RemotePageFetch(n)
+	}
+	return l.env.Costs.RemoteObjectFetch(n)
+}
+
+// Fetch implements Transport.
+func (l *SimLink) Fetch(key uint64, dst []byte) bool {
+	l.env.Clock.Advance(l.fetchCost(len(dst)))
+	l.env.Counters.BytesFetched += uint64(len(dst))
+	blob, ok := l.store[key]
+	if !ok {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return false
+	}
+	copy(dst, blob)
+	return true
+}
+
+// FetchAsync implements Transport. The fixed round-trip latency overlaps
+// with computation (how the AIFM prefetcher earns its speedups); what
+// cannot be hidden is the larger of the per-message software cost and the
+// link-occupancy (bandwidth) term — small objects pay per-packet overhead,
+// large objects pay the wire (§3.2's object-size discussion).
+func (l *SimLink) FetchAsync(key uint64, dst []byte) bool {
+	charge := l.env.Costs.PrefetchIssue
+	if xfer := l.env.Costs.TransferCycles(len(dst)); xfer > charge {
+		charge = xfer
+	}
+	l.env.Clock.Advance(charge)
+	l.env.Counters.BytesFetched += uint64(len(dst))
+	blob, ok := l.store[key]
+	if !ok {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return false
+	}
+	copy(dst, blob)
+	return true
+}
+
+// Push implements Transport.
+func (l *SimLink) Push(key uint64, src []byte) {
+	if l.ChargePush {
+		// Evacuation overlaps with computation in AIFM; we charge only
+		// the bandwidth term, not the full round-trip latency.
+		l.env.Clock.Advance(l.env.Costs.TransferCycles(len(src)))
+	}
+	l.env.Counters.BytesEvicted += uint64(len(src))
+	blob := make([]byte, len(src))
+	copy(blob, src)
+	l.store[key] = blob
+}
+
+// Delete implements Transport.
+func (l *SimLink) Delete(key uint64) {
+	delete(l.store, key)
+}
+
+// RemoteBytes reports the total bytes currently resident on the simulated
+// remote node, for budget assertions in tests.
+func (l *SimLink) RemoteBytes() uint64 {
+	var n uint64
+	for _, b := range l.store {
+		n += uint64(len(b))
+	}
+	return n
+}
+
+// RemoteKeys reports how many distinct keys the remote node holds.
+func (l *SimLink) RemoteKeys() int { return len(l.store) }

@@ -1,0 +1,256 @@
+package fabric
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"trackfm/internal/remote"
+)
+
+// Wire protocol: every request is
+//
+//	op(1) key(8, big-endian) length(4, big-endian) payload(length)
+//
+// where length/payload are only present for opPush. opFetch carries the
+// requested size in length (no payload) and the server answers
+//
+//	found(1) payload(length)
+//
+// opPush and opDelete are answered with a single ack byte.
+const (
+	opFetch  = byte(1)
+	opPush   = byte(2)
+	opDelete = byte(3)
+
+	ackOK = byte(0xA5)
+)
+
+// maxPayload bounds a single transfer; far-memory objects and pages are at
+// most a few KiB, so 16 MiB is generous while still rejecting corrupt
+// length fields before allocation.
+const maxPayload = 16 << 20
+
+// ErrPayloadTooLarge is returned when a request advertises a payload above
+// the protocol limit.
+var ErrPayloadTooLarge = errors.New("fabric: payload exceeds protocol limit")
+
+// Server serves a remote.Store over TCP. Create with NewServer, then call
+// Serve (blocking) or rely on the background goroutine started by ListenAndServe.
+type Server struct {
+	store *remote.Store
+	ln    net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+}
+
+// NewServer returns a server exposing store.
+func NewServer(store *remote.Store) *Server {
+	return &Server{store: store, conns: make(map[net.Conn]struct{})}
+}
+
+// ListenAndServe binds addr (e.g. "127.0.0.1:0") and serves in a background
+// goroutine. It returns the bound address so callers using port 0 can find
+// the ephemeral port.
+func (s *Server) ListenAndServe(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("fabric: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	go s.serve()
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) serve() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	var hdr [13]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return
+		}
+		op := hdr[0]
+		key := binary.BigEndian.Uint64(hdr[1:9])
+		length := binary.BigEndian.Uint32(hdr[9:13])
+		if length > maxPayload {
+			return
+		}
+		switch op {
+		case opFetch:
+			buf := make([]byte, length)
+			found := s.store.Get(key, buf)
+			flag := byte(0)
+			if found {
+				flag = 1
+			}
+			if err := w.WriteByte(flag); err != nil {
+				return
+			}
+			if _, err := w.Write(buf); err != nil {
+				return
+			}
+		case opPush:
+			buf := make([]byte, length)
+			if _, err := io.ReadFull(r, buf); err != nil {
+				return
+			}
+			s.store.Put(key, buf)
+			if err := w.WriteByte(ackOK); err != nil {
+				return
+			}
+		case opDelete:
+			s.store.Delete(key)
+			if err := w.WriteByte(ackOK); err != nil {
+				return
+			}
+		default:
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Close shuts the listener and all live connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if s.ln != nil {
+		return s.ln.Close()
+	}
+	return nil
+}
+
+// TCPTransport is a Transport backed by a real TCP connection to a Server.
+// It implements the same interface as SimLink so the runtimes can swap in
+// a genuine network path. Operations are synchronous round trips; it is
+// safe for concurrent use.
+type TCPTransport struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a Server at addr.
+func Dial(addr string) (*TCPTransport, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: dial %s: %w", addr, err)
+	}
+	return &TCPTransport{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+func (t *TCPTransport) writeHeader(op byte, key uint64, length uint32) error {
+	var hdr [13]byte
+	hdr[0] = op
+	binary.BigEndian.PutUint64(hdr[1:9], key)
+	binary.BigEndian.PutUint32(hdr[9:13], length)
+	_, err := t.w.Write(hdr[:])
+	return err
+}
+
+// Fetch implements Transport. Network errors surface as a not-found fetch
+// with a zeroed buffer; the examples using TCPTransport treat the remote
+// node as best-effort and the calibrated benchmarks never use this path.
+func (t *TCPTransport) Fetch(key uint64, dst []byte) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(dst) > maxPayload {
+		return false
+	}
+	if err := t.writeHeader(opFetch, key, uint32(len(dst))); err != nil {
+		return false
+	}
+	if err := t.w.Flush(); err != nil {
+		return false
+	}
+	flag, err := t.r.ReadByte()
+	if err != nil {
+		return false
+	}
+	if _, err := io.ReadFull(t.r, dst); err != nil {
+		return false
+	}
+	return flag == 1
+}
+
+// FetchAsync implements Transport. Over a real network there is no
+// simulated overlap to model; it behaves exactly like Fetch.
+func (t *TCPTransport) FetchAsync(key uint64, dst []byte) bool {
+	return t.Fetch(key, dst)
+}
+
+// Push implements Transport.
+func (t *TCPTransport) Push(key uint64, src []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(src) > maxPayload {
+		return
+	}
+	if err := t.writeHeader(opPush, key, uint32(len(src))); err != nil {
+		return
+	}
+	if _, err := t.w.Write(src); err != nil {
+		return
+	}
+	if err := t.w.Flush(); err != nil {
+		return
+	}
+	t.r.ReadByte() // ack
+}
+
+// Delete implements Transport.
+func (t *TCPTransport) Delete(key uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.writeHeader(opDelete, key, 0); err != nil {
+		return
+	}
+	if err := t.w.Flush(); err != nil {
+		return
+	}
+	t.r.ReadByte() // ack
+}
+
+// Close closes the underlying connection.
+func (t *TCPTransport) Close() error { return t.conn.Close() }
+
+var _ Transport = (*SimLink)(nil)
+var _ Transport = (*TCPTransport)(nil)

@@ -1,0 +1,395 @@
+// Package fastswap implements the kernel-based far-memory baseline the
+// paper compares against: Fastswap (Amaro et al., EuroSys '20), a modified
+// Linux swap subsystem that pages to a remote node over one-sided RDMA.
+//
+// The defining properties reproduced here:
+//
+//   - the architected 4 KB page granularity (the source of I/O
+//     amplification for fine-grained workloads, §4.4),
+//   - hardware page faults as the only interposition mechanism — accesses
+//     to mapped pages are free of software overhead, so temporal locality
+//     amortizes fault costs (§5 "Lessons"),
+//   - fault costs from Table 2 (1.3 K cycles for a fault satisfied
+//     locally, ~34 K plus the transfer for a remote fault),
+//   - kernel readahead: a major fault on a sequential stream pulls a
+//     window of pages, with the trailing pages fetched asynchronously,
+//   - LRU-style reclaim with cgroup accounting overhead.
+package fastswap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+
+	"trackfm/internal/fabric"
+	"trackfm/internal/mem"
+	"trackfm/internal/sim"
+)
+
+// PageState tracks where a virtual page lives.
+type PageState uint8
+
+const (
+	// PageUntouched pages have never been accessed: the first touch is a
+	// minor (zero-fill) fault.
+	PageUntouched PageState = iota
+	// PageMapped pages are resident with a valid PTE: access is free.
+	PageMapped
+	// PageRemote pages were reclaimed to the remote node: access is a
+	// major fault.
+	PageRemote
+)
+
+// Config parameterizes the swap baseline.
+type Config struct {
+	// Env supplies clock, counters, and cost model. Required.
+	Env *sim.Env
+	// PageSize is the architected page size (default 4096). Fastswap is
+	// "constrained by the page size" — this knob exists only for tests.
+	PageSize int
+	// HeapSize caps the swappable heap.
+	HeapSize uint64
+	// LocalBudget is the cgroup memory limit: resident pages × PageSize
+	// never exceeds it.
+	LocalBudget uint64
+	// Backing selects real or phantom page data.
+	Backing Backing
+	// ReadaheadPages is the kernel readahead window on sequential major
+	// faults (vm.page-cluster-like behaviour). Default 0: swap-in
+	// readahead reads by swap-slot order, which rarely matches virtual
+	// order, and the paper's Fastswap results reflect per-page fault
+	// costs on sequential sweeps ("weaker ability to discern high-level
+	// knowledge about the access pattern", §4.3). Set it explicitly to
+	// model an ideal readahead.
+	ReadaheadPages int
+	// Transport overrides the default in-process RDMA link.
+	Transport fabric.Transport
+}
+
+// Backing mirrors aifm.Backing without importing it, keeping the two
+// runtimes dependency-free of each other.
+type Backing int
+
+const (
+	// BackingReal stores actual bytes.
+	BackingReal Backing = iota
+	// BackingPhantom runs only the control plane.
+	BackingPhantom
+)
+
+// Swap is a Fastswap-style kernel swap system for one application.
+// Like the other runtimes it is single-timeline and not concurrency-safe.
+type Swap struct {
+	env      *sim.Env
+	link     fabric.Transport
+	pageSize int
+	shift    uint
+
+	heapSize uint64
+	brk      uint64
+
+	states []PageState
+	dirty  []bool
+	refd   []bool   // referenced bit for the reclaim clock
+	frame  []uint32 // resident page -> frame index
+
+	arena      mem.Store
+	frameOwner []uint32 // frame -> page number
+	freeFrames []uint32
+	hand       int
+
+	readahead int
+	lastFault uint64
+	faultRun  int
+}
+
+const noPage = ^uint32(0)
+
+// New validates cfg and builds the swap system.
+func New(cfg Config) (*Swap, error) {
+	if cfg.Env == nil {
+		return nil, fmt.Errorf("fastswap: Config.Env is required")
+	}
+	if cfg.PageSize == 0 {
+		cfg.PageSize = 4096
+	}
+	if cfg.PageSize < 512 || bits.OnesCount(uint(cfg.PageSize)) != 1 {
+		return nil, fmt.Errorf("fastswap: PageSize %d must be a power of two >= 512", cfg.PageSize)
+	}
+	if cfg.HeapSize == 0 {
+		return nil, fmt.Errorf("fastswap: HeapSize is required")
+	}
+	nPages := (cfg.HeapSize + uint64(cfg.PageSize) - 1) / uint64(cfg.PageSize)
+	nFrames := cfg.LocalBudget / uint64(cfg.PageSize)
+	if nFrames == 0 {
+		return nil, fmt.Errorf("fastswap: LocalBudget %d holds no pages", cfg.LocalBudget)
+	}
+	var arena mem.Store
+	if cfg.Backing == BackingPhantom {
+		arena = mem.NewPhantomStore(nFrames * uint64(cfg.PageSize))
+	} else {
+		arena = mem.NewRealStore(nFrames * uint64(cfg.PageSize))
+	}
+	link := cfg.Transport
+	if link == nil {
+		link = fabric.NewSimLink(cfg.Env, fabric.BackendRDMA)
+	}
+	ra := cfg.ReadaheadPages
+	if ra < 0 {
+		ra = 0
+	}
+	s := &Swap{
+		env:        cfg.Env,
+		link:       link,
+		pageSize:   cfg.PageSize,
+		shift:      uint(bits.TrailingZeros(uint(cfg.PageSize))),
+		heapSize:   cfg.HeapSize,
+		states:     make([]PageState, nPages),
+		dirty:      make([]bool, nPages),
+		refd:       make([]bool, nPages),
+		frame:      make([]uint32, nPages),
+		arena:      arena,
+		frameOwner: make([]uint32, nFrames),
+		freeFrames: make([]uint32, 0, nFrames),
+		readahead:  ra,
+		lastFault:  ^uint64(0),
+	}
+	for i := range s.frameOwner {
+		s.frameOwner[i] = noPage
+		s.freeFrames = append(s.freeFrames, uint32(i))
+	}
+	return s, nil
+}
+
+// Env returns the simulation environment.
+func (s *Swap) Env() *sim.Env { return s.env }
+
+// PageSize reports the architected page size.
+func (s *Swap) PageSize() int { return s.pageSize }
+
+// ResidentBytes reports bytes of resident pages (cgroup usage).
+func (s *Swap) ResidentBytes() uint64 {
+	return uint64(len(s.frameOwner)-len(s.freeFrames)) * uint64(s.pageSize)
+}
+
+// Malloc bump-allocates n bytes and returns its heap offset. Fastswap
+// needs no pointer tagging: any page can swap, so pointers are ordinary
+// addresses (offsets into the simulated heap).
+func (s *Swap) Malloc(n uint64) (uint64, error) {
+	if n == 0 {
+		n = 1
+	}
+	const align = 16
+	start := (s.brk + align - 1) &^ (align - 1)
+	if start+n > s.heapSize {
+		return 0, fmt.Errorf("fastswap: heap exhausted")
+	}
+	s.brk = start + n
+	return start, nil
+}
+
+// MustMalloc is Malloc that panics on exhaustion.
+func (s *Swap) MustMalloc(n uint64) uint64 {
+	off, err := s.Malloc(n)
+	if err != nil {
+		panic(err)
+	}
+	return off
+}
+
+// fault handles a page fault on page pg, returning its frame base.
+func (s *Swap) fault(pg uint64, write bool) uint64 {
+	switch s.states[pg] {
+	case PageUntouched:
+		// Zero-fill minor fault: kernel maps a fresh zeroed page.
+		s.env.Clock.Advance(s.env.Costs.SwapFaultLocal)
+		s.env.Counters.MinorFaults++
+		f := s.takeFrame()
+		base := uint64(f) * uint64(s.pageSize)
+		s.arena.WriteAt(base, make([]byte, s.pageSize))
+		s.install(pg, f, write)
+		return base
+	case PageRemote:
+		// Major fault: the kernel fault path (mapping + cgroups) plus
+		// the frontswap RDMA pull, which the link charges. Together
+		// they land on the paper's ~34K-cycle remote fault (Table 2).
+		s.env.Clock.Advance(s.env.Costs.SwapFaultLocal)
+		s.env.Counters.MajorFaults++
+		f := s.takeFrame()
+		base := uint64(f) * uint64(s.pageSize)
+		buf := make([]byte, s.pageSize)
+		s.link.Fetch(pg, buf)
+		s.arena.WriteAt(base, buf)
+		s.install(pg, f, write)
+		s.maybeReadahead(pg)
+		return base
+	default:
+		panic("fastswap: fault on mapped page")
+	}
+}
+
+func (s *Swap) install(pg uint64, f uint32, write bool) {
+	s.states[pg] = PageMapped
+	s.frame[pg] = f
+	s.frameOwner[f] = uint32(pg)
+	s.refd[pg] = true
+	if write {
+		s.dirty[pg] = true
+	}
+}
+
+// maybeReadahead pulls the readahead window behind a sequential fault
+// stream. The lead page already paid the blocking cost; trailing pages
+// overlap with execution (bandwidth term only).
+func (s *Swap) maybeReadahead(pg uint64) {
+	if pg == s.lastFault+1 {
+		s.faultRun++
+	} else {
+		s.faultRun = 0
+	}
+	s.lastFault = pg
+	if s.faultRun < 2 {
+		return
+	}
+	for k := uint64(1); k <= uint64(s.readahead); k++ {
+		next := pg + k
+		if next >= uint64(len(s.states)) || s.states[next] != PageRemote {
+			continue
+		}
+		f, ok := s.tryTakeFrame()
+		if !ok {
+			return
+		}
+		base := uint64(f) * uint64(s.pageSize)
+		buf := make([]byte, s.pageSize)
+		s.link.FetchAsync(next, buf)
+		s.arena.WriteAt(base, buf)
+		s.install(next, f, false)
+		s.env.Counters.PrefetchIssued++
+	}
+}
+
+func (s *Swap) takeFrame() uint32 {
+	f, ok := s.tryTakeFrame()
+	if !ok {
+		panic("fastswap: no reclaimable frame")
+	}
+	return f
+}
+
+// tryTakeFrame reclaims with a referenced-bit clock, charging the cgroup
+// reclaim overhead per eviction.
+func (s *Swap) tryTakeFrame() (uint32, bool) {
+	if n := len(s.freeFrames); n > 0 {
+		f := s.freeFrames[n-1]
+		s.freeFrames = s.freeFrames[:n-1]
+		return f, true
+	}
+	nFrames := len(s.frameOwner)
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < nFrames; i++ {
+			f := s.hand
+			s.hand = (s.hand + 1) % nFrames
+			pg := s.frameOwner[f]
+			if pg == noPage {
+				continue
+			}
+			if pass == 0 && s.refd[pg] {
+				s.refd[pg] = false
+				continue
+			}
+			s.evict(uint32(f), uint64(pg))
+			return uint32(f), true
+		}
+	}
+	return 0, false
+}
+
+func (s *Swap) evict(f uint32, pg uint64) {
+	s.env.Clock.Advance(s.env.Costs.EvictPage)
+	base := uint64(f) * uint64(s.pageSize)
+	if s.dirty[pg] {
+		buf := make([]byte, s.pageSize)
+		s.arena.ReadAt(base, buf)
+		s.link.Push(pg, buf)
+		s.dirty[pg] = false
+	}
+	s.states[pg] = PageRemote
+	s.frameOwner[f] = noPage
+	s.env.Counters.PageEvictions++
+}
+
+// EvacuateAll reclaims every resident page, starting measurement cold.
+func (s *Swap) EvacuateAll() {
+	for f, pg := range s.frameOwner {
+		if pg == noPage {
+			continue
+		}
+		s.evict(uint32(f), uint64(pg))
+		s.freeFrames = append(s.freeFrames, uint32(f))
+	}
+}
+
+// access moves len(buf) bytes at heap offset off, faulting as needed.
+func (s *Swap) access(off uint64, buf []byte, write bool) {
+	if off+uint64(len(buf)) > s.heapSize {
+		panic(fmt.Sprintf("fastswap: access at %#x+%d beyond heap end", off, len(buf)))
+	}
+	done, total := uint64(0), uint64(len(buf))
+	for done < total {
+		pg := (off + done) >> s.shift
+		inPg := (off + done) & (uint64(s.pageSize) - 1)
+		n := uint64(s.pageSize) - inPg
+		if total-done < n {
+			n = total - done
+		}
+		var base uint64
+		if s.states[pg] == PageMapped {
+			base = uint64(s.frame[pg]) * uint64(s.pageSize)
+			s.refd[pg] = true
+			if write {
+				s.dirty[pg] = true
+			}
+		} else {
+			base = s.fault(pg, write)
+		}
+		lines := (n + 63) / 64
+		s.env.Clock.Advance(lines * s.env.Costs.LocalLoadStore)
+		if write {
+			s.arena.WriteAt(base+inPg, buf[done:done+n])
+		} else {
+			s.arena.ReadAt(base+inPg, buf[done:done+n])
+		}
+		done += n
+	}
+}
+
+// Load reads len(dst) bytes at heap offset off.
+func (s *Swap) Load(off uint64, dst []byte) { s.access(off, dst, false) }
+
+// Store writes src at heap offset off.
+func (s *Swap) Store(off uint64, src []byte) { s.access(off, src, true) }
+
+// LoadU64 reads a little-endian uint64 at off.
+func (s *Swap) LoadU64(off uint64) uint64 {
+	var buf [8]byte
+	s.access(off, buf[:], false)
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+// StoreU64 writes a little-endian uint64 at off.
+func (s *Swap) StoreU64(off uint64, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	s.access(off, buf[:], true)
+}
+
+// LoadF64 reads a float64 at off.
+func (s *Swap) LoadF64(off uint64) float64 {
+	return float64FromBits(s.LoadU64(off))
+}
+
+// StoreF64 writes a float64 at off.
+func (s *Swap) StoreF64(off uint64, v float64) {
+	s.StoreU64(off, float64Bits(v))
+}

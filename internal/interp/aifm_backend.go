@@ -1,0 +1,230 @@
+package interp
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"trackfm/internal/aifm"
+	"trackfm/internal/fabric"
+	"trackfm/internal/sim"
+)
+
+// AIFMBackend executes programs the way the paper's library-based
+// comparator runs them (§4.5, Fig. 14): the programmer has hand-ported the
+// application onto AIFM's remote data structures, so there are no
+// compiler-injected guards. Every access pays the smart-pointer
+// indirection plus a DerefScope pin when the object needs localizing;
+// sequential streams run through library iterators (per-object pin +
+// prefetch), which is what the compiler's chunk annotations stand in for.
+//
+// This backend represents the performance ceiling TrackFM is measured
+// against: identical runtime mechanics, zero guard instructions.
+type AIFMBackend struct {
+	pool  *aifm.Pool
+	env   *sim.Env
+	local *localArena
+
+	heapBase uint64
+	heapSize uint64
+	brk      uint64
+	objSize  uint64
+}
+
+// aifmHeapBase tags AIFM heap addresses; distinct from the TrackFM
+// non-canonical range and the local arena.
+const aifmHeapBase = 1 << 59
+
+// AIFMConfig parameterizes the comparator.
+type AIFMConfig struct {
+	Env         *sim.Env
+	ObjectSize  int
+	HeapSize    uint64
+	LocalBudget uint64
+	// PrefetchDepth for library iterators (default 8).
+	PrefetchDepth int
+}
+
+// NewAIFMBackend builds the comparator backend.
+func NewAIFMBackend(cfg AIFMConfig) (*AIFMBackend, error) {
+	if cfg.Env == nil {
+		return nil, fmt.Errorf("interp: AIFMConfig.Env is required")
+	}
+	if cfg.ObjectSize == 0 {
+		cfg.ObjectSize = 4096
+	}
+	pool, err := aifm.NewPool(aifm.Config{
+		Env:           cfg.Env,
+		Transport:     fabric.NewSimLink(cfg.Env, fabric.BackendTCP),
+		ObjectSize:    cfg.ObjectSize,
+		HeapSize:      cfg.HeapSize,
+		LocalBudget:   cfg.LocalBudget,
+		AutoPrefetch:  true, // library data structures prefetch internally
+		PrefetchDepth: cfg.PrefetchDepth,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &AIFMBackend{
+		pool:     pool,
+		env:      cfg.Env,
+		local:    newLocalArena(localArenaBase, cfg.Env),
+		heapBase: aifmHeapBase,
+		heapSize: cfg.HeapSize,
+		objSize:  uint64(cfg.ObjectSize),
+	}, nil
+}
+
+// Env exposes the backend's environment.
+func (b *AIFMBackend) Env() *sim.Env { return b.env }
+
+// Pool exposes the underlying object pool.
+func (b *AIFMBackend) Pool() *aifm.Pool { return b.pool }
+
+// Init implements Backend.
+func (b *AIFMBackend) Init() {}
+
+// Malloc implements Backend: allocations become AIFM remote data
+// structures; like the TrackFM allocator it avoids straddling objects
+// with small allocations (the library developer lays structures out this
+// way by construction).
+func (b *AIFMBackend) Malloc(n uint64) uint64 {
+	if n == 0 {
+		n = 1
+	}
+	const align = 16
+	start := (b.brk + align - 1) &^ (align - 1)
+	if n <= b.objSize {
+		objEnd := (start &^ (b.objSize - 1)) + b.objSize
+		if start+n > objEnd {
+			start = objEnd
+		}
+	}
+	if start+n > b.heapSize {
+		panic("interp: AIFM heap exhausted")
+	}
+	b.brk = start + n
+	return b.heapBase + start
+}
+
+// Free implements Backend.
+func (b *AIFMBackend) Free(addr uint64) {}
+
+// LocalAlloc implements Backend.
+func (b *AIFMBackend) LocalAlloc(n uint64) uint64 { return b.local.alloc(n) }
+
+func (b *AIFMBackend) isHeap(addr uint64) bool {
+	return addr >= b.heapBase && addr < b.heapBase+b.heapSize
+}
+
+func (b *AIFMBackend) locate(addr uint64) (aifm.ObjectID, uint64) {
+	off := addr - b.heapBase
+	return aifm.ObjectID(off / b.objSize), off % b.objSize
+}
+
+// access performs one smart-pointer dereference: indirection cost, scope
+// pin if the object is remote, then the data access.
+func (b *AIFMBackend) access(addr uint64, write bool) (aifm.ObjectID, uint64) {
+	id, off := b.locate(addr)
+	b.env.Clock.Advance(b.env.Costs.SmartPointerIndirection)
+	if !b.pool.Meta(id).Present() {
+		b.env.Clock.Advance(b.env.Costs.DerefScopeCost)
+	}
+	b.pool.Localize(id, write)
+	b.env.Clock.Advance(b.env.Costs.LocalLoadStore)
+	return id, off
+}
+
+// Load implements Backend.
+func (b *AIFMBackend) Load(addr uint64, guarded bool) uint64 {
+	if !b.isHeap(addr) {
+		return b.local.load(addr)
+	}
+	id, off := b.access(addr, false)
+	var buf [8]byte
+	b.pool.Read(id, off, buf[:])
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+// Store implements Backend.
+func (b *AIFMBackend) Store(addr uint64, v uint64, guarded bool) {
+	if !b.isHeap(addr) {
+		b.local.store(addr, v)
+		return
+	}
+	id, off := b.access(addr, true)
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	b.pool.Write(id, off, buf[:])
+}
+
+// OpenCursor implements Backend: the library iterator — per-object pin,
+// internal prefetch, indirection cost only at object boundaries.
+func (b *AIFMBackend) OpenCursor(firstAddr uint64, stride int64, prefetch bool) Cursor {
+	if !b.isHeap(firstAddr) {
+		return &passthroughCursor{b: b}
+	}
+	return &aifmIterator{b: b, cur: aifm.ObjectID(^uint64(0)), prefetch: prefetch}
+}
+
+type aifmIterator struct {
+	b        *AIFMBackend
+	cur      aifm.ObjectID
+	pinned   bool
+	prefetch bool
+}
+
+func (it *aifmIterator) ensure(addr uint64, write bool) (aifm.ObjectID, uint64) {
+	b := it.b
+	id, off := b.locate(addr)
+	if !it.pinned || id != it.cur {
+		if it.pinned {
+			b.pool.Unpin(it.cur)
+		}
+		b.env.Clock.Advance(b.env.Costs.SmartPointerIndirection + b.env.Costs.DerefScopeCost)
+		b.pool.Localize(id, write)
+		b.pool.Pin(id)
+		it.cur, it.pinned = id, true
+		if it.prefetch {
+			for k := aifm.ObjectID(1); k <= 8; k++ {
+				b.pool.Prefetch(id + k)
+			}
+		}
+	} else if write && !b.pool.Meta(id).Dirty() {
+		b.pool.Localize(id, true)
+	}
+	b.env.Clock.Advance(b.env.Costs.LocalLoadStore)
+	return id, off
+}
+
+// Load implements Cursor.
+func (it *aifmIterator) Load(addr uint64) uint64 {
+	if !it.b.isHeap(addr) {
+		return it.b.local.load(addr)
+	}
+	id, off := it.ensure(addr, false)
+	var buf [8]byte
+	it.b.pool.Read(id, off, buf[:])
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+// Store implements Cursor.
+func (it *aifmIterator) Store(addr uint64, v uint64) {
+	if !it.b.isHeap(addr) {
+		it.b.local.store(addr, v)
+		return
+	}
+	id, off := it.ensure(addr, true)
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	it.b.pool.Write(id, off, buf[:])
+}
+
+// Close implements Cursor.
+func (it *aifmIterator) Close() {
+	if it.pinned {
+		it.b.pool.Unpin(it.cur)
+		it.pinned = false
+	}
+}
+
+var _ Backend = (*AIFMBackend)(nil)

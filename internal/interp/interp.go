@@ -1,0 +1,345 @@
+// Package interp executes compiled mini-IR programs against a far-memory
+// backend: the TrackFM runtime (guards + cursors), the Fastswap baseline
+// (page faults), or plain local memory. It also hosts the profiling run
+// that feeds loop coverage back into the compiler's cost model.
+package interp
+
+import (
+	"fmt"
+
+	"trackfm/internal/compiler"
+	"trackfm/internal/ir"
+	"trackfm/internal/sim"
+)
+
+// Cursor is the backend-side handle for one chunked access stream.
+type Cursor interface {
+	// Load reads 8 bytes at addr through the chunk protocol.
+	Load(addr uint64) uint64
+	// Store writes 8 bytes at addr through the chunk protocol.
+	Store(addr uint64, v uint64)
+	// Close releases the pinned chunk.
+	Close()
+}
+
+// ResetStatsCall is the builtin function name programs call to reset the
+// backend's clock and counters — the boundary between an untimed setup
+// phase and the measured region (STREAM reports kernel bandwidth only).
+const ResetStatsCall = "tfm_reset_stats"
+
+// Backend is the execution target for IR programs. Addresses are opaque
+// 64-bit values minted by Malloc/LocalAlloc; TrackFM backends mint
+// non-canonical pointers for heap allocations, so custody semantics follow
+// the value, exactly as in the transformed binaries.
+type Backend interface {
+	// Env exposes the backend's simulation environment.
+	Env() *sim.Env
+	// Init runs the runtime-initialization hooks the compiler planted.
+	Init()
+	// Malloc allocates heap memory (the libc-transformed path).
+	Malloc(n uint64) uint64
+	// Free releases heap memory.
+	Free(addr uint64)
+	// LocalAlloc allocates stack/global memory.
+	LocalAlloc(n uint64) uint64
+	// Load reads 8 bytes; guarded says whether the compiler emitted a
+	// guard for this access.
+	Load(addr uint64, guarded bool) uint64
+	// Store writes 8 bytes.
+	Store(addr uint64, v uint64, guarded bool)
+	// OpenCursor starts a chunked stream whose first access is at
+	// firstAddr with the given byte stride.
+	OpenCursor(firstAddr uint64, stride int64, prefetch bool) Cursor
+}
+
+// Result carries a program run's outcome.
+type Result struct {
+	// Return is the value returned by main (0 if none).
+	Return int64
+}
+
+// Options tunes one execution.
+type Options struct {
+	// Profile, when non-nil, records loop coverage during the run (the
+	// compiler's profiling pass uses a cheap local-backend run).
+	Profile *compiler.Profile
+	// MaxSteps aborts runaway programs (0 means a generous default).
+	MaxSteps uint64
+}
+
+// Run executes prog against backend.
+func Run(prog *ir.Program, backend Backend, opts Options) (res Result, err error) {
+	main, ok := prog.Funcs[prog.Main]
+	if !ok {
+		return Result{}, fmt.Errorf("interp: entry function %q not found", prog.Main)
+	}
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = 1 << 40
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("interp: runtime fault: %v", r)
+		}
+	}()
+	if prog.RuntimeInit {
+		backend.Init()
+	}
+	ex := &executor{prog: prog, backend: backend, opts: opts}
+	v := ex.call(main, nil)
+	return Result{Return: v}, nil
+}
+
+type executor struct {
+	prog    *ir.Program
+	backend Backend
+	opts    Options
+	steps   uint64
+
+	// allocRanges maps addresses back to allocation sites during
+	// profiling runs, for the PGO remotability pruning pass.
+	allocRanges []allocRange
+}
+
+type allocRange struct {
+	base, end uint64
+	site      *ir.Malloc
+}
+
+// recordAccess attributes a profiled memory access to its allocation site.
+func (ex *executor) recordAccess(addr uint64) {
+	for i := len(ex.allocRanges) - 1; i >= 0; i-- {
+		r := ex.allocRanges[i]
+		if addr >= r.base && addr < r.end {
+			ex.opts.Profile.RecordAllocAccess(r.site)
+			return
+		}
+	}
+}
+
+type frame struct {
+	vars    map[string]int64
+	cursors map[int]Cursor
+	ret     int64
+	done    bool
+}
+
+func (ex *executor) call(f *ir.Func, args []int64) int64 {
+	if len(args) != len(f.Params) {
+		panic(fmt.Sprintf("call of %s with %d args, want %d", f.Name, len(args), len(f.Params)))
+	}
+	fr := &frame{vars: make(map[string]int64), cursors: make(map[int]Cursor)}
+	for i, p := range f.Params {
+		fr.vars[p] = args[i]
+	}
+	ex.execBlock(f.Body, fr)
+	return fr.ret
+}
+
+func (ex *executor) step() {
+	ex.steps++
+	if ex.steps > ex.opts.MaxSteps {
+		panic("step budget exhausted")
+	}
+}
+
+func (ex *executor) execBlock(body []ir.Stmt, fr *frame) {
+	for _, s := range body {
+		if fr.done {
+			return
+		}
+		ex.execStmt(s, fr)
+	}
+}
+
+func (ex *executor) execStmt(s ir.Stmt, fr *frame) {
+	ex.step()
+	switch n := s.(type) {
+	case *ir.Assign:
+		fr.vars[n.Name] = ex.eval(n.E, fr)
+	case *ir.Store:
+		v := ex.eval(n.Val, fr)
+		addr := uint64(ex.eval(n.Addr, fr))
+		if ex.opts.Profile != nil {
+			ex.recordAccess(addr)
+		}
+		if n.Chunk != nil {
+			ex.cursorFor(n.Chunk, addr, fr).Store(addr, uint64(v))
+		} else {
+			ex.backend.Store(addr, uint64(v), n.Guarded)
+		}
+	case *ir.If:
+		if ex.eval(n.Cond, fr) != 0 {
+			ex.execBlock(n.Then, fr)
+		} else {
+			ex.execBlock(n.Else, fr)
+		}
+	case *ir.For:
+		ex.execFor(n, fr)
+	case *ir.Malloc:
+		size := uint64(ex.eval(n.Size, fr))
+		var addr uint64
+		if n.PinLocal {
+			// PGO-pruned site: the allocation lives in non-swappable
+			// local memory on every backend.
+			addr = ex.backend.LocalAlloc(size)
+		} else {
+			addr = ex.backend.Malloc(size)
+		}
+		if ex.opts.Profile != nil {
+			ex.opts.Profile.RecordAlloc(n, size)
+			ex.allocRanges = append(ex.allocRanges, allocRange{addr, addr + size, n})
+		}
+		fr.vars[n.Dst] = int64(addr)
+	case *ir.Free:
+		ex.backend.Free(uint64(ex.eval(n.Ptr, fr)))
+	case *ir.LocalAlloc:
+		fr.vars[n.Dst] = int64(ex.backend.LocalAlloc(uint64(ex.eval(n.Size, fr))))
+	case *ir.Call:
+		if n.Name == ResetStatsCall {
+			env := ex.backend.Env()
+			env.Clock.Reset()
+			env.Counters.Reset()
+			return
+		}
+		callee, ok := ex.prog.Funcs[n.Name]
+		if !ok {
+			panic(fmt.Sprintf("call of undefined function %q", n.Name))
+		}
+		args := make([]int64, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = ex.eval(a, fr)
+		}
+		v := ex.call(callee, args)
+		if n.Dst != "" {
+			fr.vars[n.Dst] = v
+		}
+	case *ir.Return:
+		if n.E != nil {
+			fr.ret = ex.eval(n.E, fr)
+		}
+		fr.done = true
+	default:
+		panic(fmt.Sprintf("unknown statement %T", s))
+	}
+}
+
+func (ex *executor) execFor(n *ir.For, fr *frame) {
+	if n.Step <= 0 {
+		panic(fmt.Sprintf("loop %s has non-positive step %d", n.IV, n.Step))
+	}
+	start := ex.eval(n.Start, fr)
+	limit := ex.eval(n.Limit, fr)
+	if ex.opts.Profile != nil {
+		ex.opts.Profile.RecordEntry(n)
+	}
+	// Cursors owned by this loop are (re)opened lazily inside the body
+	// and must close on every exit path, including Return.
+	if len(n.StreamIDs) > 0 {
+		defer func() {
+			for _, id := range n.StreamIDs {
+				if c, ok := fr.cursors[id]; ok {
+					c.Close()
+					delete(fr.cursors, id)
+				}
+			}
+		}()
+	}
+	trips := uint64(0)
+	for i := start; i < limit; i += n.Step {
+		fr.vars[n.IV] = i
+		trips++
+		ex.execBlock(n.Body, fr)
+		if fr.done {
+			break
+		}
+	}
+	if ex.opts.Profile != nil {
+		ex.opts.Profile.RecordTrips(n, trips)
+	}
+}
+
+func (ex *executor) cursorFor(ci *ir.ChunkInfo, firstAddr uint64, fr *frame) Cursor {
+	if c, ok := fr.cursors[ci.StreamID]; ok {
+		return c
+	}
+	c := ex.backend.OpenCursor(firstAddr, ci.Stride, ci.Prefetch)
+	fr.cursors[ci.StreamID] = c
+	return c
+}
+
+func (ex *executor) eval(e ir.Expr, fr *frame) int64 {
+	ex.step()
+	switch n := e.(type) {
+	case *ir.Const:
+		return n.V
+	case *ir.Var:
+		return fr.vars[n.Name]
+	case *ir.Bin:
+		l := ex.eval(n.L, fr)
+		r := ex.eval(n.R, fr)
+		return evalBin(n.Op, l, r)
+	case *ir.Load:
+		addr := uint64(ex.eval(n.Addr, fr))
+		if ex.opts.Profile != nil {
+			ex.recordAccess(addr)
+		}
+		if n.Chunk != nil {
+			return int64(ex.cursorFor(n.Chunk, addr, fr).Load(addr))
+		}
+		return int64(ex.backend.Load(addr, n.Guarded))
+	default:
+		panic(fmt.Sprintf("unknown expression %T", e))
+	}
+}
+
+func evalBin(op ir.BinOp, l, r int64) int64 {
+	switch op {
+	case ir.OpAdd:
+		return l + r
+	case ir.OpSub:
+		return l - r
+	case ir.OpMul:
+		return l * r
+	case ir.OpDiv:
+		if r == 0 {
+			panic("division by zero")
+		}
+		return l / r
+	case ir.OpMod:
+		if r == 0 {
+			panic("modulo by zero")
+		}
+		return l % r
+	case ir.OpAnd:
+		return l & r
+	case ir.OpOr:
+		return l | r
+	case ir.OpXor:
+		return l ^ r
+	case ir.OpShl:
+		return l << (uint64(r) & 63)
+	case ir.OpShr:
+		return int64(uint64(l) >> (uint64(r) & 63))
+	case ir.OpLt:
+		return b2i(l < r)
+	case ir.OpLe:
+		return b2i(l <= r)
+	case ir.OpGt:
+		return b2i(l > r)
+	case ir.OpGe:
+		return b2i(l >= r)
+	case ir.OpEq:
+		return b2i(l == r)
+	case ir.OpNe:
+		return b2i(l != r)
+	default:
+		panic(fmt.Sprintf("unknown operator %v", op))
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

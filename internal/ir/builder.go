@@ -1,0 +1,51 @@
+package ir
+
+// Builder helpers keep workload and test programs terse. They are plain
+// constructors; no hidden state.
+
+// C builds an integer literal.
+func C(v int64) *Const { return &Const{V: v} }
+
+// V builds a variable reference.
+func V(name string) *Var { return &Var{Name: name} }
+
+// B builds a binary expression.
+func B(op BinOp, l, r Expr) *Bin { return &Bin{Op: op, L: l, R: r} }
+
+// Add builds l + r.
+func Add(l, r Expr) *Bin { return B(OpAdd, l, r) }
+
+// Sub builds l - r.
+func Sub(l, r Expr) *Bin { return B(OpSub, l, r) }
+
+// Mul builds l * r.
+func Mul(l, r Expr) *Bin { return B(OpMul, l, r) }
+
+// Idx builds the canonical array-indexing address base + i*scale.
+func Idx(base Expr, i Expr, scale int64) Expr {
+	return Add(base, Mul(i, C(scale)))
+}
+
+// Ld builds a load.
+func Ld(addr Expr) *Load { return &Load{Addr: addr} }
+
+// St builds a store statement.
+func St(addr, val Expr) *Store { return &Store{Addr: addr, Val: val} }
+
+// Let builds an assignment.
+func Let(name string, e Expr) *Assign { return &Assign{Name: name, E: e} }
+
+// Loop builds a counted loop with step 1.
+func Loop(iv string, start, limit Expr, body ...Stmt) *For {
+	return &For{IV: iv, Start: start, Limit: limit, Step: 1, Body: body}
+}
+
+// LoopStep builds a counted loop with an explicit step.
+func LoopStep(iv string, start, limit Expr, step int64, body ...Stmt) *For {
+	return &For{IV: iv, Start: start, Limit: limit, Step: step, Body: body}
+}
+
+// Fn builds a function.
+func Fn(name string, params []string, body ...Stmt) *Func {
+	return &Func{Name: name, Params: params, Body: body}
+}

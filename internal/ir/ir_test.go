@@ -1,0 +1,108 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// sumProgram builds the paper's running example: sum over a heap array.
+func sumProgram(n int64) *Program {
+	p := NewProgram()
+	p.AddFunc(Fn("main", nil,
+		&Malloc{Dst: "a", Size: C(n * 8)},
+		Let("sum", C(0)),
+		Loop("i", C(0), C(n),
+			St(Idx(V("a"), V("i"), 8), V("i")),
+		),
+		Loop("j", C(0), C(n),
+			Let("sum", Add(V("sum"), Ld(Idx(V("a"), V("j"), 8)))),
+		),
+		&Return{E: V("sum")},
+	))
+	return p
+}
+
+func TestCountMemAccesses(t *testing.T) {
+	p := sumProgram(10)
+	if got := CountMemAccesses(p.Funcs["main"].Body); got != 2 {
+		t.Fatalf("CountMemAccesses = %d, want 2", got)
+	}
+}
+
+func TestCountNodesPositive(t *testing.T) {
+	p := sumProgram(10)
+	if got := CountNodes(p.Funcs["main"].Body); got < 10 {
+		t.Fatalf("CountNodes = %d, suspiciously small", got)
+	}
+}
+
+func TestAssignedVars(t *testing.T) {
+	p := sumProgram(10)
+	vars := AssignedVars(p.Funcs["main"].Body)
+	for _, name := range []string{"a", "sum", "i", "j"} {
+		if !vars[name] {
+			t.Errorf("AssignedVars missing %q", name)
+		}
+	}
+	if vars["zzz"] {
+		t.Errorf("AssignedVars invented a variable")
+	}
+}
+
+func TestVisitStmtsReachesNestedBodies(t *testing.T) {
+	p := NewProgram()
+	p.AddFunc(Fn("main", nil,
+		&If{Cond: C(1), Then: []Stmt{
+			Loop("i", C(0), C(3),
+				St(V("p"), C(1)),
+			),
+		}, Else: []Stmt{
+			Let("x", C(2)),
+		}},
+	))
+	var stores, loops, assigns int
+	VisitStmts(p.Funcs["main"].Body, func(s Stmt) {
+		switch s.(type) {
+		case *Store:
+			stores++
+		case *For:
+			loops++
+		case *Assign:
+			assigns++
+		}
+	}, nil)
+	if stores != 1 || loops != 1 || assigns != 1 {
+		t.Fatalf("visit counts: stores=%d loops=%d assigns=%d", stores, loops, assigns)
+	}
+}
+
+func TestBinOpString(t *testing.T) {
+	if OpAdd.String() != "+" || OpNe.String() != "!=" {
+		t.Fatalf("BinOp strings broken")
+	}
+	if BinOp(99).String() != "?" {
+		t.Fatalf("unknown op should print ?")
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	p := sumProgram(4)
+	s := p.String()
+	for _, want := range []string{"func main()", "malloc", "for i = 0; i < 4; i += 1", "return sum"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q in:\n%s", want, s)
+		}
+	}
+	// Annotations appear after marking.
+	p.Funcs["main"].Body[2].(*For).Body[0].(*Store).Guarded = true
+	if !strings.Contains(p.String(), "[G]") {
+		t.Errorf("guard annotation not rendered")
+	}
+}
+
+func TestLoopStepBuilder(t *testing.T) {
+	l := LoopStep("i", C(0), C(10), 2)
+	if l.Step != 2 || l.IV != "i" {
+		t.Fatalf("LoopStep broken: %+v", l)
+	}
+}

@@ -1,0 +1,106 @@
+package ir
+
+// Walk infrastructure shared by every compiler pass.
+
+// VisitExprs calls fn for every expression node reachable from e,
+// children first.
+func VisitExprs(e Expr, fn func(Expr)) {
+	switch n := e.(type) {
+	case *Bin:
+		VisitExprs(n.L, fn)
+		VisitExprs(n.R, fn)
+	case *Load:
+		VisitExprs(n.Addr, fn)
+	}
+	fn(e)
+}
+
+// VisitStmts calls fn for every statement in body and nested bodies,
+// outermost first, and visits contained expressions with efn (children
+// first) when efn is non-nil.
+func VisitStmts(body []Stmt, fn func(Stmt), efn func(Expr)) {
+	visitE := func(e Expr) {
+		if e != nil && efn != nil {
+			VisitExprs(e, efn)
+		}
+	}
+	for _, s := range body {
+		if fn != nil {
+			fn(s)
+		}
+		switch n := s.(type) {
+		case *Assign:
+			visitE(n.E)
+		case *Store:
+			visitE(n.Addr)
+			visitE(n.Val)
+		case *If:
+			visitE(n.Cond)
+			VisitStmts(n.Then, fn, efn)
+			VisitStmts(n.Else, fn, efn)
+		case *For:
+			visitE(n.Start)
+			visitE(n.Limit)
+			VisitStmts(n.Body, fn, efn)
+		case *Malloc:
+			visitE(n.Size)
+		case *Free:
+			visitE(n.Ptr)
+		case *LocalAlloc:
+			visitE(n.Size)
+		case *Call:
+			for _, a := range n.Args {
+				visitE(a)
+			}
+		case *Return:
+			visitE(n.E)
+		}
+	}
+}
+
+// CountMemAccesses reports the static number of Load and Store nodes in
+// body — the "memory instructions" metric of §4.5/§4.6.
+func CountMemAccesses(body []Stmt) int {
+	n := 0
+	VisitStmts(body, func(s Stmt) {
+		if _, ok := s.(*Store); ok {
+			n++
+		}
+	}, func(e Expr) {
+		if _, ok := e.(*Load); ok {
+			n++
+		}
+	})
+	return n
+}
+
+// CountNodes reports total statement plus expression node count, the
+// code-size proxy for §4.6.
+func CountNodes(body []Stmt) int {
+	n := 0
+	VisitStmts(body, func(Stmt) { n++ }, func(Expr) { n++ })
+	return n
+}
+
+// AssignedVars collects every variable assigned anywhere in body
+// (including loop IVs and allocation destinations).
+func AssignedVars(body []Stmt) map[string]bool {
+	out := make(map[string]bool)
+	VisitStmts(body, func(s Stmt) {
+		switch n := s.(type) {
+		case *Assign:
+			out[n.Name] = true
+		case *For:
+			out[n.IV] = true
+		case *Malloc:
+			out[n.Dst] = true
+		case *LocalAlloc:
+			out[n.Dst] = true
+		case *Call:
+			if n.Dst != "" {
+				out[n.Dst] = true
+			}
+		}
+	}, nil)
+	return out
+}

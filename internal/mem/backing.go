@@ -1,0 +1,91 @@
+// Package mem provides backing stores for simulated local memory.
+//
+// The runtimes address memory through a Store interface so experiments can
+// choose between RealStore (actual bytes; workloads compute real results
+// and correctness is verifiable) and PhantomStore (no data plane; only the
+// control plane — object states, guards, faults, transfers — is exercised,
+// which allows paper-scale object counts without paper-scale RAM).
+package mem
+
+import "encoding/binary"
+
+// Store is a byte-addressable backing store. Offsets are local-buffer
+// offsets, not far-memory virtual addresses; the runtimes perform that
+// translation. Implementations are not required to be concurrency-safe;
+// the simulation engine serializes access.
+type Store interface {
+	// ReadAt copies len(p) bytes at off into p.
+	ReadAt(off uint64, p []byte)
+	// WriteAt copies p into the store at off.
+	WriteAt(off uint64, p []byte)
+	// Size reports the store capacity in bytes.
+	Size() uint64
+}
+
+// RealStore is a Store backed by a real byte slice.
+type RealStore struct {
+	buf []byte
+}
+
+// NewRealStore allocates a zeroed store of size bytes.
+func NewRealStore(size uint64) *RealStore {
+	return &RealStore{buf: make([]byte, size)}
+}
+
+// ReadAt implements Store.
+func (s *RealStore) ReadAt(off uint64, p []byte) {
+	copy(p, s.buf[off:off+uint64(len(p))])
+}
+
+// WriteAt implements Store.
+func (s *RealStore) WriteAt(off uint64, p []byte) {
+	copy(s.buf[off:off+uint64(len(p))], p)
+}
+
+// Size implements Store.
+func (s *RealStore) Size() uint64 { return uint64(len(s.buf)) }
+
+// Bytes exposes the underlying buffer for zero-copy slicing by the
+// runtimes (e.g. handing an object's window to the transport).
+func (s *RealStore) Bytes() []byte { return s.buf }
+
+// ReadU64 reads a little-endian uint64 at off.
+func (s *RealStore) ReadU64(off uint64) uint64 {
+	return binary.LittleEndian.Uint64(s.buf[off : off+8])
+}
+
+// WriteU64 writes a little-endian uint64 at off.
+func (s *RealStore) WriteU64(off uint64, v uint64) {
+	binary.LittleEndian.PutUint64(s.buf[off:off+8], v)
+}
+
+// PhantomStore is a Store with no data plane: writes are discarded and
+// reads return zeros. It lets control-plane experiments run with working
+// sets far larger than available RAM. Size is still tracked so budget
+// accounting behaves identically to RealStore.
+type PhantomStore struct {
+	size uint64
+}
+
+// NewPhantomStore returns a phantom store advertising size bytes.
+func NewPhantomStore(size uint64) *PhantomStore {
+	return &PhantomStore{size: size}
+}
+
+// ReadAt implements Store; it zero-fills p.
+func (s *PhantomStore) ReadAt(off uint64, p []byte) {
+	for i := range p {
+		p[i] = 0
+	}
+}
+
+// WriteAt implements Store; it discards p.
+func (s *PhantomStore) WriteAt(off uint64, p []byte) {}
+
+// Size implements Store.
+func (s *PhantomStore) Size() uint64 { return s.size }
+
+var (
+	_ Store = (*RealStore)(nil)
+	_ Store = (*PhantomStore)(nil)
+)

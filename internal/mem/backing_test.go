@@ -1,0 +1,73 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestRealStoreReadWrite(t *testing.T) {
+	s := NewRealStore(64)
+	if s.Size() != 64 {
+		t.Fatalf("Size() = %d", s.Size())
+	}
+	s.WriteAt(8, []byte{1, 2, 3})
+	got := make([]byte, 3)
+	s.ReadAt(8, got)
+	if !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("ReadAt = %v", got)
+	}
+}
+
+func TestRealStoreU64(t *testing.T) {
+	s := NewRealStore(32)
+	s.WriteU64(16, 0xDEADBEEFCAFEF00D)
+	if got := s.ReadU64(16); got != 0xDEADBEEFCAFEF00D {
+		t.Fatalf("ReadU64 = %#x", got)
+	}
+	// U64 helpers must agree with byte-level access (little endian).
+	b := make([]byte, 8)
+	s.ReadAt(16, b)
+	if b[0] != 0x0D || b[7] != 0xDE {
+		t.Fatalf("endianness mismatch: %v", b)
+	}
+}
+
+func TestRealStoreBytesAliases(t *testing.T) {
+	s := NewRealStore(16)
+	s.Bytes()[3] = 0x42
+	got := make([]byte, 1)
+	s.ReadAt(3, got)
+	if got[0] != 0x42 {
+		t.Fatalf("Bytes() does not alias the store")
+	}
+}
+
+func TestRealStoreRoundTripProperty(t *testing.T) {
+	s := NewRealStore(4096)
+	if err := quick.Check(func(off uint16, payload []byte) bool {
+		if len(payload) > 256 {
+			payload = payload[:256]
+		}
+		o := uint64(off) % (4096 - 256)
+		s.WriteAt(o, payload)
+		got := make([]byte, len(payload))
+		s.ReadAt(o, got)
+		return bytes.Equal(got, payload)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPhantomStore(t *testing.T) {
+	s := NewPhantomStore(1 << 40) // 1 TiB costs nothing
+	if s.Size() != 1<<40 {
+		t.Fatalf("Size() = %d", s.Size())
+	}
+	s.WriteAt(123, []byte{1, 2, 3})
+	got := []byte{9, 9, 9}
+	s.ReadAt(123, got)
+	if !bytes.Equal(got, []byte{0, 0, 0}) {
+		t.Fatalf("phantom read = %v, want zeros", got)
+	}
+}

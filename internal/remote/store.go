@@ -1,0 +1,76 @@
+// Package remote implements the remote memory node: a keyed blob store
+// holding evacuated objects (TrackFM/AIFM) or swapped-out pages (Fastswap),
+// and a TCP server exposing it over the wire protocol in package fabric.
+package remote
+
+import "sync"
+
+// Store is a thread-safe blob store keyed by object or page ID. It is the
+// memory of the remote node. The zero value is not ready; use NewStore.
+type Store struct {
+	mu    sync.RWMutex
+	blobs map[uint64][]byte
+	bytes uint64
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{blobs: make(map[uint64][]byte)}
+}
+
+// Put stores a copy of src under key, replacing any previous blob.
+func (s *Store) Put(key uint64, src []byte) {
+	blob := make([]byte, len(src))
+	copy(blob, src)
+	s.mu.Lock()
+	if old, ok := s.blobs[key]; ok {
+		s.bytes -= uint64(len(old))
+	}
+	s.blobs[key] = blob
+	s.bytes += uint64(len(blob))
+	s.mu.Unlock()
+}
+
+// Get copies the blob under key into dst and reports whether it existed.
+// If the blob is shorter than dst the remainder is zero-filled; if longer,
+// only len(dst) bytes are copied.
+func (s *Store) Get(key uint64, dst []byte) bool {
+	s.mu.RLock()
+	blob, ok := s.blobs[key]
+	s.mu.RUnlock()
+	if !ok {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return false
+	}
+	n := copy(dst, blob)
+	for i := n; i < len(dst); i++ {
+		dst[i] = 0
+	}
+	return true
+}
+
+// Delete removes key. Deleting an absent key is a no-op.
+func (s *Store) Delete(key uint64) {
+	s.mu.Lock()
+	if old, ok := s.blobs[key]; ok {
+		s.bytes -= uint64(len(old))
+		delete(s.blobs, key)
+	}
+	s.mu.Unlock()
+}
+
+// Len reports the number of stored blobs.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.blobs)
+}
+
+// Bytes reports the total stored payload bytes.
+func (s *Store) Bytes() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.bytes
+}

@@ -1,0 +1,117 @@
+package remote
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestStorePutGet(t *testing.T) {
+	s := NewStore()
+	s.Put(7, []byte{1, 2, 3, 4})
+	dst := make([]byte, 4)
+	if !s.Get(7, dst) {
+		t.Fatalf("Get(7) missed after Put")
+	}
+	if !bytes.Equal(dst, []byte{1, 2, 3, 4}) {
+		t.Fatalf("Get returned %v", dst)
+	}
+}
+
+func TestStoreGetMissingZeroFills(t *testing.T) {
+	s := NewStore()
+	dst := []byte{9, 9, 9}
+	if s.Get(1, dst) {
+		t.Fatalf("Get on empty store reported found")
+	}
+	if !bytes.Equal(dst, []byte{0, 0, 0}) {
+		t.Fatalf("missing Get did not zero-fill: %v", dst)
+	}
+}
+
+func TestStoreGetShortBlobZeroFillsTail(t *testing.T) {
+	s := NewStore()
+	s.Put(1, []byte{5, 6})
+	dst := []byte{9, 9, 9, 9}
+	if !s.Get(1, dst) {
+		t.Fatalf("Get missed")
+	}
+	if !bytes.Equal(dst, []byte{5, 6, 0, 0}) {
+		t.Fatalf("short blob read = %v", dst)
+	}
+}
+
+func TestStoreGetLongBlobTruncates(t *testing.T) {
+	s := NewStore()
+	s.Put(1, []byte{1, 2, 3, 4})
+	dst := make([]byte, 2)
+	s.Get(1, dst)
+	if !bytes.Equal(dst, []byte{1, 2}) {
+		t.Fatalf("truncated read = %v", dst)
+	}
+}
+
+func TestStoreReplaceAccounting(t *testing.T) {
+	s := NewStore()
+	s.Put(1, make([]byte, 100))
+	s.Put(1, make([]byte, 40))
+	if s.Bytes() != 40 {
+		t.Fatalf("Bytes() = %d after replace, want 40", s.Bytes())
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len() = %d, want 1", s.Len())
+	}
+	s.Delete(1)
+	if s.Bytes() != 0 || s.Len() != 0 {
+		t.Fatalf("delete accounting wrong: bytes=%d len=%d", s.Bytes(), s.Len())
+	}
+	s.Delete(1) // absent delete is a no-op
+}
+
+func TestStorePutCopies(t *testing.T) {
+	s := NewStore()
+	src := []byte{1, 2, 3}
+	s.Put(1, src)
+	src[0] = 99
+	dst := make([]byte, 3)
+	s.Get(1, dst)
+	if dst[0] != 1 {
+		t.Fatalf("Put aliased caller buffer")
+	}
+}
+
+func TestStoreConcurrent(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := make([]byte, 8)
+			for i := 0; i < 500; i++ {
+				key := uint64(g*1000 + i%50)
+				s.Put(key, []byte{byte(g), byte(i), 0, 0, 0, 0, 0, 0})
+				s.Get(key, buf)
+				if i%10 == 0 {
+					s.Delete(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestStoreRoundTripProperty(t *testing.T) {
+	s := NewStore()
+	if err := quick.Check(func(key uint64, payload []byte) bool {
+		s.Put(key, payload)
+		dst := make([]byte, len(payload))
+		if !s.Get(key, dst) {
+			return false
+		}
+		return bytes.Equal(dst, payload)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,55 @@
+// Package sim provides the deterministic simulation substrate shared by all
+// far-memory backends in this repository: a virtual cycle clock, event
+// counters, the calibrated cycle-cost tables from the TrackFM paper
+// (Tables 1 and 2), and a seeded random number source.
+//
+// Every runtime event in the system — a compiler-injected guard, a kernel
+// page fault, a network transfer — charges its cost to a Clock. Wall-clock
+// results are then derived as cycles divided by the simulated CPU frequency
+// (2.40 GHz, matching the paper's Xeon E5-2640v4 testbed). Because all
+// costs are deterministic, every experiment in the benchmark harness is
+// reproducible bit-for-bit.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Frequency is the simulated CPU clock rate in cycles per second. The
+// paper's testbed CPUs are clocked at 2.40 GHz.
+const Frequency = 2_400_000_000
+
+// Clock accumulates simulated cycles. The zero value is a clock at cycle
+// zero, ready to use. Clock is not safe for concurrent use; the simulation
+// engine serializes all charging (see package aifm for how concurrency is
+// modelled).
+type Clock struct {
+	cycles uint64
+}
+
+// Advance charges n cycles to the clock.
+func (c *Clock) Advance(n uint64) { c.cycles += n }
+
+// Cycles reports the total cycles charged so far.
+func (c *Clock) Cycles() uint64 { return c.cycles }
+
+// Reset returns the clock to cycle zero.
+func (c *Clock) Reset() { c.cycles = 0 }
+
+// Elapsed converts the charged cycles into simulated wall-clock time at the
+// configured CPU frequency.
+func (c *Clock) Elapsed() time.Duration {
+	return time.Duration(float64(c.cycles) / Frequency * float64(time.Second))
+}
+
+// Seconds reports the elapsed simulated time in seconds as a float, which
+// is the unit most of the paper's figures use.
+func (c *Clock) Seconds() float64 {
+	return float64(c.cycles) / Frequency
+}
+
+// String implements fmt.Stringer.
+func (c *Clock) String() string {
+	return fmt.Sprintf("%d cycles (%.3fs @2.4GHz)", c.cycles, c.Seconds())
+}

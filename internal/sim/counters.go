@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Counters tallies the runtime events the paper's evaluation reports:
+// guard executions by path, page faults by kind, bytes moved over the
+// interconnect, evacuations, and prefetch outcomes. The zero value is
+// ready to use.
+type Counters struct {
+	// TrackFM guard events.
+	CustodyRejects  uint64 // pointer not TrackFM-managed; original access runs
+	FastPathGuards  uint64
+	SlowPathGuards  uint64
+	BoundaryChecks  uint64 // loop-chunking per-iteration checks
+	LocalityGuards  uint64 // loop-chunking object-boundary pins
+	ChunkInits      uint64 // loop-chunking tfm_init runtime calls
+	RemoteFetches   uint64 // slow paths that required a remote fetch
+	CriticalFetches uint64 // loads/stores that blocked on a remote fetch
+
+	// Fastswap events.
+	MinorFaults uint64 // page present in swap cache
+	MajorFaults uint64 // page fetched from the remote node
+
+	// Data movement.
+	BytesFetched  uint64 // remote -> local
+	BytesEvicted  uint64 // local -> remote
+	Evacuations   uint64 // objects evacuated
+	PageEvictions uint64 // pages reclaimed
+
+	// Prefetching.
+	PrefetchIssued uint64
+	PrefetchHits   uint64 // slow paths avoided because data was prefetched
+
+	// Allocation events.
+	Mallocs uint64
+	Frees   uint64
+}
+
+// Reset zeroes all counters.
+func (c *Counters) Reset() { *c = Counters{} }
+
+// Guards reports the total guard checks executed (fast + slow), the count
+// the paper plots against Fastswap's fault count in Figs. 14b and 16b.
+func (c *Counters) Guards() uint64 { return c.FastPathGuards + c.SlowPathGuards }
+
+// Faults reports the total Fastswap page faults (minor + major).
+func (c *Counters) Faults() uint64 { return c.MinorFaults + c.MajorFaults }
+
+// TotalFetched reports bytes moved from the remote node to local memory,
+// used for the I/O-amplification figures (13b, 16c).
+func (c *Counters) TotalFetched() uint64 { return c.BytesFetched }
+
+// Amplification reports BytesFetched divided by the working-set size, the
+// paper's I/O-amplification metric (e.g. "Fastswap transfers 43x the
+// working set"). Returns 0 when workingSet is 0.
+func (c *Counters) Amplification(workingSet uint64) float64 {
+	if workingSet == 0 {
+		return 0
+	}
+	return float64(c.BytesFetched) / float64(workingSet)
+}
+
+// String renders a compact human-readable summary of the non-zero counters.
+func (c *Counters) String() string {
+	var b strings.Builder
+	add := func(name string, v uint64) {
+		if v != 0 {
+			fmt.Fprintf(&b, "%s=%d ", name, v)
+		}
+	}
+	add("fast", c.FastPathGuards)
+	add("slow", c.SlowPathGuards)
+	add("custodyRej", c.CustodyRejects)
+	add("bndChk", c.BoundaryChecks)
+	add("locGuard", c.LocalityGuards)
+	add("remoteFetch", c.RemoteFetches)
+	add("minorFault", c.MinorFaults)
+	add("majorFault", c.MajorFaults)
+	add("bytesIn", c.BytesFetched)
+	add("bytesOut", c.BytesEvicted)
+	add("evac", c.Evacuations)
+	add("pageEvict", c.PageEvictions)
+	add("pfIssued", c.PrefetchIssued)
+	add("pfHits", c.PrefetchHits)
+	return strings.TrimSpace(b.String())
+}
+
+// Env bundles the pieces every backend needs: a clock to charge, counters
+// to tally, and the cost model to consult. A single Env is threaded through
+// one experiment run so that all components observe one logical timeline.
+type Env struct {
+	Clock    Clock
+	Counters Counters
+	Costs    CostModel
+}
+
+// NewEnv returns an Env with the default paper-calibrated cost model.
+func NewEnv() *Env {
+	return &Env{Costs: DefaultCosts()}
+}
+
+// Reset clears the clock and counters but keeps the cost model.
+func (e *Env) Reset() {
+	e.Clock.Reset()
+	e.Counters.Reset()
+}

@@ -1,0 +1,168 @@
+// Package analytics builds the paper's data-analytics application (§4.5,
+// Figs. 14-15) as a mini-IR program: an NYC-taxi-style exploratory
+// analysis over a column-store dataframe. The original uses a Kaggle
+// dataset; we generate synthetic trips with the same column schema and
+// cardinalities, which preserves the access pattern the evaluation
+// depends on — tight column scans with high spatial locality, plus
+// aggregation loops over small per-group row collections (the loops whose
+// indiscriminate chunking Fig. 15 punishes).
+package analytics
+
+import "trackfm/internal/ir"
+
+// Config sizes the dataframe.
+type Config struct {
+	// Rows is the trip count (paper's working set is 31 GB; scale down).
+	Rows int64
+}
+
+// Groups is the number of (hour, passenger-count) aggregation groups.
+const (
+	hours     = 24
+	paxValues = 6
+	Groups    = hours * paxValues
+)
+
+// WorkingSetBytes reports the far-heap footprint: four data columns, the
+// group index (offsets, counts, row lists), and group accumulators.
+func (c Config) WorkingSetBytes() uint64 {
+	cols := uint64(4 * c.Rows * 8)
+	index := uint64((2*Groups+1)*8) + uint64(c.Rows*8)
+	accum := uint64(3 * Groups * 8)
+	return cols + index + accum
+}
+
+// Program builds the analysis. Columns (heap, 8B integers):
+//
+//	hour[r]  = (r*7) % 24
+//	pax[r]   = (r*13) % 6 + 1
+//	dist[r]  = (r*37) % 5000        (hundredths of a mile)
+//	fare[r]  = 250 + dist/2 + pax*50 (cents)
+//
+// Queries, mirroring the Kaggle notebook's shape:
+//
+//	Q1  count trips with dist > 2500            (column scan)
+//	Q2  total fare per hour                     (scan + indexed add)
+//	Q3  build per-(hour,pax) row lists          (two-pass group index)
+//	Q4  per-group max fare and mean distance    (many small loops)
+//
+// Returns a checksum over all query outputs.
+func Program(c Config) *ir.Program {
+	p := ir.NewProgram()
+	n := c.Rows
+
+	col := func(name string, r ir.Expr) ir.Expr { return ir.Idx(ir.V(name), r, 8) }
+
+	body := []ir.Stmt{
+		&ir.Malloc{Dst: "hour", Size: ir.C(n * 8)},
+		&ir.Malloc{Dst: "pax", Size: ir.C(n * 8)},
+		&ir.Malloc{Dst: "dist", Size: ir.C(n * 8)},
+		&ir.Malloc{Dst: "fare", Size: ir.C(n * 8)},
+
+		// Generate the synthetic trips.
+		ir.Loop("r", ir.C(0), ir.C(n),
+			ir.Let("h", ir.B(ir.OpMod, ir.Mul(ir.V("r"), ir.C(7)), ir.C(hours))),
+			ir.Let("px", ir.Add(ir.B(ir.OpMod, ir.Mul(ir.V("r"), ir.C(13)), ir.C(paxValues)), ir.C(1))),
+			ir.Let("ds", ir.B(ir.OpMod, ir.Mul(ir.V("r"), ir.C(37)), ir.C(5000))),
+			ir.St(col("hour", ir.V("r")), ir.V("h")),
+			ir.St(col("pax", ir.V("r")), ir.V("px")),
+			ir.St(col("dist", ir.V("r")), ir.V("ds")),
+			ir.St(col("fare", ir.V("r")),
+				ir.Add(ir.Add(ir.C(250), ir.B(ir.OpDiv, ir.V("ds"), ir.C(2))),
+					ir.Mul(ir.V("px"), ir.C(50)))),
+		),
+
+		// Q1: long-trip count (tight scan, high spatial locality).
+		ir.Let("longTrips", ir.C(0)),
+		ir.Loop("r", ir.C(0), ir.C(n),
+			&ir.If{Cond: ir.B(ir.OpGt, ir.Ld(col("dist", ir.V("r"))), ir.C(2500)), Then: []ir.Stmt{
+				ir.Let("longTrips", ir.Add(ir.V("longTrips"), ir.C(1))),
+			}},
+		),
+
+		// Q2: fare by hour (scan with indexed accumulation).
+		&ir.Malloc{Dst: "fareByHour", Size: ir.C(hours * 8)},
+		ir.Loop("h0", ir.C(0), ir.C(hours),
+			ir.St(ir.Idx(ir.V("fareByHour"), ir.V("h0"), 8), ir.C(0)),
+		),
+		ir.Loop("r", ir.C(0), ir.C(n),
+			ir.Let("h", ir.Ld(col("hour", ir.V("r")))),
+			ir.St(ir.Idx(ir.V("fareByHour"), ir.V("h"), 8),
+				ir.Add(ir.Ld(ir.Idx(ir.V("fareByHour"), ir.V("h"), 8)),
+					ir.Ld(col("fare", ir.V("r"))))),
+		),
+
+		// Q3: group index over (hour, pax) — counting sort of row ids.
+		&ir.Malloc{Dst: "gCount", Size: ir.C(Groups * 8)},
+		&ir.Malloc{Dst: "gOff", Size: ir.C((Groups + 1) * 8)},
+		&ir.Malloc{Dst: "gRows", Size: ir.C(n * 8)},
+		ir.Loop("g0", ir.C(0), ir.C(Groups),
+			ir.St(ir.Idx(ir.V("gCount"), ir.V("g0"), 8), ir.C(0)),
+		),
+		ir.Loop("r", ir.C(0), ir.C(n),
+			ir.Let("g", ir.Add(ir.Mul(ir.Ld(col("hour", ir.V("r"))), ir.C(paxValues)),
+				ir.Sub(ir.Ld(col("pax", ir.V("r"))), ir.C(1)))),
+			ir.St(ir.Idx(ir.V("gCount"), ir.V("g"), 8),
+				ir.Add(ir.Ld(ir.Idx(ir.V("gCount"), ir.V("g"), 8)), ir.C(1))),
+		),
+		ir.St(ir.Idx(ir.V("gOff"), ir.C(0), 8), ir.C(0)),
+		ir.Loop("g1", ir.C(0), ir.C(Groups),
+			ir.St(ir.Idx(ir.V("gOff"), ir.Add(ir.V("g1"), ir.C(1)), 8),
+				ir.Add(ir.Ld(ir.Idx(ir.V("gOff"), ir.V("g1"), 8)),
+					ir.Ld(ir.Idx(ir.V("gCount"), ir.V("g1"), 8)))),
+		),
+		// Reuse gCount as the per-group fill cursor (reset to 0 first).
+		ir.Loop("g2", ir.C(0), ir.C(Groups),
+			ir.St(ir.Idx(ir.V("gCount"), ir.V("g2"), 8), ir.C(0)),
+		),
+		ir.Loop("r", ir.C(0), ir.C(n),
+			ir.Let("g", ir.Add(ir.Mul(ir.Ld(col("hour", ir.V("r"))), ir.C(paxValues)),
+				ir.Sub(ir.Ld(col("pax", ir.V("r"))), ir.C(1)))),
+			ir.Let("pos", ir.Add(ir.Ld(ir.Idx(ir.V("gOff"), ir.V("g"), 8)),
+				ir.Ld(ir.Idx(ir.V("gCount"), ir.V("g"), 8)))),
+			ir.St(ir.Idx(ir.V("gRows"), ir.V("pos"), 8), ir.V("r")),
+			ir.St(ir.Idx(ir.V("gCount"), ir.V("g"), 8),
+				ir.Add(ir.Ld(ir.Idx(ir.V("gCount"), ir.V("g"), 8)), ir.C(1))),
+		),
+
+		// Q4: per-group aggregations — the small-collection loops whose
+		// indiscriminate chunking Fig. 15 shows to be harmful.
+		&ir.Malloc{Dst: "gMaxFare", Size: ir.C(Groups * 8)},
+		&ir.Malloc{Dst: "gMeanDist", Size: ir.C(Groups * 8)},
+		ir.Loop("g", ir.C(0), ir.C(Groups),
+			ir.Let("start", ir.Ld(ir.Idx(ir.V("gOff"), ir.V("g"), 8))),
+			ir.Let("end", ir.Ld(ir.Idx(ir.V("gOff"), ir.Add(ir.V("g"), ir.C(1)), 8))),
+			ir.Let("maxFare", ir.C(0)),
+			ir.Let("sumDist", ir.C(0)),
+			ir.Loop("t", ir.V("start"), ir.V("end"),
+				ir.Let("row", ir.Ld(ir.Idx(ir.V("gRows"), ir.V("t"), 8))),
+				ir.Let("f", ir.Ld(col("fare", ir.V("row")))),
+				&ir.If{Cond: ir.B(ir.OpGt, ir.V("f"), ir.V("maxFare")), Then: []ir.Stmt{
+					ir.Let("maxFare", ir.V("f")),
+				}},
+				ir.Let("sumDist", ir.Add(ir.V("sumDist"), ir.Ld(col("dist", ir.V("row"))))),
+			),
+			ir.St(ir.Idx(ir.V("gMaxFare"), ir.V("g"), 8), ir.V("maxFare")),
+			&ir.If{Cond: ir.B(ir.OpGt, ir.Sub(ir.V("end"), ir.V("start")), ir.C(0)), Then: []ir.Stmt{
+				ir.St(ir.Idx(ir.V("gMeanDist"), ir.V("g"), 8),
+					ir.B(ir.OpDiv, ir.V("sumDist"), ir.Sub(ir.V("end"), ir.V("start")))),
+			}, Else: []ir.Stmt{
+				ir.St(ir.Idx(ir.V("gMeanDist"), ir.V("g"), 8), ir.C(0)),
+			}},
+		),
+
+		// Checksum all query outputs.
+		ir.Let("chk", ir.V("longTrips")),
+		ir.Loop("h", ir.C(0), ir.C(hours),
+			ir.Let("chk", ir.Add(ir.V("chk"), ir.Ld(ir.Idx(ir.V("fareByHour"), ir.V("h"), 8)))),
+		),
+		ir.Loop("g", ir.C(0), ir.C(Groups),
+			ir.Let("chk", ir.Add(ir.V("chk"),
+				ir.Add(ir.Ld(ir.Idx(ir.V("gMaxFare"), ir.V("g"), 8)),
+					ir.Ld(ir.Idx(ir.V("gMeanDist"), ir.V("g"), 8))))),
+		),
+		&ir.Return{E: ir.V("chk")},
+	}
+	p.AddFunc(ir.Fn("main", nil, body...))
+	return p
+}

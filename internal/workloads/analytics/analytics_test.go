@@ -1,0 +1,176 @@
+package analytics
+
+import (
+	"testing"
+
+	"trackfm/internal/compiler"
+	"trackfm/internal/core"
+	"trackfm/internal/fastswap"
+	"trackfm/internal/interp"
+	"trackfm/internal/sim"
+)
+
+var small = Config{Rows: 3000}
+
+func localChecksum(t *testing.T, cfg Config) int64 {
+	t.Helper()
+	prog := Program(cfg)
+	res, err := interp.Run(prog, interp.NewLocalBackend(sim.NewEnv()), interp.Options{})
+	if err != nil {
+		t.Fatalf("local run: %v", err)
+	}
+	return res.Return
+}
+
+func runTFM(t *testing.T, cfg Config, opts compiler.Options, budget uint64) (int64, *sim.Env) {
+	t.Helper()
+	prog := Program(cfg)
+	if _, err := compiler.Compile(prog, opts); err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	env := sim.NewEnv()
+	rt, err := core.NewRuntime(core.Config{
+		Env: env, ObjectSize: opts.ObjectSize, HeapSize: 1 << 26, LocalBudget: budget,
+	})
+	if err != nil {
+		t.Fatalf("NewRuntime: %v", err)
+	}
+	res, err := interp.Run(prog, interp.NewTrackFMBackend(rt), interp.Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res.Return, env
+}
+
+func TestChecksumStableAcrossBackends(t *testing.T) {
+	want := localChecksum(t, small)
+	if want == 0 {
+		t.Fatalf("degenerate checksum 0")
+	}
+
+	got, _ := runTFM(t, small, compiler.Options{Chunking: compiler.ChunkCostModel, ObjectSize: 4096, Prefetch: true}, 1<<20)
+	if got != want {
+		t.Fatalf("trackfm checksum %d != local %d", got, want)
+	}
+
+	prog := Program(small)
+	if _, err := compiler.Compile(prog, compiler.Options{Chunking: compiler.ChunkNone}); err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	sw, err := fastswap.New(fastswap.Config{Env: sim.NewEnv(), HeapSize: 1 << 26, LocalBudget: 1 << 20})
+	if err != nil {
+		t.Fatalf("fastswap.New: %v", err)
+	}
+	res, err := interp.Run(prog, interp.NewFastswapBackend(sw), interp.Options{})
+	if err != nil {
+		t.Fatalf("fastswap run: %v", err)
+	}
+	if res.Return != want {
+		t.Fatalf("fastswap checksum %d != local %d", res.Return, want)
+	}
+}
+
+func TestAIFMBackendAgrees(t *testing.T) {
+	want := localChecksum(t, small)
+	prog := Program(small)
+	// The AIFM comparator runs the hand-ported version: no guards, but
+	// the chunk annotations mark where the programmer would use library
+	// iterators.
+	if _, err := compiler.Compile(prog, compiler.Options{Chunking: compiler.ChunkCostModel, ObjectSize: 4096, Prefetch: true}); err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	be, err := interp.NewAIFMBackend(interp.AIFMConfig{
+		Env: sim.NewEnv(), ObjectSize: 4096, HeapSize: 1 << 26, LocalBudget: 1 << 20,
+	})
+	if err != nil {
+		t.Fatalf("NewAIFMBackend: %v", err)
+	}
+	res, err := interp.Run(prog, be, interp.Options{})
+	if err != nil {
+		t.Fatalf("aifm run: %v", err)
+	}
+	if res.Return != want {
+		t.Fatalf("aifm checksum %d != local %d", res.Return, want)
+	}
+	if be.Env().Counters.Guards() != 0 {
+		t.Fatalf("AIFM comparator executed guards")
+	}
+}
+
+func TestAIFMFasterThanTrackFMButWithin2x(t *testing.T) {
+	// Fig. 14 shape at unit-test scale: AIFM (no guards) is the
+	// ceiling; TrackFM must be close behind (paper: within 10% when
+	// memory-constrained; we assert a loose band here, the calibrated
+	// check lives in the bench harness).
+	cfg := Config{Rows: 4000}
+	budget := cfg.WorkingSetBytes() / 4
+
+	_, envT := runTFM(t, cfg, compiler.Options{Chunking: compiler.ChunkCostModel, ObjectSize: 4096, Prefetch: true}, budget)
+
+	prog := Program(cfg)
+	if _, err := compiler.Compile(prog, compiler.Options{Chunking: compiler.ChunkCostModel, ObjectSize: 4096, Prefetch: true}); err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	be, err := interp.NewAIFMBackend(interp.AIFMConfig{
+		Env: sim.NewEnv(), ObjectSize: 4096, HeapSize: 1 << 26, LocalBudget: budget,
+	})
+	if err != nil {
+		t.Fatalf("NewAIFMBackend: %v", err)
+	}
+	if _, err := interp.Run(prog, be, interp.Options{}); err != nil {
+		t.Fatalf("aifm run: %v", err)
+	}
+
+	tfm := float64(envT.Clock.Cycles())
+	aifm := float64(be.Env().Clock.Cycles())
+	// TrackFM pays guards AIFM does not, so it cannot be more than
+	// marginally faster (its compiler-directed prefetch can slightly
+	// beat AIFM's runtime stride detector), and the paper's headline
+	// claim bounds it from above: near parity when memory-constrained.
+	if tfm < 0.9*aifm {
+		t.Fatalf("TrackFM (%v) dramatically beat the AIFM ceiling (%v): cost accounting broken", tfm, aifm)
+	}
+	if tfm > 2*aifm {
+		t.Fatalf("TrackFM %.0f vs AIFM %.0f: more than 2x apart", tfm, aifm)
+	}
+}
+
+func TestIndiscriminateChunkingHurtsAggregations(t *testing.T) {
+	// Fig. 15 shape: chunking all loops (including the small per-group
+	// aggregation loops) is slower than cost-model chunking.
+	cfg := Config{Rows: 3000}
+	budget := cfg.WorkingSetBytes() // all local: isolates guard effects
+
+	_, envAll := runTFM(t, cfg, compiler.Options{Chunking: compiler.ChunkAll, ObjectSize: 4096}, budget)
+	_, envCM := runTFM(t, cfg, compiler.Options{Chunking: compiler.ChunkCostModel, ObjectSize: 4096}, budget)
+
+	if envCM.Clock.Cycles() >= envAll.Clock.Cycles() {
+		t.Fatalf("cost-model chunking (%d) not faster than all-loops (%d)",
+			envCM.Clock.Cycles(), envAll.Clock.Cycles())
+	}
+}
+
+func TestGroupLoopsAreSmall(t *testing.T) {
+	// The Q4 structure must actually produce small per-group loops
+	// (below the chunking crossover) — otherwise Fig. 15 is vacuous.
+	prog := Program(small)
+	prof := compiler.NewProfile()
+	if _, err := interp.Run(prog, interp.NewLocalBackend(sim.NewEnv()), interp.Options{Profile: prof}); err != nil {
+		t.Fatalf("profiling run: %v", err)
+	}
+	smallLoops := 0
+	for l := range prof.Entries {
+		if tr, ok := prof.AvgTrips(l); ok && tr > 0 && tr < 100 {
+			smallLoops++
+		}
+	}
+	if smallLoops == 0 {
+		t.Fatalf("no small aggregation loops observed")
+	}
+}
+
+func TestWorkingSetBytes(t *testing.T) {
+	if small.WorkingSetBytes() < uint64(4*small.Rows*8) {
+		t.Fatalf("WorkingSetBytes too small")
+	}
+}

@@ -1,0 +1,51 @@
+package dist
+
+import "trackfm/internal/sim"
+
+// USR approximates the key/value size distribution of Facebook's USR
+// memcached pool (Atikoglu et al., SIGMETRICS '12), which the paper's
+// memcached benchmark adopts: keys are short and near-constant, and the
+// overwhelming majority of values are tiny (the USR pool is dominated by
+// 2-byte values), with a thin tail of larger values. Fine-grained sizes
+// like these are exactly what makes page-granular far memory amplify I/O.
+type USR struct {
+	rng *sim.RNG
+}
+
+// NewUSR returns a deterministic size sampler.
+func NewUSR(seed uint64) *USR { return &USR{rng: sim.NewRNG(seed)} }
+
+// KeySize samples a key size in bytes. USR keys are 16B or 21B
+// (two fixed application formats).
+func (u *USR) KeySize() int {
+	if u.rng.Intn(100) < 60 {
+		return 16
+	}
+	return 21
+}
+
+// ValueSize samples a value size in bytes. The mass sits at 2B with a
+// small tail, approximating the published CDF.
+func (u *USR) ValueSize() int {
+	p := u.rng.Intn(1000)
+	switch {
+	case p < 700:
+		return 2
+	case p < 850:
+		return 11
+	case p < 930:
+		return 25
+	case p < 975:
+		return 100
+	case p < 995:
+		return 500
+	default:
+		return 1000
+	}
+}
+
+// MeanValueSize reports the analytic mean of ValueSize, used to size
+// working sets.
+func (u *USR) MeanValueSize() float64 {
+	return 0.700*2 + 0.150*11 + 0.080*25 + 0.045*100 + 0.020*500 + 0.005*1000
+}

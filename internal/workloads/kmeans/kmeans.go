@@ -1,0 +1,137 @@
+// Package kmeans builds the k-means clustering benchmark as a mini-IR
+// program: the paper's vehicle for showing that indiscriminate loop
+// chunking backfires (Fig. 8). Its structure is the point: a hot outer
+// loop over points containing *nested short loops* over dimensions and
+// centroids — low object density per loop entry, so the tfm_init cost of
+// chunking is paid constantly and never amortizes.
+//
+// Values are integers; points lie on an integer grid, so the arithmetic
+// (squared Euclidean distances, mean updates with integer division) is
+// exact and the final assignment is deterministic across backends.
+package kmeans
+
+import "trackfm/internal/ir"
+
+// Config sizes the benchmark.
+type Config struct {
+	Points     int64 // number of points (paper: 30M; scale down)
+	Dims       int64 // dimensions per point (small: the low-density loops)
+	K          int64 // centroids
+	Iterations int64 // Lloyd iterations
+}
+
+// WorkingSetBytes reports the far-heap footprint.
+func (c Config) WorkingSetBytes() uint64 {
+	points := uint64(c.Points * c.Dims * 8)
+	centroids := uint64(c.K * c.Dims * 8)
+	sums := uint64(c.K * (c.Dims + 1) * 8)
+	assign := uint64(c.Points * 8)
+	return points + centroids + sums + assign
+}
+
+// Program builds the IR. Layout (all heap):
+//
+//	pts     [Points][Dims]i64   row-major
+//	cent    [K][Dims]i64
+//	sums    [K][Dims]i64        per-iteration accumulation
+//	counts  [K]i64
+//	assign  [Points]i64         final cluster per point (checksummed)
+//
+// Points are generated as pts[p][d] = (p*31 + d*17) % 1024. Initial
+// centroids copy the first K points. The program returns
+// sum(assign[p] * (p+1)) as an order-sensitive checksum.
+func Program(c Config) *ir.Program {
+	p := ir.NewProgram()
+	pts, cent, sums, counts, assign := ir.V("pts"), ir.V("cent"), ir.V("sums"), ir.V("counts"), ir.V("assign")
+
+	ptAddr := func(pt, d ir.Expr) ir.Expr {
+		return ir.Add(pts, ir.Mul(ir.Add(ir.Mul(pt, ir.C(c.Dims)), d), ir.C(8)))
+	}
+	centAddr := func(k, d ir.Expr) ir.Expr {
+		return ir.Add(cent, ir.Mul(ir.Add(ir.Mul(k, ir.C(c.Dims)), d), ir.C(8)))
+	}
+	sumAddr := func(k, d ir.Expr) ir.Expr {
+		return ir.Add(sums, ir.Mul(ir.Add(ir.Mul(k, ir.C(c.Dims)), d), ir.C(8)))
+	}
+
+	body := []ir.Stmt{
+		&ir.Malloc{Dst: "pts", Size: ir.C(c.Points * c.Dims * 8)},
+		&ir.Malloc{Dst: "cent", Size: ir.C(c.K * c.Dims * 8)},
+		&ir.Malloc{Dst: "sums", Size: ir.C(c.K * c.Dims * 8)},
+		&ir.Malloc{Dst: "counts", Size: ir.C(c.K * 8)},
+		&ir.Malloc{Dst: "assign", Size: ir.C(c.Points * 8)},
+
+		// Generate points.
+		ir.Loop("p", ir.C(0), ir.C(c.Points),
+			ir.Loop("d", ir.C(0), ir.C(c.Dims),
+				ir.St(ptAddr(ir.V("p"), ir.V("d")),
+					ir.B(ir.OpMod,
+						ir.Add(ir.Mul(ir.V("p"), ir.C(31)), ir.Mul(ir.V("d"), ir.C(17))),
+						ir.C(1024))),
+			),
+		),
+		// Initial centroids = first K points.
+		ir.Loop("k", ir.C(0), ir.C(c.K),
+			ir.Loop("d", ir.C(0), ir.C(c.Dims),
+				ir.St(centAddr(ir.V("k"), ir.V("d")), ir.Ld(ptAddr(ir.V("k"), ir.V("d")))),
+			),
+		),
+
+		// Lloyd iterations.
+		ir.Loop("it", ir.C(0), ir.C(c.Iterations),
+			// Zero accumulators.
+			ir.Loop("k", ir.C(0), ir.C(c.K),
+				ir.St(ir.Idx(counts, ir.V("k"), 8), ir.C(0)),
+				ir.Loop("d", ir.C(0), ir.C(c.Dims),
+					ir.St(sumAddr(ir.V("k"), ir.V("d")), ir.C(0)),
+				),
+			),
+			// Assignment step: nearest centroid by squared distance.
+			ir.Loop("p", ir.C(0), ir.C(c.Points),
+				ir.Let("best", ir.C(0)),
+				ir.Let("bestDist", ir.C(1<<62)),
+				ir.Loop("k", ir.C(0), ir.C(c.K),
+					ir.Let("dist", ir.C(0)),
+					ir.Loop("d", ir.C(0), ir.C(c.Dims),
+						ir.Let("diff", ir.Sub(
+							ir.Ld(ptAddr(ir.V("p"), ir.V("d"))),
+							ir.Ld(centAddr(ir.V("k"), ir.V("d"))))),
+						ir.Let("dist", ir.Add(ir.V("dist"), ir.Mul(ir.V("diff"), ir.V("diff")))),
+					),
+					&ir.If{Cond: ir.B(ir.OpLt, ir.V("dist"), ir.V("bestDist")), Then: []ir.Stmt{
+						ir.Let("bestDist", ir.V("dist")),
+						ir.Let("best", ir.V("k")),
+					}},
+				),
+				ir.St(ir.Idx(assign, ir.V("p"), 8), ir.V("best")),
+				ir.St(ir.Idx(counts, ir.V("best"), 8),
+					ir.Add(ir.Ld(ir.Idx(counts, ir.V("best"), 8)), ir.C(1))),
+				ir.Loop("d", ir.C(0), ir.C(c.Dims),
+					ir.St(sumAddr(ir.V("best"), ir.V("d")),
+						ir.Add(ir.Ld(sumAddr(ir.V("best"), ir.V("d"))),
+							ir.Ld(ptAddr(ir.V("p"), ir.V("d"))))),
+				),
+			),
+			// Update step: centroid = mean of assigned points.
+			ir.Loop("k", ir.C(0), ir.C(c.K),
+				ir.Let("cnt", ir.Ld(ir.Idx(counts, ir.V("k"), 8))),
+				&ir.If{Cond: ir.B(ir.OpGt, ir.V("cnt"), ir.C(0)), Then: []ir.Stmt{
+					ir.Loop("d", ir.C(0), ir.C(c.Dims),
+						ir.St(centAddr(ir.V("k"), ir.V("d")),
+							ir.B(ir.OpDiv, ir.Ld(sumAddr(ir.V("k"), ir.V("d"))), ir.V("cnt"))),
+					),
+				}},
+			),
+		),
+
+		// Checksum of assignments.
+		ir.Let("chk", ir.C(0)),
+		ir.Loop("p", ir.C(0), ir.C(c.Points),
+			ir.Let("chk", ir.Add(ir.V("chk"),
+				ir.Mul(ir.Ld(ir.Idx(assign, ir.V("p"), 8)), ir.Add(ir.V("p"), ir.C(1))))),
+		),
+		&ir.Return{E: ir.V("chk")},
+	}
+	p.AddFunc(ir.Fn("main", nil, body...))
+	return p
+}

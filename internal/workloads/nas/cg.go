@@ -1,0 +1,79 @@
+package nas
+
+import "trackfm/internal/ir"
+
+// cgProgram builds the conjugate-gradient kernel: repeated sparse
+// matrix-vector products over a banded matrix stored in CSR-like arrays
+// (vals, cols with a fixed 5 nonzeros per row), plus dot products. The
+// column gather x[cols[...]] is the irregular access CG is known for; the
+// vals/cols scans are long sequential streams the chunking pass picks up.
+func cgProgram(s Scale) *ir.Program {
+	n := s.N
+	const nnz = 5 // diagonals at offsets -64, -1, 0, +1, +64
+
+	p := ir.NewProgram()
+	at := func(base string, i ir.Expr) ir.Expr { return ir.Idx(ir.V(base), i, 8) }
+
+	body := []ir.Stmt{
+		&ir.Malloc{Dst: "vals", Size: ir.C(n * nnz * 8)},
+		&ir.Malloc{Dst: "cols", Size: ir.C(n * nnz * 8)},
+		&ir.Malloc{Dst: "x", Size: ir.C(n * 8)},
+		&ir.Malloc{Dst: "y", Size: ir.C(n * 8)},
+
+		// Build the banded matrix and the initial vector.
+		ir.Loop("r", ir.C(0), ir.C(n),
+			ir.St(at("x", ir.V("r")), ir.Add(ir.B(ir.OpMod, ir.V("r"), ir.C(97)), ir.C(1))),
+			ir.Loop("d", ir.C(0), ir.C(nnz),
+				// offsets: d=0 -> -64, 1 -> -1, 2 -> 0, 3 -> +1, 4 -> +64
+				ir.Let("off", ir.Sub(
+					ir.Add(
+						ir.Mul(ir.B(ir.OpEq, ir.V("d"), ir.C(4)), ir.C(64)),
+						ir.B(ir.OpEq, ir.V("d"), ir.C(3))),
+					ir.Add(
+						ir.Mul(ir.B(ir.OpEq, ir.V("d"), ir.C(0)), ir.C(64)),
+						ir.B(ir.OpEq, ir.V("d"), ir.C(1))))),
+				ir.Let("c", ir.Add(ir.V("r"), ir.V("off"))),
+				&ir.If{Cond: ir.B(ir.OpLt, ir.V("c"), ir.C(0)), Then: []ir.Stmt{
+					ir.Let("c", ir.C(0)),
+				}},
+				&ir.If{Cond: ir.B(ir.OpGe, ir.V("c"), ir.C(n)), Then: []ir.Stmt{
+					ir.Let("c", ir.C(n-1)),
+				}},
+				ir.St(at("cols", ir.Add(ir.Mul(ir.V("r"), ir.C(nnz)), ir.V("d"))), ir.V("c")),
+				ir.St(at("vals", ir.Add(ir.Mul(ir.V("r"), ir.C(nnz)), ir.V("d"))),
+					ir.Add(ir.B(ir.OpMod, ir.Add(ir.V("r"), ir.V("d")), ir.C(7)), ir.C(1))),
+			),
+		),
+
+		// CG-style iterations: y = A*x; rho = x.y; x = (y + x) bounded.
+		ir.Let("rho", ir.C(0)),
+		ir.Loop("it", ir.C(0), ir.C(s.Iterations),
+			// y = A*x with the column gather.
+			ir.Loop("r", ir.C(0), ir.C(n),
+				ir.Let("acc", ir.C(0)),
+				ir.Loop("d", ir.C(0), ir.C(nnz),
+					ir.Let("k", ir.Add(ir.Mul(ir.V("r"), ir.C(nnz)), ir.V("d"))),
+					ir.Let("acc", ir.Add(ir.V("acc"),
+						ir.Mul(ir.Ld(at("vals", ir.V("k"))),
+							ir.Ld(at("x", ir.Ld(at("cols", ir.V("k")))))))),
+				),
+				ir.St(at("y", ir.V("r")), mask(ir.V("acc"))),
+			),
+			// rho = x . y
+			ir.Let("rho", ir.C(0)),
+			ir.Loop("r", ir.C(0), ir.C(n),
+				ir.Let("rho", mask(ir.Add(ir.V("rho"),
+					ir.Mul(ir.Ld(at("x", ir.V("r"))), ir.Ld(at("y", ir.V("r"))))))),
+			),
+			// x = normalized combination.
+			ir.Loop("r", ir.C(0), ir.C(n),
+				ir.St(at("x", ir.V("r")),
+					mask(ir.Add(ir.Ld(at("y", ir.V("r"))),
+						ir.B(ir.OpShr, ir.Ld(at("x", ir.V("r"))), ir.C(1))))),
+			),
+		),
+		&ir.Return{E: ir.V("rho")},
+	}
+	p.AddFunc(ir.Fn("main", nil, body...))
+	return p
+}

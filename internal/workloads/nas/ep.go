@@ -1,0 +1,60 @@
+package nas
+
+import "trackfm/internal/ir"
+
+// epProgram builds the EP kernel (embarrassingly parallel): generate
+// pseudo-random coordinate pairs, accept those inside the unit disc, and
+// tally acceptance counts per annulus. EP is compute-bound with a tiny
+// working set (the tally array) plus a batch buffer of generated numbers;
+// it is the NAS control case where far memory should cost almost nothing.
+// Integer fixed-point (10 fractional bits) replaces the original's
+// floating point.
+func epProgram(s Scale) *ir.Program {
+	n := s.N // pairs per batch
+	const one = 1 << 10
+	const annuli = 10
+
+	p := ir.NewProgram()
+	at := func(base string, i ir.Expr) ir.Expr { return ir.Idx(ir.V(base), i, 8) }
+
+	body := []ir.Stmt{
+		&ir.Malloc{Dst: "xs", Size: ir.C(n * 8)},
+		&ir.Malloc{Dst: "q", Size: ir.C(annuli * 8)},
+		ir.Loop("a", ir.C(0), ir.C(annuli),
+			ir.St(at("q", ir.V("a")), ir.C(0)),
+		),
+
+		ir.Let("seed", ir.C(271828183)),
+		ir.Loop("it", ir.C(0), ir.C(s.Iterations),
+			// Generate a batch (sequential writes: the only stream).
+			ir.Loop("i", ir.C(0), ir.C(n),
+				ir.Let("seed", ir.B(ir.OpAnd,
+					ir.Add(ir.Mul(ir.V("seed"), ir.C(1103515245)), ir.C(12345)),
+					ir.C(0x7FFFFFFF))),
+				ir.St(at("xs", ir.V("i")), ir.B(ir.OpMod, ir.V("seed"), ir.C(2*one))),
+			),
+			// Tally pairs.
+			ir.LoopStep("i", ir.C(0), ir.C(n-1), 2,
+				ir.Let("x", ir.Sub(ir.Ld(at("xs", ir.V("i"))), ir.C(one))),
+				ir.Let("y", ir.Sub(ir.Ld(at("xs", ir.Add(ir.V("i"), ir.C(1)))), ir.C(one))),
+				ir.Let("t", ir.Add(ir.Mul(ir.V("x"), ir.V("x")), ir.Mul(ir.V("y"), ir.V("y")))),
+				&ir.If{Cond: ir.B(ir.OpLe, ir.V("t"), ir.C(one*one)), Then: []ir.Stmt{
+					// Annulus index: t scaled into [0, annuli).
+					ir.Let("l", ir.B(ir.OpDiv, ir.Mul(ir.V("t"), ir.C(annuli)), ir.C(one*one+1))),
+					ir.St(at("q", ir.V("l")),
+						ir.Add(ir.Ld(at("q", ir.V("l"))), ir.C(1))),
+				}},
+			),
+		),
+
+		// Checksum: weighted tally sum.
+		ir.Let("chk", ir.C(0)),
+		ir.Loop("a", ir.C(0), ir.C(annuli),
+			ir.Let("chk", ir.Add(ir.V("chk"),
+				ir.Mul(ir.Ld(at("q", ir.V("a"))), ir.Add(ir.V("a"), ir.C(1))))),
+		),
+		&ir.Return{E: ir.V("chk")},
+	}
+	p.AddFunc(ir.Fn("main", nil, body...))
+	return p
+}

@@ -1,0 +1,137 @@
+package nas
+
+import (
+	"testing"
+
+	"trackfm/internal/compiler"
+	"trackfm/internal/core"
+	"trackfm/internal/fastswap"
+	"trackfm/internal/interp"
+	"trackfm/internal/sim"
+)
+
+func extTestScale(b Benchmark) Scale {
+	switch b {
+	case EP:
+		return Scale{N: 4096, Iterations: 2}
+	case LU:
+		return Scale{N: 8, Iterations: 1}
+	default:
+		return Scale{}
+	}
+}
+
+func TestExtendedKernelsAgreeAcrossBackends(t *testing.T) {
+	for _, b := range Extended {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			s := extTestScale(b)
+			want := localResult(t, b, s)
+			if want == 0 {
+				t.Fatalf("%v produced a degenerate zero checksum", b)
+			}
+
+			prog, _ := Program(b, s)
+			if _, err := compiler.Compile(prog, compiler.Options{
+				Chunking: compiler.ChunkCostModel, ObjectSize: 4096, Prefetch: true,
+			}); err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			env := sim.NewEnv()
+			rt, err := core.NewRuntime(core.Config{
+				Env: env, ObjectSize: 4096, HeapSize: 1 << 24, LocalBudget: 1 << 18,
+			})
+			if err != nil {
+				t.Fatalf("NewRuntime: %v", err)
+			}
+			res, err := interp.Run(prog, interp.NewTrackFMBackend(rt), interp.Options{})
+			if err != nil {
+				t.Fatalf("trackfm run: %v", err)
+			}
+			if res.Return != want {
+				t.Fatalf("trackfm = %d, want %d", res.Return, want)
+			}
+
+			prog2, _ := Program(b, s)
+			if _, err := compiler.Compile(prog2, compiler.Options{Chunking: compiler.ChunkNone}); err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			sw, err := fastswap.New(fastswap.Config{Env: sim.NewEnv(), HeapSize: 1 << 24, LocalBudget: 1 << 19})
+			if err != nil {
+				t.Fatalf("fastswap.New: %v", err)
+			}
+			res, err = interp.Run(prog2, interp.NewFastswapBackend(sw), interp.Options{})
+			if err != nil {
+				t.Fatalf("fastswap run: %v", err)
+			}
+			if res.Return != want {
+				t.Fatalf("fastswap = %d, want %d", res.Return, want)
+			}
+		})
+	}
+}
+
+func TestEPHasTinyFarMemoryFootprint(t *testing.T) {
+	// EP is the control case: compute-bound, tiny tallies; even at 25%
+	// local memory its slowdown should be modest compared to, say, LU.
+	slowdown := func(b Benchmark, s Scale) float64 {
+		local := float64(localResult2(t, b, s))
+		prog, _ := Program(b, s)
+		if _, err := compiler.Compile(prog, compiler.Options{
+			Chunking: compiler.ChunkCostModel, ObjectSize: 4096, Prefetch: true,
+		}); err != nil {
+			t.Fatalf("Compile: %v", err)
+		}
+		ws := WorkingSetBytes(b, s)
+		env := sim.NewEnv()
+		bud := ws / 4
+		if bud < 8*4096 {
+			bud = 8 * 4096
+		}
+		rt, err := core.NewRuntime(core.Config{
+			Env: env, ObjectSize: 4096, HeapSize: ws * 2, LocalBudget: bud,
+		})
+		if err != nil {
+			t.Fatalf("NewRuntime: %v", err)
+		}
+		if _, err := interp.Run(prog, interp.NewTrackFMBackend(rt), interp.Options{}); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return float64(env.Clock.Cycles()) / local
+	}
+	// At budget-floor scales both kernels degenerate to the guard floor,
+	// so compare at sizes where 25% local actually constrains them.
+	ep := slowdown(EP, Scale{N: 32768, Iterations: 1})
+	lu := slowdown(LU, Scale{N: 24, Iterations: 1})
+	if ep >= lu {
+		t.Fatalf("EP slowdown (%v) should be below LU's (%v)", ep, lu)
+	}
+}
+
+// localResult2 measures cycles of the local-only run (not the checksum).
+func localResult2(t *testing.T, b Benchmark, s Scale) uint64 {
+	t.Helper()
+	prog, err := Program(b, s)
+	if err != nil {
+		t.Fatalf("Program: %v", err)
+	}
+	env := sim.NewEnv()
+	if _, err := interp.Run(prog, interp.NewLocalBackend(env), interp.Options{}); err != nil {
+		t.Fatalf("local run: %v", err)
+	}
+	return env.Clock.Cycles()
+}
+
+func TestExtendedInfo(t *testing.T) {
+	for _, b := range Extended {
+		if TableInfo(b).Name == "" {
+			t.Errorf("TableInfo(%v) empty", b)
+		}
+		if WorkingSetBytes(b, Scale{}) == 0 {
+			t.Errorf("WorkingSetBytes(%v) = 0", b)
+		}
+	}
+	if EP.String() != "EP" || LU.String() != "LU" {
+		t.Errorf("extended names broken")
+	}
+}

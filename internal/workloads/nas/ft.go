@@ -1,0 +1,78 @@
+package nas
+
+import "trackfm/internal/ir"
+
+// ftProgram builds the FT kernel: a radix-2 butterfly network over a
+// complex array of N points (re/im interleaved), iterated per Scale.
+// The Walsh-Hadamard transform stands in for the FFT: identical butterfly
+// indexing (i1 = ((t>>s)<<(s+1)) + (t & (2^s - 1)), i2 = i1 + 2^s),
+// identical deeply nested tight loop structure, integer arithmetic.
+//
+// Two properties reproduce the paper's FT findings (§4.5):
+//
+//   - The butterfly addresses involve variable shift amounts (the stage
+//     counter), which defeats the induction-variable analysis — exactly
+//     the "deeply nested, tight loop structure [that] confounds our loop
+//     analysis, resulting in the high guard count".
+//   - The body is emitted naive-frontend style, loading each operand
+//     twice; the O1 pre-optimization removes the redundant loads
+//     (Fig. 17b's TFM/O1 configuration).
+func ftProgram(s Scale) *ir.Program {
+	n := s.N // complex points; must be a power of two
+	stages := int64(0)
+	for v := int64(1); v < n; v <<= 1 {
+		stages++
+	}
+
+	p := ir.NewProgram()
+	re := func(i ir.Expr) ir.Expr { return ir.Idx(ir.V("a"), ir.Mul(i, ir.C(2)), 8) }
+	im := func(i ir.Expr) ir.Expr {
+		return ir.Idx(ir.V("a"), ir.Add(ir.Mul(i, ir.C(2)), ir.C(1)), 8)
+	}
+
+	body := []ir.Stmt{
+		&ir.Malloc{Dst: "a", Size: ir.C(n * 2 * 8)},
+		// Initialize with a bounded pseudo-random signal.
+		ir.Loop("i", ir.C(0), ir.C(n),
+			ir.St(re(ir.V("i")), ir.B(ir.OpMod, ir.Mul(ir.V("i"), ir.C(31)), ir.C(257))),
+			ir.St(im(ir.V("i")), ir.B(ir.OpMod, ir.Mul(ir.V("i"), ir.C(17)), ir.C(263))),
+		),
+
+		ir.Loop("it", ir.C(0), ir.C(s.Iterations),
+			ir.Loop("s", ir.C(0), ir.C(stages),
+				ir.Let("len", ir.B(ir.OpShl, ir.C(1), ir.V("s"))),
+				ir.Loop("t", ir.C(0), ir.C(n/2),
+					ir.Let("i1", ir.Add(
+						ir.B(ir.OpShl, ir.B(ir.OpShr, ir.V("t"), ir.V("s")),
+							ir.Add(ir.V("s"), ir.C(1))),
+						ir.B(ir.OpAnd, ir.V("t"), ir.Sub(ir.V("len"), ir.C(1))))),
+					ir.Let("i2", ir.Add(ir.V("i1"), ir.V("len"))),
+					// Naive-frontend butterfly: every operand loaded
+					// twice (once into a temp, once in the combine).
+					ir.Let("ur", ir.Ld(re(ir.V("i1")))),
+					ir.Let("ui", ir.Ld(im(ir.V("i1")))),
+					ir.Let("vr", ir.Ld(re(ir.V("i2")))),
+					ir.Let("vi", ir.Ld(im(ir.V("i2")))),
+					ir.Let("tr1", mask(ir.Add(ir.Ld(re(ir.V("i1"))), ir.Ld(re(ir.V("i2")))))),
+					ir.Let("ti1", mask(ir.Add(ir.Ld(im(ir.V("i1"))), ir.Ld(im(ir.V("i2")))))),
+					ir.Let("tr2", mask(ir.Sub(ir.V("ur"), ir.V("vr")))),
+					ir.Let("ti2", mask(ir.Sub(ir.V("ui"), ir.V("vi")))),
+					ir.St(re(ir.V("i1")), ir.V("tr1")),
+					ir.St(im(ir.V("i1")), ir.V("ti1")),
+					ir.St(re(ir.V("i2")), ir.V("tr2")),
+					ir.St(im(ir.V("i2")), ir.V("ti2")),
+				),
+			),
+		),
+
+		// Checksum.
+		ir.Let("chk", ir.C(0)),
+		ir.Loop("i", ir.C(0), ir.C(n),
+			ir.Let("chk", mask(ir.Add(ir.V("chk"),
+				ir.Add(ir.Ld(re(ir.V("i"))), ir.Ld(im(ir.V("i"))))))),
+		),
+		&ir.Return{E: ir.V("chk")},
+	}
+	p.AddFunc(ir.Fn("main", nil, body...))
+	return p
+}

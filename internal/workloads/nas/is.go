@@ -1,0 +1,80 @@
+package nas
+
+import "trackfm/internal/ir"
+
+// isBuckets is the key range / bucket count for the IS kernel. NAS IS
+// uses 2^10+ buckets at class-D scale; at simulation scale the bucket
+// count must stay representable within the scaled local-memory budgets
+// (each bucket's output tail is an active write region), so the default
+// is proportionally smaller.
+const isBuckets = 16
+
+// isProgram builds the IS kernel: integer bucket (counting) sort.
+// Sequential key scans feed a scatter into the histogram (irregular),
+// a small prefix-sum pass, then a ranked scatter into the output —
+// the NAS IS structure with its mix of streaming and random access.
+func isProgram(s Scale) *ir.Program {
+	n := s.N
+	p := ir.NewProgram()
+	at := func(base string, i ir.Expr) ir.Expr { return ir.Idx(ir.V(base), i, 8) }
+
+	body := []ir.Stmt{
+		&ir.Malloc{Dst: "keys", Size: ir.C(n * 8)},
+		&ir.Malloc{Dst: "out", Size: ir.C(n * 8)},
+		&ir.Malloc{Dst: "hist", Size: ir.C(isBuckets * 8)},
+
+		// Key generation (LCG-style, bounded to the bucket range).
+		ir.Loop("i", ir.C(0), ir.C(n),
+			ir.St(at("keys", ir.V("i")),
+				ir.B(ir.OpMod,
+					ir.B(ir.OpShr,
+						mask(ir.Add(ir.Mul(ir.V("i"), ir.C(1103515245)), ir.C(12345))),
+						ir.C(5)),
+					ir.C(isBuckets))),
+		),
+
+		ir.Loop("it", ir.C(0), ir.C(s.Iterations),
+			// Zero histogram.
+			ir.Loop("b", ir.C(0), ir.C(isBuckets),
+				ir.St(at("hist", ir.V("b")), ir.C(0)),
+			),
+			// Count: sequential key scan, scattered increments.
+			ir.Loop("i", ir.C(0), ir.C(n),
+				ir.Let("k", ir.Ld(at("keys", ir.V("i")))),
+				ir.St(at("hist", ir.V("k")),
+					ir.Add(ir.Ld(at("hist", ir.V("k"))), ir.C(1))),
+			),
+			// Exclusive prefix sum over the histogram.
+			ir.Let("acc", ir.C(0)),
+			ir.Loop("b", ir.C(0), ir.C(isBuckets),
+				ir.Let("cnt", ir.Ld(at("hist", ir.V("b")))),
+				ir.St(at("hist", ir.V("b")), ir.V("acc")),
+				ir.Let("acc", ir.Add(ir.V("acc"), ir.V("cnt"))),
+			),
+			// Rank scatter: out[hist[k]++] = k.
+			ir.Loop("i", ir.C(0), ir.C(n),
+				ir.Let("k", ir.Ld(at("keys", ir.V("i")))),
+				ir.Let("pos", ir.Ld(at("hist", ir.V("k")))),
+				ir.St(at("out", ir.V("pos")), ir.V("k")),
+				ir.St(at("hist", ir.V("k")), ir.Add(ir.V("pos"), ir.C(1))),
+			),
+		),
+
+		// Verification: out must be non-decreasing; checksum mixes
+		// sortedness with an order-weighted sum.
+		ir.Let("sorted", ir.C(1)),
+		ir.Let("chk", ir.C(0)),
+		ir.Loop("i", ir.C(1), ir.C(n),
+			&ir.If{Cond: ir.B(ir.OpLt, ir.Ld(at("out", ir.V("i"))),
+				ir.Ld(at("out", ir.Sub(ir.V("i"), ir.C(1))))), Then: []ir.Stmt{
+				ir.Let("sorted", ir.C(0)),
+			}},
+			ir.Let("chk", mask(ir.Add(ir.V("chk"),
+				ir.Mul(ir.Ld(at("out", ir.V("i"))),
+					ir.Add(ir.B(ir.OpMod, ir.V("i"), ir.C(63)), ir.C(1)))))),
+		),
+		&ir.Return{E: ir.Add(ir.Mul(ir.V("sorted"), ir.C(1<<40)), ir.V("chk"))},
+	}
+	p.AddFunc(ir.Fn("main", nil, body...))
+	return p
+}

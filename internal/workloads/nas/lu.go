@@ -1,0 +1,76 @@
+package nas
+
+import "trackfm/internal/ir"
+
+// luProgram builds the LU kernel: SSOR-style lower/upper triangular
+// sweeps over an N^3 grid. The forward sweep propagates dependencies from
+// (i-1, j-1, k-1) neighbors, the backward sweep from (i+1, j+1, k+1) —
+// the wavefront data dependences that distinguish LU from the Jacobi-style
+// MG sweeps. Integer arithmetic with shift-based relaxation.
+func luProgram(s Scale) *ir.Program {
+	n := s.N
+	p := ir.NewProgram()
+	iv := ir.V
+	gidx := func(base string, i, j, k ir.Expr) ir.Expr {
+		return ir.Idx(ir.V(base), ir.Add(ir.Mul(ir.Add(ir.Mul(i, ir.C(n)), j), ir.C(n)), k), 8)
+	}
+
+	body := []ir.Stmt{
+		&ir.Malloc{Dst: "v", Size: ir.C(n * n * n * 8)},
+		&ir.Malloc{Dst: "rsd", Size: ir.C(n * n * n * 8)},
+
+		ir.Loop("t", ir.C(0), ir.C(n*n*n),
+			ir.St(ir.Idx(ir.V("v"), ir.V("t"), 8), ir.B(ir.OpMod, ir.Mul(ir.V("t"), ir.C(19)), ir.C(2048))),
+			ir.St(ir.Idx(ir.V("rsd"), ir.V("t"), 8), ir.B(ir.OpMod, ir.Mul(ir.V("t"), ir.C(11)), ir.C(1024))),
+		),
+
+		ir.Loop("it", ir.C(0), ir.C(s.Iterations),
+			// Lower-triangular (forward) sweep.
+			ir.Loop("i", ir.C(1), ir.C(n),
+				ir.Loop("j", ir.C(1), ir.C(n),
+					ir.Loop("k", ir.C(1), ir.C(n),
+						ir.St(gidx("v", iv("i"), iv("j"), iv("k")),
+							mask(ir.Add(
+								ir.Ld(gidx("v", iv("i"), iv("j"), iv("k"))),
+								ir.B(ir.OpShr, ir.Add(
+									ir.Add(
+										ir.Ld(gidx("v", ir.Sub(iv("i"), ir.C(1)), iv("j"), iv("k"))),
+										ir.Ld(gidx("v", iv("i"), ir.Sub(iv("j"), ir.C(1)), iv("k")))),
+									ir.Add(
+										ir.Ld(gidx("v", iv("i"), iv("j"), ir.Sub(iv("k"), ir.C(1)))),
+										ir.Ld(gidx("rsd", iv("i"), iv("j"), iv("k"))))),
+									ir.C(2))))),
+					),
+				),
+			),
+			// Upper-triangular (backward) sweep, expressed over reversed
+			// indices.
+			ir.Loop("ii", ir.C(1), ir.C(n),
+				ir.Let("i", ir.Sub(ir.C(n-1), ir.V("ii"))),
+				ir.Loop("jj", ir.C(1), ir.C(n),
+					ir.Let("j", ir.Sub(ir.C(n-1), ir.V("jj"))),
+					ir.Loop("kk", ir.C(1), ir.C(n),
+						ir.Let("k", ir.Sub(ir.C(n-1), ir.V("kk"))),
+						ir.St(gidx("v", iv("i"), iv("j"), iv("k")),
+							mask(ir.Add(
+								ir.Ld(gidx("v", iv("i"), iv("j"), iv("k"))),
+								ir.B(ir.OpShr, ir.Add(
+									ir.Add(
+										ir.Ld(gidx("v", ir.Add(iv("i"), ir.C(1)), iv("j"), iv("k"))),
+										ir.Ld(gidx("v", iv("i"), ir.Add(iv("j"), ir.C(1)), iv("k")))),
+									ir.Ld(gidx("v", iv("i"), iv("j"), ir.Add(iv("k"), ir.C(1))))),
+									ir.C(2))))),
+					),
+				),
+			),
+		),
+
+		ir.Let("chk", ir.C(0)),
+		ir.Loop("t", ir.C(0), ir.C(n*n*n),
+			ir.Let("chk", mask(ir.Add(ir.V("chk"), ir.Ld(ir.Idx(ir.V("v"), ir.V("t"), 8))))),
+		),
+		&ir.Return{E: ir.V("chk")},
+	}
+	p.AddFunc(ir.Fn("main", nil, body...))
+	return p
+}

@@ -1,0 +1,104 @@
+package nas
+
+import "trackfm/internal/ir"
+
+// mgProgram builds the MG kernel: a two-grid V-cycle of the multigrid
+// method on an N^3 grid — Jacobi smoothing sweeps (6-point stencil, the
+// innermost k loop walks contiguous memory), injection restriction to an
+// (N/2)^3 coarse grid, coarse smoothing, and prolongation with
+// correction. Integer arithmetic with shift-based averaging keeps values
+// exact.
+func mgProgram(s Scale) *ir.Program {
+	n := s.N // fine grid dimension (even)
+	h := n / 2
+
+	p := ir.NewProgram()
+	// Linear index helpers for the fine (n^3) and coarse (h^3) grids.
+	fidx := func(base string, i, j, k ir.Expr) ir.Expr {
+		return ir.Idx(ir.V(base), ir.Add(ir.Mul(ir.Add(ir.Mul(i, ir.C(n)), j), ir.C(n)), k), 8)
+	}
+	cidx := func(base string, i, j, k ir.Expr) ir.Expr {
+		return ir.Idx(ir.V(base), ir.Add(ir.Mul(ir.Add(ir.Mul(i, ir.C(h)), j), ir.C(h)), k), 8)
+	}
+	iv := ir.V
+
+	// smooth emits one Jacobi sweep dst <- stencil(src) over interior
+	// points of an n-size grid (dim passed for fine/coarse reuse).
+	smooth := func(dst, src string, dim int64, idx func(string, ir.Expr, ir.Expr, ir.Expr) ir.Expr) ir.Stmt {
+		return ir.Loop("i", ir.C(1), ir.C(dim-1),
+			ir.Loop("j", ir.C(1), ir.C(dim-1),
+				ir.Loop("k", ir.C(1), ir.C(dim-1),
+					ir.Let("sum", ir.Add(
+						ir.Add(
+							ir.Add(ir.Ld(idx(src, ir.Sub(iv("i"), ir.C(1)), iv("j"), iv("k"))),
+								ir.Ld(idx(src, ir.Add(iv("i"), ir.C(1)), iv("j"), iv("k")))),
+							ir.Add(ir.Ld(idx(src, iv("i"), ir.Sub(iv("j"), ir.C(1)), iv("k"))),
+								ir.Ld(idx(src, iv("i"), ir.Add(iv("j"), ir.C(1)), iv("k"))))),
+						ir.Add(
+							ir.Add(ir.Ld(idx(src, iv("i"), iv("j"), ir.Sub(iv("k"), ir.C(1)))),
+								ir.Ld(idx(src, iv("i"), iv("j"), ir.Add(iv("k"), ir.C(1))))),
+							ir.Mul(ir.Ld(idx(src, iv("i"), iv("j"), iv("k"))), ir.C(2))))),
+					ir.St(idx(dst, iv("i"), iv("j"), iv("k")),
+						ir.B(ir.OpShr, ir.V("sum"), ir.C(3))),
+				),
+			),
+		)
+	}
+
+	body := []ir.Stmt{
+		&ir.Malloc{Dst: "u", Size: ir.C(n * n * n * 8)},
+		&ir.Malloc{Dst: "v", Size: ir.C(n * n * n * 8)},
+		&ir.Malloc{Dst: "c", Size: ir.C(h * h * h * 8)},
+		&ir.Malloc{Dst: "d", Size: ir.C(h * h * h * 8)},
+
+		// Initialize u with a bounded field; v starts as a copy.
+		ir.Loop("x", ir.C(0), ir.C(n*n*n),
+			ir.St(ir.Idx(ir.V("u"), ir.V("x"), 8), ir.B(ir.OpMod, ir.Mul(ir.V("x"), ir.C(23)), ir.C(4096))),
+			ir.St(ir.Idx(ir.V("v"), ir.V("x"), 8), ir.C(0)),
+		),
+		ir.Loop("x", ir.C(0), ir.C(h*h*h),
+			ir.St(ir.Idx(ir.V("c"), ir.V("x"), 8), ir.C(0)),
+			ir.St(ir.Idx(ir.V("d"), ir.V("x"), 8), ir.C(0)),
+		),
+
+		ir.Loop("cycle", ir.C(0), ir.C(s.Iterations),
+			// Pre-smoothing: v <- S(u), u <- S(v).
+			smooth("v", "u", n, fidx),
+			smooth("u", "v", n, fidx),
+			// Restriction by injection: c[i,j,k] = u[2i,2j,2k].
+			ir.Loop("i", ir.C(0), ir.C(h),
+				ir.Loop("j", ir.C(0), ir.C(h),
+					ir.Loop("k", ir.C(0), ir.C(h),
+						ir.St(cidx("c", iv("i"), iv("j"), iv("k")),
+							ir.Ld(fidx("u", ir.Mul(iv("i"), ir.C(2)),
+								ir.Mul(iv("j"), ir.C(2)), ir.Mul(iv("k"), ir.C(2))))),
+					),
+				),
+			),
+			// Coarse smoothing: d <- S(c).
+			smooth("d", "c", h, cidx),
+			// Prolongation with correction: u[2i,2j,2k] += d[i,j,k]>>1.
+			ir.Loop("i", ir.C(1), ir.C(h-1),
+				ir.Loop("j", ir.C(1), ir.C(h-1),
+					ir.Loop("k", ir.C(1), ir.C(h-1),
+						ir.St(fidx("u", ir.Mul(iv("i"), ir.C(2)),
+							ir.Mul(iv("j"), ir.C(2)), ir.Mul(iv("k"), ir.C(2))),
+							mask(ir.Add(
+								ir.Ld(fidx("u", ir.Mul(iv("i"), ir.C(2)),
+									ir.Mul(iv("j"), ir.C(2)), ir.Mul(iv("k"), ir.C(2)))),
+								ir.B(ir.OpShr, ir.Ld(cidx("d", iv("i"), iv("j"), iv("k"))), ir.C(1))))),
+					),
+				),
+			),
+		),
+
+		// Checksum over the fine grid.
+		ir.Let("chk", ir.C(0)),
+		ir.Loop("x", ir.C(0), ir.C(n*n*n),
+			ir.Let("chk", mask(ir.Add(ir.V("chk"), ir.Ld(ir.Idx(ir.V("u"), ir.V("x"), 8))))),
+		),
+		&ir.Return{E: ir.V("chk")},
+	}
+	p.AddFunc(ir.Fn("main", nil, body...))
+	return p
+}

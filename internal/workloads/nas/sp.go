@@ -1,0 +1,75 @@
+package nas
+
+import "trackfm/internal/ir"
+
+// spProgram builds the SP kernel: scalar penta-diagonal line solves over
+// an N^3 grid — for every (i, j) line, a forward elimination recurrence
+// coupling x[k-1] and x[k-2], then a backward substitution coupling
+// x[k+1] and x[k+2], as in the NAS SP x-solve/y-solve/z-solve phases.
+// Like FT, the body is emitted naive-frontend style with redundant loads
+// so the O1 pre-optimization has the same work to do the paper reports
+// (a 4x memory-instruction reduction for SP).
+func spProgram(s Scale) *ir.Program {
+	n := s.N
+
+	p := ir.NewProgram()
+	iv := ir.V
+	// Line-major layout: cell (i, j, k) at ((i*n)+j)*n + k.
+	gidx := func(base string, i, j, k ir.Expr) ir.Expr {
+		return ir.Idx(ir.V(base), ir.Add(ir.Mul(ir.Add(ir.Mul(i, ir.C(n)), j), ir.C(n)), k), 8)
+	}
+
+	body := []ir.Stmt{
+		&ir.Malloc{Dst: "x", Size: ir.C(n * n * n * 8)},
+		&ir.Malloc{Dst: "b", Size: ir.C(n * n * n * 8)},
+
+		ir.Loop("t", ir.C(0), ir.C(n*n*n),
+			ir.St(ir.Idx(ir.V("x"), ir.V("t"), 8), ir.B(ir.OpMod, ir.Mul(ir.V("t"), ir.C(13)), ir.C(512))),
+			ir.St(ir.Idx(ir.V("b"), ir.V("t"), 8), ir.B(ir.OpMod, ir.Mul(ir.V("t"), ir.C(7)), ir.C(256))),
+		),
+
+		ir.Loop("it", ir.C(0), ir.C(s.Iterations),
+			ir.Loop("i", ir.C(0), ir.C(n),
+				ir.Loop("j", ir.C(0), ir.C(n),
+					// Forward elimination along the line (k ascending):
+					// naive codegen reloads x[k-1] and x[k-2] for each
+					// use instead of keeping them in registers.
+					ir.Loop("k", ir.C(2), ir.C(n),
+						ir.Let("a1", ir.Ld(gidx("x", iv("i"), iv("j"), ir.Sub(iv("k"), ir.C(1))))),
+						ir.Let("a2", ir.Ld(gidx("x", iv("i"), iv("j"), ir.Sub(iv("k"), ir.C(2))))),
+						ir.Let("num", ir.Add(
+							ir.Ld(gidx("b", iv("i"), iv("j"), iv("k"))),
+							ir.Add(
+								ir.Mul(ir.Ld(gidx("x", iv("i"), iv("j"), ir.Sub(iv("k"), ir.C(1)))), ir.C(3)),
+								ir.Mul(ir.Ld(gidx("x", iv("i"), iv("j"), ir.Sub(iv("k"), ir.C(2)))), ir.C(2))))),
+						ir.St(gidx("x", iv("i"), iv("j"), iv("k")),
+							mask(ir.Add(ir.B(ir.OpShr, ir.V("num"), ir.C(2)),
+								ir.B(ir.OpShr, ir.Add(ir.V("a1"), ir.V("a2")), ir.C(3))))),
+					),
+					// Backward substitution (k descending, expressed as
+					// an ascending loop over the reversed index).
+					ir.Loop("kk", ir.C(2), ir.C(n),
+						ir.Let("k", ir.Sub(ir.C(n-1), ir.V("kk"))),
+						ir.Let("c1", ir.Ld(gidx("x", iv("i"), iv("j"), ir.Add(iv("k"), ir.C(1))))),
+						ir.Let("c2", ir.Ld(gidx("x", iv("i"), iv("j"), ir.Add(iv("k"), ir.C(2))))),
+						ir.St(gidx("x", iv("i"), iv("j"), iv("k")),
+							mask(ir.Add(
+								ir.Ld(gidx("x", iv("i"), iv("j"), iv("k"))),
+								ir.B(ir.OpShr, ir.Add(
+									ir.Mul(ir.Ld(gidx("x", iv("i"), iv("j"), ir.Add(iv("k"), ir.C(1)))), ir.C(2)),
+									ir.Ld(gidx("x", iv("i"), iv("j"), ir.Add(iv("k"), ir.C(2))))), ir.C(3))))),
+						ir.Let("unused", ir.Add(ir.V("c1"), ir.V("c2"))),
+					),
+				),
+			),
+		),
+
+		ir.Let("chk", ir.C(0)),
+		ir.Loop("t", ir.C(0), ir.C(n*n*n),
+			ir.Let("chk", mask(ir.Add(ir.V("chk"), ir.Ld(ir.Idx(ir.V("x"), ir.V("t"), 8))))),
+		),
+		&ir.Return{E: ir.V("chk")},
+	}
+	p.AddFunc(ir.Fn("main", nil, body...))
+	return p
+}

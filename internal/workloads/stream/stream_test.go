@@ -1,0 +1,125 @@
+package stream
+
+import (
+	"testing"
+
+	"trackfm/internal/compiler"
+	"trackfm/internal/core"
+	"trackfm/internal/fastswap"
+	"trackfm/internal/interp"
+	"trackfm/internal/ir"
+	"trackfm/internal/sim"
+)
+
+func runTFM(t *testing.T, prog *ir.Program, objSize int, heap, budget uint64) (int64, *sim.Env) {
+	t.Helper()
+	env := sim.NewEnv()
+	rt, err := core.NewRuntime(core.Config{
+		Env: env, ObjectSize: objSize, HeapSize: heap, LocalBudget: budget,
+	})
+	if err != nil {
+		t.Fatalf("NewRuntime: %v", err)
+	}
+	res, err := interp.Run(prog, interp.NewTrackFMBackend(rt), interp.Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res.Return, env
+}
+
+func TestKernelChecksumsAllBackends(t *testing.T) {
+	const n = 3000
+	for _, k := range []Kernel{Sum, Copy, Scale, Add, Triad} {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			want := Expected(k, n)
+
+			prog := Program(k, n)
+			if _, err := compiler.Compile(prog, compiler.Options{
+				Chunking: compiler.ChunkCostModel, ObjectSize: 256, Prefetch: true,
+			}); err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			got, _ := runTFM(t, prog, 256, 1<<22, 1<<14)
+			if got != want {
+				t.Fatalf("trackfm checksum = %d, want %d", got, want)
+			}
+
+			// Fastswap and local agree.
+			prog2 := Program(k, n)
+			if _, err := compiler.Compile(prog2, compiler.Options{Chunking: compiler.ChunkNone}); err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			env := sim.NewEnv()
+			sw, err := fastswap.New(fastswap.Config{Env: env, HeapSize: 1 << 22, LocalBudget: 1 << 15})
+			if err != nil {
+				t.Fatalf("fastswap.New: %v", err)
+			}
+			res, err := interp.Run(prog2, interp.NewFastswapBackend(sw), interp.Options{})
+			if err != nil {
+				t.Fatalf("fastswap run: %v", err)
+			}
+			if res.Return != want {
+				t.Fatalf("fastswap checksum = %d, want %d", res.Return, want)
+			}
+
+			res, err = interp.Run(prog2, interp.NewLocalBackend(sim.NewEnv()), interp.Options{})
+			if err != nil {
+				t.Fatalf("local run: %v", err)
+			}
+			if res.Return != want {
+				t.Fatalf("local checksum = %d, want %d", res.Return, want)
+			}
+		})
+	}
+}
+
+func TestChunkingSpeedsUpSum(t *testing.T) {
+	// Fig. 7's claim at the scale of a unit test: chunked STREAM beats
+	// the naive transformation.
+	const n = 1 << 15
+	run := func(mode compiler.ChunkMode) uint64 {
+		prog := Program(Sum, n)
+		if _, err := compiler.Compile(prog, compiler.Options{
+			Chunking: mode, ObjectSize: 4096,
+		}); err != nil {
+			t.Fatalf("Compile: %v", err)
+		}
+		_, env := runTFM(t, prog, 4096, 1<<22, 1<<19) // 50% local
+		return env.Clock.Cycles()
+	}
+	naive := run(compiler.ChunkNone)
+	chunked := run(compiler.ChunkCostModel)
+	if chunked >= naive {
+		t.Fatalf("chunked STREAM Sum (%d cycles) not faster than naive (%d)", chunked, naive)
+	}
+	speedup := float64(naive) / float64(chunked)
+	if speedup < 1.2 {
+		t.Fatalf("chunking speedup %.2f, want >= 1.2 (paper: 1.5-2.0)", speedup)
+	}
+}
+
+func TestBytesPerIteration(t *testing.T) {
+	if Sum.BytesPerIteration() != 8 || Copy.BytesPerIteration() != 16 ||
+		Add.BytesPerIteration() != 24 {
+		t.Fatalf("BytesPerIteration wrong")
+	}
+}
+
+func TestWorkingSetBytes(t *testing.T) {
+	if WorkingSetBytes(Sum, 100) != 800 {
+		t.Fatalf("Sum WS = %d", WorkingSetBytes(Sum, 100))
+	}
+	if WorkingSetBytes(Copy, 100) != 1600 {
+		t.Fatalf("Copy WS = %d", WorkingSetBytes(Copy, 100))
+	}
+	if WorkingSetBytes(Triad, 100) != 2400 {
+		t.Fatalf("Triad WS = %d", WorkingSetBytes(Triad, 100))
+	}
+}
+
+func TestKernelString(t *testing.T) {
+	if Sum.String() != "Sum" || Kernel(99).String() != "unknown" {
+		t.Fatalf("Kernel.String broken")
+	}
+}
