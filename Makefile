@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test smoke_test bench figs clean \
+.PHONY: all build test test-race fuzz-short smoke_test bench figs clean \
         trackfm_table1 trackfm_table2 trackfm_table3 trackfm_table4 \
         trackfm_fig6 trackfm_fig7 trackfm_fig8 trackfm_fig9 trackfm_fig10 \
         trackfm_fig11 trackfm_fig12 trackfm_fig13 trackfm_fig14a trackfm_fig15 \
@@ -20,8 +20,19 @@ smoke_test:
 	$(GO) vet ./...
 	$(GO) test ./internal/sim ./internal/core ./internal/compiler
 
+# Tier-1: the full suite, plus race mode over the concurrency-bearing
+# packages (the TCP fabric and the runtime that retries over it).
 test:
 	$(GO) test ./...
+	$(GO) test -race ./internal/fabric/... ./internal/aifm/...
+
+# The whole tree under the race detector.
+test-race:
+	$(GO) test -race ./...
+
+# A short deterministic-budget run of the wire-protocol fuzzer.
+fuzz-short:
+	$(GO) test -run=^$$ -fuzz=FuzzWireProtocol -fuzztime=30s ./internal/fabric
 
 bench:
 	$(GO) test -bench=. -benchmem

@@ -4,6 +4,12 @@
 // simulated link the calibrated benchmarks use; examples/kvstore can run
 // against it.
 //
+// Clients survive an fmserver crash as long as a replacement comes back on
+// the same address: the TCPTransport reconnects with bounded backoff, and
+// the store contents can be considered the node's "memory" (a restarted
+// process with a fresh store serves fetches as not-found, which clients
+// observe as typed errors or misses — never as corrupted data).
+//
 //	fmserver -addr 127.0.0.1:7070
 package main
 
@@ -13,6 +19,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"trackfm/internal/fabric"
@@ -35,15 +42,15 @@ func main() {
 	if *stats > 0 {
 		go func() {
 			for range time.Tick(*stats) {
-				fmt.Printf("fmserver: %d objects, %d bytes resident\n",
-					store.Len(), store.Bytes())
+				fmt.Printf("fmserver: %d objects, %d bytes resident | %s\n",
+					store.Len(), store.Bytes(), srv.Stats())
 			}
 		}()
 	}
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("\nfmserver: shutting down")
+	fmt.Printf("\nfmserver: shutting down | %s\n", srv.Stats())
 	srv.Close()
 }

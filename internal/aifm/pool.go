@@ -49,6 +49,12 @@ type Config struct {
 	AutoPrefetch bool
 	// PrefetchDepth is how many objects ahead to prefetch (default 8).
 	PrefetchDepth int
+	// RemoteRetries is the total attempts per remote operation when the
+	// transport surfaces errors (fabric.ErrorTransport): a failed fetch
+	// or evacuation push is re-issued up to RemoteRetries-1 times before
+	// the pool gives up (default 4). The in-process SimLink never fails,
+	// so deterministic experiments are unaffected.
+	RemoteRetries int
 }
 
 // Pool is an AIFM-style far-memory object pool: a contiguous metadata table
@@ -60,7 +66,8 @@ type Config struct {
 // accesses onto one logical timeline.
 type Pool struct {
 	env       *sim.Env
-	transport fabric.Transport
+	transport fabric.ErrorTransport
+	retries   int
 	objSize   int
 	shift     uint // log2(objSize)
 	dsID      uint8
@@ -128,9 +135,14 @@ func NewPool(cfg Config) (*Pool, error) {
 			depth = 1
 		}
 	}
+	retries := cfg.RemoteRetries
+	if retries <= 0 {
+		retries = 4
+	}
 	p := &Pool{
 		env:           cfg.Env,
-		transport:     cfg.Transport,
+		transport:     fabric.AsErrorTransport(cfg.Transport),
+		retries:       retries,
 		objSize:       cfg.ObjectSize,
 		shift:         uint(bits.TrailingZeros(uint(cfg.ObjectSize))),
 		dsID:          cfg.DSID,
@@ -184,7 +196,26 @@ func (p *Pool) transportKey(id ObjectID) uint64 {
 // arena offset of its first byte. forWrite marks the object dirty. The
 // bool result reports whether the call had to perform a blocking remote
 // fetch (a "critical" fetch in the paper's terminology).
+//
+// Localize is the legacy infallible entry point: over the deterministic
+// SimLink a remote fetch cannot fail, and over an error-aware transport a
+// persistent failure (after the pool's retry budget) panics with the typed
+// transport error rather than handing the mutator zeroed memory. Callers
+// running over a real network should prefer TryLocalize.
 func (p *Pool) Localize(id ObjectID, forWrite bool) (uint64, bool) {
+	addr, missed, err := p.TryLocalize(id, forWrite)
+	if err != nil {
+		panic(fmt.Sprintf("aifm: unrecoverable remote fetch for object %d: %v", id, err))
+	}
+	return addr, missed
+}
+
+// TryLocalize is Localize with remote-fetch failures surfaced. A failed
+// fetch is retried up to the pool's RemoteRetries budget; if the transport
+// still fails, the claimed slot is returned to the free list, the object's
+// metadata is left untouched (still remote), and the typed fabric error is
+// returned — the caller never observes a zero-filled ghost of its data.
+func (p *Pool) TryLocalize(id ObjectID, forWrite bool) (uint64, bool, error) {
 	m := p.table[id]
 	if m.Present() {
 		nm := m | MetaH
@@ -198,7 +229,7 @@ func (p *Pool) Localize(id ObjectID, forWrite bool) (uint64, bool) {
 		if nm != m {
 			p.table[id] = nm
 		}
-		return m.DataAddr(), false
+		return m.DataAddr(), false, nil
 	}
 	slot := p.takeSlot()
 	base := uint64(slot) * uint64(p.objSize)
@@ -207,7 +238,10 @@ func (p *Pool) Localize(id ObjectID, forWrite bool) (uint64, bool) {
 		p.arena.WriteAt(base, make([]byte, p.objSize))
 	} else {
 		// Demand miss on an evacuated object: blocking remote fetch.
-		p.fetchInto(id, base, false)
+		if err := p.fetchInto(id, base, false); err != nil {
+			p.freeSlots = append(p.freeSlots, slot)
+			return 0, true, err
+		}
 	}
 	p.slotOwner[slot] = id
 	nm := LocalMeta(base, p.dsID) | MetaH
@@ -216,12 +250,12 @@ func (p *Pool) Localize(id ObjectID, forWrite bool) (uint64, bool) {
 	}
 	p.table[id] = nm
 	if fresh {
-		return base, false
+		return base, false, nil
 	}
 	p.env.Counters.RemoteFetches++
 	p.env.Counters.CriticalFetches++
 	p.maybeStridePrefetch(id)
-	return base, true
+	return base, true, nil
 }
 
 // Prefetch asynchronously localizes id if it is remote and a slot can be
@@ -246,7 +280,13 @@ func (p *Pool) Prefetch(id ObjectID) {
 		// Never-touched object: materialize zeros without network.
 		p.arena.WriteAt(base, make([]byte, p.objSize))
 	} else {
-		p.fetchInto(id, base, true)
+		if err := p.fetchInto(id, base, true); err != nil {
+			// Prefetch is speculation: on persistent failure, give the
+			// slot back and leave the object remote rather than
+			// installing a zero-filled ghost.
+			p.freeSlots = append(p.freeSlots, slot)
+			return
+		}
 		p.env.Counters.PrefetchIssued++
 		p.env.Counters.RemoteFetches++
 	}
@@ -254,14 +294,45 @@ func (p *Pool) Prefetch(id ObjectID) {
 	p.table[id] = LocalMeta(base, p.dsID) | MetaPF
 }
 
-func (p *Pool) fetchInto(id ObjectID, base uint64, async bool) {
+// fetchInto pulls object id into the arena at base, retrying transport
+// failures up to the pool's budget. Every failed attempt is tallied in
+// Counters.RemoteFetchFaults, so injected fault counts reconcile exactly
+// with what the runtime observed.
+func (p *Pool) fetchInto(id ObjectID, base uint64, async bool) error {
 	buf := make([]byte, p.objSize)
-	if async {
-		p.transport.FetchAsync(p.transportKey(id), buf)
-	} else {
-		p.transport.Fetch(p.transportKey(id), buf)
+	key := p.transportKey(id)
+	var last error
+	for attempt := 1; attempt <= p.retries; attempt++ {
+		var err error
+		if async {
+			_, err = p.transport.TryFetchAsync(key, buf)
+		} else {
+			_, err = p.transport.TryFetch(key, buf)
+		}
+		if err == nil {
+			p.arena.WriteAt(base, buf)
+			return nil
+		}
+		last = err
+		p.env.Counters.RemoteFetchFaults++
 	}
-	p.arena.WriteAt(base, buf)
+	return fmt.Errorf("aifm: fetch object %d after %d attempts: %w", id, p.retries, last)
+}
+
+// pushWithRetry evacuates a dirty object's bytes, retrying transport
+// failures up to the pool's budget; failed attempts are tallied in
+// Counters.RemotePushFaults.
+func (p *Pool) pushWithRetry(key uint64, buf []byte) error {
+	var last error
+	for attempt := 1; attempt <= p.retries; attempt++ {
+		if err := p.transport.TryPush(key, buf); err == nil {
+			return nil
+		} else {
+			last = err
+			p.env.Counters.RemotePushFaults++
+		}
+	}
+	return last
 }
 
 func (p *Pool) maybeStridePrefetch(id ObjectID) {
@@ -337,7 +408,9 @@ func (p *Pool) tryTakeSlotGentle() (uint32, bool) {
 		if m.Hot() || m.Prefetched() {
 			continue
 		}
-		p.evictSlot(uint32(slot), id)
+		if !p.evictSlot(uint32(slot), id) {
+			continue // write-back stalled; try another victim
+		}
 		return uint32(slot), true
 	}
 	return 0, false
@@ -370,27 +443,39 @@ func (p *Pool) tryTakeSlot() (uint32, bool) {
 				p.table[id] = m &^ MetaH
 				continue
 			}
-			p.evictSlot(uint32(slot), id)
+			if !p.evictSlot(uint32(slot), id) {
+				continue // write-back stalled; try another victim
+			}
 			return uint32(slot), true
 		}
 	}
 	return 0, false
 }
 
-// evictSlot evacuates the object owning slot to the remote node.
-func (p *Pool) evictSlot(slot uint32, id ObjectID) {
+// evictSlot evacuates the object owning slot to the remote node. It
+// reports whether the eviction completed: when a dirty object's write-back
+// fails past the retry budget, the object stays resident and dirty (it is
+// the only copy of the data — dropping it would be silent corruption), the
+// stall is counted, and the caller moves on to another victim. This is the
+// "pin and degrade" path: under a persistent remote outage every dirty
+// object effectively pins itself until the fabric heals.
+func (p *Pool) evictSlot(slot uint32, id ObjectID) bool {
 	m := p.table[id]
 	base := uint64(slot) * uint64(p.objSize)
 	p.env.Clock.Advance(p.env.Costs.EvacuateObject)
 	if m.Dirty() {
 		buf := make([]byte, p.objSize)
 		p.arena.ReadAt(base, buf)
-		p.transport.Push(p.transportKey(id), buf)
+		if err := p.pushWithRetry(p.transportKey(id), buf); err != nil {
+			p.env.Counters.EvictionStalls++
+			return false
+		}
 	}
 	p.table[id] = RemoteMeta(id, uint32(p.objSize), p.dsID)
 	p.slotOwner[slot] = noOwner
 	p.env.Counters.Evacuations++
 	p.Evacuations++
+	return true
 }
 
 // EvacuateAll force-evacuates every unpinned resident object; tests and
@@ -400,8 +485,9 @@ func (p *Pool) EvacuateAll() {
 		if id == noOwner || p.pins[id] > 0 {
 			continue
 		}
-		p.evictSlot(uint32(slot), id)
-		p.freeSlots = append(p.freeSlots, uint32(slot))
+		if p.evictSlot(uint32(slot), id) {
+			p.freeSlots = append(p.freeSlots, uint32(slot))
+		}
 	}
 }
 
@@ -439,6 +525,15 @@ func (p *Pool) Free(id ObjectID) {
 		p.slotOwner[slot] = noOwner
 		p.freeSlots = append(p.freeSlots, slot)
 	}
-	p.transport.Delete(p.transportKey(id))
+	// Deletes are idempotent and harmless to lose: a leaked remote blob
+	// is unreachable once the metadata word resets (a reused id is
+	// re-materialized as fresh zeros, and any later push overwrites the
+	// stale blob). Retry within budget, then move on.
+	for attempt := 1; attempt <= p.retries; attempt++ {
+		if err := p.transport.TryDelete(p.transportKey(id)); err == nil {
+			break
+		}
+		p.env.Counters.RemotePushFaults++
+	}
 	p.table[id] = 0
 }

@@ -1,0 +1,75 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+)
+
+// Typed transport errors. Error-aware callers (ErrorTransport users) match
+// these with errors.Is; every error returned by TryFetch/TryPush/TryDelete
+// wraps exactly one of them so retry policies can branch on failure class
+// without string matching.
+var (
+	// ErrRemoteUnavailable covers connection-level failures: refused or
+	// reset connections, failed re-dials, and fault-injected outages. The
+	// remote node may come back; the operation is safe to retry.
+	ErrRemoteUnavailable = errors.New("fabric: remote node unavailable")
+
+	// ErrTimeout is a per-operation deadline expiry: the remote node is
+	// reachable but did not answer in time (slow link, overloaded node).
+	ErrTimeout = errors.New("fabric: operation timed out")
+
+	// ErrShortRead is a response truncated mid-frame: the connection died
+	// (or the peer misbehaved) after the request was accepted. The request
+	// may or may not have been applied remotely; fetches are idempotent
+	// and safe to retry, pushes are last-writer-wins and also safe.
+	ErrShortRead = errors.New("fabric: short read mid-response")
+
+	// ErrProtocol is a framing violation that cannot be retried: an
+	// unexpected ack byte, an error frame from the server, or a response
+	// flag outside the protocol. The connection is torn down.
+	ErrProtocol = errors.New("fabric: protocol violation")
+
+	// ErrClosed is returned for operations on an explicitly Closed
+	// transport. Never retried.
+	ErrClosed = errors.New("fabric: transport closed")
+)
+
+// permanentError marks an error the retry loop must not retry (protocol
+// violations, oversize payloads, explicit close).
+type permanentError struct{ err error }
+
+func (p permanentError) Error() string { return p.err.Error() }
+func (p permanentError) Unwrap() error { return p.err }
+
+// permanent wraps err so the retry loop surfaces it immediately.
+func permanent(err error) error { return permanentError{err} }
+
+func isPermanent(err error) bool {
+	var p permanentError
+	return errors.As(err, &p)
+}
+
+func isTimeout(err error) bool   { return errors.Is(err, ErrTimeout) }
+func isShortRead(err error) bool { return errors.Is(err, ErrShortRead) }
+
+// classify maps a raw network error onto the typed taxonomy, preserving the
+// original error in the wrap chain for diagnostics.
+func classify(err error) error {
+	if err == nil {
+		return nil
+	}
+	if isPermanent(err) {
+		return err
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("%w: %v", ErrTimeout, err)
+	}
+	if errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("%w: %v", ErrShortRead, err)
+	}
+	return fmt.Errorf("%w: %v", ErrRemoteUnavailable, err)
+}

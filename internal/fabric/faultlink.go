@@ -1,0 +1,216 @@
+package fabric
+
+import (
+	"fmt"
+	"sync"
+
+	"trackfm/internal/sim"
+)
+
+// FaultConfig parameterizes a FaultLink. All probabilities are per
+// operation and drawn from one seeded sim.RNG, so a fixed seed yields a
+// bit-identical fault schedule run after run — experiments with fault
+// injection stay as reproducible as the fault-free ones.
+type FaultConfig struct {
+	// Seed seeds the injector's private RNG (zero selects sim.NewRNG's
+	// fixed default).
+	Seed uint64
+	// DropRate is the probability an operation fails with an injected
+	// ErrRemoteUnavailable before reaching the inner transport.
+	DropRate float64
+	// CorruptRate is the probability a successful fetch has one payload
+	// byte flipped after the inner transport fills it — modelling a
+	// link-level integrity failure the transport cannot see.
+	CorruptRate float64
+	// DelayRate is the probability an operation is delayed by
+	// DelayCycles on the simulated clock (requires Env).
+	DelayRate float64
+	// DelayCycles is the simulated-cycle cost charged per injected delay.
+	DelayCycles uint64
+	// OutageEvery, when positive, starts a transient unavailability
+	// window every OutageEvery operations: the next OutageLen operations
+	// all fail with ErrRemoteUnavailable. This models a remote-node
+	// crash-and-restart rather than independent per-op loss.
+	OutageEvery int
+	// OutageLen is the length, in operations, of each outage window
+	// (default 1 when OutageEvery is set).
+	OutageLen int
+	// Env, when set, is charged DelayCycles per injected delay so slow
+	// links show up on the experiment timeline.
+	Env *sim.Env
+}
+
+// FaultStats counts injected faults, for reconciling against the
+// transport- and runtime-level counters in tests and experiments.
+type FaultStats struct {
+	Drops       uint64 // ops failed with an injected ErrRemoteUnavailable
+	Corruptions uint64 // fetch payloads bit-flipped
+	Delays      uint64 // delays charged to the sim clock
+	OutageFails uint64 // ops failed inside an outage window (subset semantics: counted separately from Drops)
+	Ops         uint64 // total operations observed
+}
+
+// FaultLink is a Transport/ErrorTransport decorator that injects faults
+// against any inner transport: probabilistic drops, payload corruption,
+// simulated-clock delays, and periodic outage windows. Wrap a SimLink to
+// fault-test the deterministic runtimes, or a TCPTransport to stress the
+// retry machinery over a real socket. It is safe for concurrent use (the
+// injector serializes its RNG draws), though the fault schedule is only
+// deterministic under a single-goroutine caller.
+type FaultLink struct {
+	inner ErrorTransport
+	cfg   FaultConfig
+
+	mu         sync.Mutex
+	rng        *sim.RNG
+	ops        uint64
+	outageLeft int
+	stats      FaultStats
+}
+
+// NewFaultLink wraps inner with the fault injector described by cfg.
+func NewFaultLink(inner Transport, cfg FaultConfig) *FaultLink {
+	if cfg.OutageEvery > 0 && cfg.OutageLen <= 0 {
+		cfg.OutageLen = 1
+	}
+	return &FaultLink{
+		inner: AsErrorTransport(inner),
+		cfg:   cfg,
+		rng:   sim.NewRNG(cfg.Seed),
+	}
+}
+
+// Stats returns a copy of the injected-fault counters.
+func (f *FaultLink) Stats() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// InjectedFailures reports the total operations failed by injection
+// (independent drops plus outage-window failures).
+func (s FaultStats) InjectedFailures() uint64 { return s.Drops + s.OutageFails }
+
+// inject advances the fault schedule by one operation and returns a
+// non-nil error if this operation is to fail before reaching the inner
+// transport. Delays are charged here as a side effect.
+func (f *FaultLink) inject() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops++
+	f.stats.Ops++
+	if f.cfg.OutageEvery > 0 {
+		if f.outageLeft > 0 {
+			f.outageLeft--
+			f.stats.OutageFails++
+			return fmt.Errorf("%w: injected outage", ErrRemoteUnavailable)
+		}
+		if f.ops%uint64(f.cfg.OutageEvery) == 0 {
+			f.outageLeft = f.cfg.OutageLen - 1
+			f.stats.OutageFails++
+			return fmt.Errorf("%w: injected outage", ErrRemoteUnavailable)
+		}
+	}
+	if f.cfg.DropRate > 0 && f.rng.Float64() < f.cfg.DropRate {
+		f.stats.Drops++
+		return fmt.Errorf("%w: injected drop", ErrRemoteUnavailable)
+	}
+	if f.cfg.DelayRate > 0 && f.rng.Float64() < f.cfg.DelayRate {
+		f.stats.Delays++
+		if f.cfg.Env != nil {
+			f.cfg.Env.Clock.Advance(f.cfg.DelayCycles)
+		}
+	}
+	return nil
+}
+
+// maybeCorrupt flips one byte of a fetched payload with CorruptRate
+// probability.
+func (f *FaultLink) maybeCorrupt(dst []byte) {
+	if f.cfg.CorruptRate <= 0 || len(dst) == 0 {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.rng.Float64() < f.cfg.CorruptRate {
+		f.stats.Corruptions++
+		dst[f.rng.Intn(len(dst))] ^= 0xFF
+	}
+}
+
+// TryFetch implements ErrorTransport.
+func (f *FaultLink) TryFetch(key uint64, dst []byte) (bool, error) {
+	if err := f.inject(); err != nil {
+		return false, err
+	}
+	found, err := f.inner.TryFetch(key, dst)
+	if err == nil && found {
+		f.maybeCorrupt(dst)
+	}
+	return found, err
+}
+
+// TryFetchAsync implements ErrorTransport.
+func (f *FaultLink) TryFetchAsync(key uint64, dst []byte) (bool, error) {
+	if err := f.inject(); err != nil {
+		return false, err
+	}
+	found, err := f.inner.TryFetchAsync(key, dst)
+	if err == nil && found {
+		f.maybeCorrupt(dst)
+	}
+	return found, err
+}
+
+// TryPush implements ErrorTransport.
+func (f *FaultLink) TryPush(key uint64, src []byte) error {
+	if err := f.inject(); err != nil {
+		return err
+	}
+	return f.inner.TryPush(key, src)
+}
+
+// TryDelete implements ErrorTransport.
+func (f *FaultLink) TryDelete(key uint64) error {
+	if err := f.inject(); err != nil {
+		return err
+	}
+	return f.inner.TryDelete(key)
+}
+
+// Fetch implements Transport, degrading injected failures into a
+// zero-filled not-found exactly like a legacy lossy link would.
+func (f *FaultLink) Fetch(key uint64, dst []byte) bool {
+	found, err := f.TryFetch(key, dst)
+	if err != nil {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return false
+	}
+	return found
+}
+
+// FetchAsync implements Transport.
+func (f *FaultLink) FetchAsync(key uint64, dst []byte) bool {
+	found, err := f.TryFetchAsync(key, dst)
+	if err != nil {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return false
+	}
+	return found
+}
+
+// Push implements Transport; injected failures drop the push.
+func (f *FaultLink) Push(key uint64, src []byte) {
+	_ = f.TryPush(key, src)
+}
+
+// Delete implements Transport; injected failures drop the delete.
+func (f *FaultLink) Delete(key uint64) {
+	_ = f.TryDelete(key)
+}
+
+var _ ErrorTransport = (*FaultLink)(nil)

@@ -1,0 +1,71 @@
+package fabric
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"trackfm/internal/remote"
+)
+
+// FuzzWireProtocol throws arbitrary bytes at Server.handle: a 13-byte
+// header (op, key, length) followed by whatever payload the fuzzer
+// invents, possibly truncated, possibly followed by more frames. The
+// server must never panic and never allocate beyond the protocol limit
+// regardless of the advertised length field.
+func FuzzWireProtocol(f *testing.F) {
+	// A well-formed push, fetch, and delete.
+	push := make([]byte, 13+4)
+	push[0] = opPush
+	binary.BigEndian.PutUint64(push[1:9], 42)
+	binary.BigEndian.PutUint32(push[9:13], 4)
+	copy(push[13:], []byte{1, 2, 3, 4})
+	f.Add(push)
+	fetch := make([]byte, 13)
+	fetch[0] = opFetch
+	binary.BigEndian.PutUint64(fetch[1:9], 42)
+	binary.BigEndian.PutUint32(fetch[9:13], 4)
+	f.Add(fetch)
+	del := make([]byte, 13)
+	del[0] = opDelete
+	f.Add(del)
+	// An oversize length field (must be answered with an error frame,
+	// not a 4 GiB allocation), an unknown opcode, and a truncated header.
+	oversize := make([]byte, 13)
+	oversize[0] = opPush
+	binary.BigEndian.PutUint32(oversize[9:13], 0xFFFFFFFF)
+	f.Add(oversize)
+	f.Add([]byte{0xFF, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add([]byte{opPush, 0, 0})
+	// Two frames back to back.
+	f.Add(append(append([]byte{}, fetch...), del...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		store := remote.NewStore()
+		s := NewServer(store)
+		client, server := net.Pipe()
+		done := make(chan struct{})
+		go func() {
+			s.handle(server)
+			close(done)
+		}()
+		// Drain whatever the server answers so its writes never block
+		// on the unbuffered pipe, and feed the input from a goroutine:
+		// if the server tears the connection down mid-input (bad
+		// opcode, oversize push) the blocked write errors out instead
+		// of stalling this exec.
+		go io.Copy(io.Discard, client)
+		client.SetDeadline(time.Now().Add(2 * time.Second))
+		go func() {
+			client.Write(data)
+			client.Close()
+		}()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("server.handle did not return after client close")
+		}
+	})
+}

@@ -59,6 +59,66 @@ type Transport interface {
 	Delete(key uint64)
 }
 
+// ErrorTransport is the error-aware superset of Transport. The legacy
+// methods above cannot distinguish "key absent" from "network failed", so
+// a lossy link degrades every failure into a zero-filled not-found — silent
+// corruption for the mutator. Runtimes that care (aifm, fastswap) detect
+// this interface and use the Try variants, which surface the typed errors
+// in errors.go; the legacy methods remain as thin adapters for callers that
+// accept best-effort semantics.
+type ErrorTransport interface {
+	Transport
+
+	// TryFetch is Fetch with failures surfaced: found reports key
+	// presence only when err is nil. On error the contents of dst are
+	// unspecified and must not be used.
+	TryFetch(key uint64, dst []byte) (found bool, err error)
+
+	// TryFetchAsync is FetchAsync with failures surfaced.
+	TryFetchAsync(key uint64, dst []byte) (found bool, err error)
+
+	// TryPush is Push with failures surfaced; on error the remote copy
+	// may or may not have been updated (pushes are idempotent
+	// last-writer-wins, so retrying is always safe).
+	TryPush(key uint64, src []byte) error
+
+	// TryDelete is Delete with failures surfaced. Deletes are idempotent.
+	TryDelete(key uint64) error
+}
+
+// errorAdapter lifts a plain Transport into an ErrorTransport whose Try
+// methods never fail — correct for in-process links like SimLink, where
+// the only failure mode is "key absent".
+type errorAdapter struct{ Transport }
+
+func (a errorAdapter) TryFetch(key uint64, dst []byte) (bool, error) {
+	return a.Transport.Fetch(key, dst), nil
+}
+
+func (a errorAdapter) TryFetchAsync(key uint64, dst []byte) (bool, error) {
+	return a.Transport.FetchAsync(key, dst), nil
+}
+
+func (a errorAdapter) TryPush(key uint64, src []byte) error {
+	a.Transport.Push(key, src)
+	return nil
+}
+
+func (a errorAdapter) TryDelete(key uint64) error {
+	a.Transport.Delete(key)
+	return nil
+}
+
+// AsErrorTransport returns t itself when it already surfaces errors, or
+// wraps it in an infallible adapter. Runtimes call this once at
+// construction so their data paths are uniformly error-aware.
+func AsErrorTransport(t Transport) ErrorTransport {
+	if et, ok := t.(ErrorTransport); ok {
+		return et
+	}
+	return errorAdapter{t}
+}
+
 // SimLink is the deterministic in-process transport. It stores pushed blobs
 // in a map and charges the calibrated fixed+bandwidth cycle cost of its
 // backend for every operation.

@@ -1,0 +1,57 @@
+package fabric
+
+import (
+	"time"
+
+	"trackfm/internal/sim"
+)
+
+// RetryPolicy bounds how a transport re-issues failed operations. Backoff
+// is exponential (BaseBackoff doubled per retry, capped at MaxBackoff) with
+// deterministic jitter: the sleep is scaled into [1/2, 1) of the nominal
+// value by a seeded sim.RNG, so two runs with the same seed produce the
+// same retry schedule — experiments with fault injection stay reproducible.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per operation, including
+	// the first. Values below 1 mean the default (4).
+	MaxAttempts int
+	// BaseBackoff is the nominal sleep before the first retry
+	// (default 1ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (default 50ms).
+	MaxBackoff time.Duration
+}
+
+// withDefaults fills zero fields with the default policy.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 50 * time.Millisecond
+	}
+	return p
+}
+
+// backoff returns the jittered sleep before retry number retry (1-based).
+// It consumes one value from rng, which makes the schedule deterministic
+// for a fixed seed.
+func (p RetryPolicy) backoff(retry int, rng *sim.RNG) time.Duration {
+	d := p.BaseBackoff
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if d >= p.MaxBackoff {
+			d = p.MaxBackoff
+			break
+		}
+	}
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	// Jitter into [d/2, d): decorrelates competing clients while staying
+	// deterministic per seed.
+	return d/2 + time.Duration(rng.Float64()*float64(d/2))
+}

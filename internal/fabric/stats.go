@@ -1,0 +1,80 @@
+package fabric
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Stats is the transport-level fault-handling counter block. All fields are
+// updated atomically so a transport shared by concurrent goroutines (and
+// observed by a stats reporter) is race-free. Read individual counters with
+// the accessor methods or grab a consistent-enough view with Snapshot.
+type Stats struct {
+	retries     atomic.Uint64 // operation attempts beyond the first
+	timeouts    atomic.Uint64 // attempts that hit the per-op deadline
+	reconnects  atomic.Uint64 // successful re-dials after a dead connection
+	degraded    atomic.Uint64 // legacy-API ops that swallowed an error (zero-fill / dropped push)
+	shortReads  atomic.Uint64 // responses truncated mid-frame
+	unavailable atomic.Uint64 // connection-level failures (refused/reset/dial)
+}
+
+// Retries reports operation attempts beyond the first (each backoff-retry).
+func (s *Stats) Retries() uint64 { return s.retries.Load() }
+
+// Timeouts reports attempts that expired their per-operation deadline.
+func (s *Stats) Timeouts() uint64 { return s.timeouts.Load() }
+
+// Reconnects reports successful re-dials after the connection was marked dead.
+func (s *Stats) Reconnects() uint64 { return s.reconnects.Load() }
+
+// DegradedFetches reports legacy-API operations that swallowed a transport
+// error: a Fetch that zero-filled and returned not-found, or a Push/Delete
+// that was dropped. Error-aware callers (Try*) never appear here.
+func (s *Stats) DegradedFetches() uint64 { return s.degraded.Load() }
+
+// ShortReads reports responses truncated mid-frame.
+func (s *Stats) ShortReads() uint64 { return s.shortReads.Load() }
+
+// Unavailable reports connection-level failures (refused, reset, dial errors).
+func (s *Stats) Unavailable() uint64 { return s.unavailable.Load() }
+
+// StatsSnapshot is a plain-value copy of Stats for reporting.
+type StatsSnapshot struct {
+	Retries         uint64
+	Timeouts        uint64
+	Reconnects      uint64
+	DegradedFetches uint64
+	ShortReads      uint64
+	Unavailable     uint64
+}
+
+// Snapshot copies the current counter values.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Retries:         s.Retries(),
+		Timeouts:        s.Timeouts(),
+		Reconnects:      s.Reconnects(),
+		DegradedFetches: s.DegradedFetches(),
+		ShortReads:      s.ShortReads(),
+		Unavailable:     s.Unavailable(),
+	}
+}
+
+// String implements fmt.Stringer.
+func (s StatsSnapshot) String() string {
+	return fmt.Sprintf("retries=%d timeouts=%d reconnects=%d degraded=%d shortReads=%d unavailable=%d",
+		s.Retries, s.Timeouts, s.Reconnects, s.DegradedFetches, s.ShortReads, s.Unavailable)
+}
+
+// record classifies err (already mapped by classify) into the right bucket.
+func (s *Stats) record(err error) {
+	switch {
+	case err == nil:
+	case isTimeout(err):
+		s.timeouts.Add(1)
+	case isShortRead(err):
+		s.shortReads.Add(1)
+	default:
+		s.unavailable.Add(1)
+	}
+}

@@ -8,8 +8,11 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"trackfm/internal/remote"
+	"trackfm/internal/sim"
 )
 
 // Wire protocol: every request is
@@ -19,15 +22,24 @@ import (
 // where length/payload are only present for opPush. opFetch carries the
 // requested size in length (no payload) and the server answers
 //
-//	found(1) payload(length)
+//	flag(1) payload(length)
 //
-// opPush and opDelete are answered with a single ack byte.
+// with flag 0 (absent, zero payload follows), 1 (found), or flagErr (the
+// request was rejected — no payload follows). opPush and opDelete are
+// answered with a single ack byte: ackOK, or ackErr for a rejected request.
 const (
 	opFetch  = byte(1)
 	opPush   = byte(2)
 	opDelete = byte(3)
 
+	flagAbsent = byte(0)
+	flagFound  = byte(1)
+
 	ackOK = byte(0xA5)
+	// ackErr doubles as the fetch error flag: any rejected request is
+	// answered with this byte so the client gets a definite error frame
+	// instead of a silently dropped connection.
+	ackErr = byte(0xEE)
 )
 
 // maxPayload bounds a single transfer; far-memory objects and pages are at
@@ -39,11 +51,39 @@ const maxPayload = 16 << 20
 // the protocol limit.
 var ErrPayloadTooLarge = errors.New("fabric: payload exceeds protocol limit")
 
+// ServerStats counts server-side protocol events; all fields are atomic.
+type ServerStats struct {
+	conns     atomic.Uint64 // connections accepted
+	frames    atomic.Uint64 // well-formed request frames served
+	badFrames atomic.Uint64 // unknown opcodes (connection dropped)
+	oversize  atomic.Uint64 // requests rejected with an error frame
+}
+
+// Conns reports connections accepted over the server's lifetime.
+func (s *ServerStats) Conns() uint64 { return s.conns.Load() }
+
+// Frames reports well-formed request frames served.
+func (s *ServerStats) Frames() uint64 { return s.frames.Load() }
+
+// BadFrames reports frames with unknown opcodes.
+func (s *ServerStats) BadFrames() uint64 { return s.badFrames.Load() }
+
+// OversizeRejects reports requests rejected for advertising a payload
+// above the protocol limit.
+func (s *ServerStats) OversizeRejects() uint64 { return s.oversize.Load() }
+
+// String implements fmt.Stringer.
+func (s *ServerStats) String() string {
+	return fmt.Sprintf("conns=%d frames=%d badFrames=%d oversize=%d",
+		s.Conns(), s.Frames(), s.BadFrames(), s.OversizeRejects())
+}
+
 // Server serves a remote.Store over TCP. Create with NewServer, then call
 // Serve (blocking) or rely on the background goroutine started by ListenAndServe.
 type Server struct {
 	store *remote.Store
 	ln    net.Listener
+	stats ServerStats
 
 	mu     sync.Mutex
 	closed bool
@@ -54,6 +94,9 @@ type Server struct {
 func NewServer(store *remote.Store) *Server {
 	return &Server{store: store, conns: make(map[net.Conn]struct{})}
 }
+
+// Stats exposes the server's protocol-event counters.
+func (s *Server) Stats() *ServerStats { return &s.stats }
 
 // ListenAndServe binds addr (e.g. "127.0.0.1:0") and serves in a background
 // goroutine. It returns the bound address so callers using port 0 can find
@@ -77,11 +120,15 @@ func (s *Server) serve() {
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
+			// Refuse the straggler but keep accepting until the
+			// listener itself is torn down, so a conn racing Close
+			// cannot leave later dials hanging in the backlog.
 			conn.Close()
-			return
+			continue
 		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
+		s.stats.conns.Add(1)
 		go s.handle(conn)
 	}
 }
@@ -104,15 +151,28 @@ func (s *Server) handle(conn net.Conn) {
 		key := binary.BigEndian.Uint64(hdr[1:9])
 		length := binary.BigEndian.Uint32(hdr[9:13])
 		if length > maxPayload {
-			return
+			// Answer with an error frame rather than silently
+			// dropping the connection; the client sees a definite
+			// rejection. After an oversize opPush the stream cannot
+			// be resynchronized (an unread payload of unknown size
+			// follows), so the connection is closed after the frame;
+			// opFetch/opDelete carry no payload and the stream stays
+			// in sync, so those connections keep serving.
+			s.stats.oversize.Add(1)
+			w.WriteByte(ackErr)
+			w.Flush()
+			if op == opPush {
+				return
+			}
+			continue
 		}
 		switch op {
 		case opFetch:
 			buf := make([]byte, length)
 			found := s.store.Get(key, buf)
-			flag := byte(0)
+			flag := flagAbsent
 			if found {
-				flag = 1
+				flag = flagFound
 			}
 			if err := w.WriteByte(flag); err != nil {
 				return
@@ -135,8 +195,10 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 		default:
+			s.stats.badFrames.Add(1)
 			return
 		}
+		s.stats.frames.Add(1)
 		if err := w.Flush(); err != nil {
 			return
 		}
@@ -157,24 +219,138 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// TCPTransport is a Transport backed by a real TCP connection to a Server.
-// It implements the same interface as SimLink so the runtimes can swap in
-// a genuine network path. Operations are synchronous round trips; it is
-// safe for concurrent use.
-type TCPTransport struct {
-	mu   sync.Mutex
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
+// DialOptions tunes a TCPTransport's fault handling.
+type DialOptions struct {
+	// Retry bounds per-operation re-issues; zero fields take defaults
+	// (4 attempts, 1ms base backoff, 50ms cap).
+	Retry RetryPolicy
+	// OpTimeout is the per-operation deadline covering the request write
+	// and response read of one attempt (default 2s).
+	OpTimeout time.Duration
+	// Seed seeds the deterministic backoff jitter (see RetryPolicy). The
+	// zero seed selects sim.NewRNG's fixed default, so the schedule is
+	// reproducible even when unset.
+	Seed uint64
 }
 
-// Dial connects to a Server at addr.
+// TCPTransport is a Transport backed by a real TCP connection to a Server.
+// It implements ErrorTransport: the Try methods surface typed errors, apply
+// per-operation deadlines, retry with deterministic-jitter backoff, and
+// transparently reconnect after the connection is marked dead. The legacy
+// Transport methods remain as degrading adapters (errors become not-found /
+// dropped ops, tallied in Stats as degraded). It is safe for concurrent use.
+type TCPTransport struct {
+	addr      string
+	policy    RetryPolicy
+	opTimeout time.Duration
+	stats     Stats
+
+	mu     sync.Mutex
+	conn   net.Conn
+	r      *bufio.Reader
+	w      *bufio.Writer
+	rng    *sim.RNG
+	closed bool
+}
+
+// Dial connects to a Server at addr with default fault-handling options.
 func Dial(addr string) (*TCPTransport, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialWith(addr, DialOptions{})
+}
+
+// DialWith connects to a Server at addr with explicit fault-handling
+// options. The initial dial is not retried: an unreachable server at
+// construction time is a configuration error the caller should see
+// immediately. Once constructed, the transport survives server restarts by
+// reconnecting on demand.
+func DialWith(addr string, opts DialOptions) (*TCPTransport, error) {
+	t := &TCPTransport{
+		addr:      addr,
+		policy:    opts.Retry.withDefaults(),
+		opTimeout: opts.OpTimeout,
+		rng:       sim.NewRNG(opts.Seed),
+	}
+	if t.opTimeout <= 0 {
+		t.opTimeout = 2 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, t.opTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("fabric: dial %s: %w", addr, err)
 	}
-	return &TCPTransport{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+	t.attach(conn)
+	return t, nil
+}
+
+// Stats exposes the transport's fault-handling counters.
+func (t *TCPTransport) Stats() *Stats { return &t.stats }
+
+func (t *TCPTransport) attach(conn net.Conn) {
+	t.conn = conn
+	t.r = bufio.NewReader(conn)
+	t.w = bufio.NewWriter(conn)
+}
+
+// markDead tears down the current connection so the next attempt re-dials.
+// Called under t.mu after any mid-operation error: a partially consumed
+// response would otherwise desynchronize the stream and every later reply
+// would be misparsed against the wrong request.
+func (t *TCPTransport) markDead() {
+	if t.conn != nil {
+		t.conn.Close()
+		t.conn = nil
+		t.r = nil
+		t.w = nil
+	}
+}
+
+// ensureConn re-dials if the connection was marked dead. Caller holds t.mu.
+func (t *TCPTransport) ensureConn() error {
+	if t.conn != nil {
+		return nil
+	}
+	conn, err := net.DialTimeout("tcp", t.addr, t.opTimeout)
+	if err != nil {
+		return err
+	}
+	t.attach(conn)
+	t.stats.reconnects.Add(1)
+	return nil
+}
+
+// do runs one operation attempt loop under the retry policy. op executes a
+// full request/response exchange on the live connection; any error marks
+// the connection dead (forcing a clean reconnect) and is classified into
+// the typed taxonomy. Permanent errors stop the loop immediately.
+func (t *TCPTransport) do(op func() error) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return permanent(ErrClosed)
+	}
+	var last error
+	for attempt := 1; attempt <= t.policy.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			t.stats.retries.Add(1)
+			time.Sleep(t.policy.backoff(attempt-1, t.rng))
+		}
+		if err := t.ensureConn(); err != nil {
+			last = classify(err)
+			t.stats.record(last)
+			continue
+		}
+		t.conn.SetDeadline(time.Now().Add(t.opTimeout))
+		err := op()
+		if err == nil {
+			return nil
+		}
+		last = classify(err)
+		t.stats.record(last)
+		t.markDead()
+		if isPermanent(err) {
+			break
+		}
+	}
+	return last
 }
 
 func (t *TCPTransport) writeHeader(op byte, key uint64, length uint32) error {
@@ -186,71 +362,147 @@ func (t *TCPTransport) writeHeader(op byte, key uint64, length uint32) error {
 	return err
 }
 
-// Fetch implements Transport. Network errors surface as a not-found fetch
-// with a zeroed buffer; the examples using TCPTransport treat the remote
-// node as best-effort and the calibrated benchmarks never use this path.
-func (t *TCPTransport) Fetch(key uint64, dst []byte) bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+// TryFetch implements ErrorTransport.
+func (t *TCPTransport) TryFetch(key uint64, dst []byte) (bool, error) {
 	if len(dst) > maxPayload {
-		return false
+		return false, fmt.Errorf("%w: fetch of %d bytes", ErrPayloadTooLarge, len(dst))
 	}
-	if err := t.writeHeader(opFetch, key, uint32(len(dst))); err != nil {
-		return false
-	}
-	if err := t.w.Flush(); err != nil {
-		return false
-	}
-	flag, err := t.r.ReadByte()
+	var found bool
+	err := t.do(func() error {
+		if err := t.writeHeader(opFetch, key, uint32(len(dst))); err != nil {
+			return err
+		}
+		if err := t.w.Flush(); err != nil {
+			return err
+		}
+		flag, err := t.r.ReadByte()
+		if err != nil {
+			return err
+		}
+		switch flag {
+		case flagAbsent, flagFound:
+		case ackErr:
+			return permanent(fmt.Errorf("%w: server rejected fetch", ErrProtocol))
+		default:
+			return permanent(fmt.Errorf("%w: fetch flag %#x", ErrProtocol, flag))
+		}
+		if _, err := io.ReadFull(t.r, dst); err != nil {
+			return err
+		}
+		found = flag == flagFound
+		return nil
+	})
 	if err != nil {
-		return false
+		return false, err
 	}
-	if _, err := io.ReadFull(t.r, dst); err != nil {
-		return false
-	}
-	return flag == 1
+	return found, nil
 }
 
-// FetchAsync implements Transport. Over a real network there is no
-// simulated overlap to model; it behaves exactly like Fetch.
+// TryFetchAsync implements ErrorTransport. Over a real network there is no
+// simulated overlap to model; it behaves exactly like TryFetch.
+func (t *TCPTransport) TryFetchAsync(key uint64, dst []byte) (bool, error) {
+	return t.TryFetch(key, dst)
+}
+
+// TryPush implements ErrorTransport.
+func (t *TCPTransport) TryPush(key uint64, src []byte) error {
+	if len(src) > maxPayload {
+		return fmt.Errorf("%w: push of %d bytes", ErrPayloadTooLarge, len(src))
+	}
+	return t.do(func() error {
+		if err := t.writeHeader(opPush, key, uint32(len(src))); err != nil {
+			return err
+		}
+		if _, err := t.w.Write(src); err != nil {
+			return err
+		}
+		if err := t.w.Flush(); err != nil {
+			return err
+		}
+		return t.readAck("push")
+	})
+}
+
+// TryDelete implements ErrorTransport.
+func (t *TCPTransport) TryDelete(key uint64) error {
+	return t.do(func() error {
+		if err := t.writeHeader(opDelete, key, 0); err != nil {
+			return err
+		}
+		if err := t.w.Flush(); err != nil {
+			return err
+		}
+		return t.readAck("delete")
+	})
+}
+
+func (t *TCPTransport) readAck(op string) error {
+	ack, err := t.r.ReadByte()
+	if err != nil {
+		return err
+	}
+	switch ack {
+	case ackOK:
+		return nil
+	case ackErr:
+		return permanent(fmt.Errorf("%w: server rejected %s", ErrProtocol, op))
+	default:
+		return permanent(fmt.Errorf("%w: %s ack %#x", ErrProtocol, op, ack))
+	}
+}
+
+// Fetch implements Transport. It degrades errors into a zero-filled
+// not-found (tallied as a degraded fetch); error-aware callers should use
+// TryFetch instead.
+func (t *TCPTransport) Fetch(key uint64, dst []byte) bool {
+	found, err := t.TryFetch(key, dst)
+	if err != nil {
+		t.stats.degraded.Add(1)
+		for i := range dst {
+			dst[i] = 0
+		}
+		return false
+	}
+	return found
+}
+
+// FetchAsync implements Transport; it behaves exactly like Fetch.
 func (t *TCPTransport) FetchAsync(key uint64, dst []byte) bool {
 	return t.Fetch(key, dst)
 }
 
-// Push implements Transport.
+// Push implements Transport. Errors drop the push (tallied as degraded);
+// error-aware callers should use TryPush instead.
 func (t *TCPTransport) Push(key uint64, src []byte) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if len(src) > maxPayload {
-		return
+	if err := t.TryPush(key, src); err != nil {
+		t.stats.degraded.Add(1)
 	}
-	if err := t.writeHeader(opPush, key, uint32(len(src))); err != nil {
-		return
-	}
-	if _, err := t.w.Write(src); err != nil {
-		return
-	}
-	if err := t.w.Flush(); err != nil {
-		return
-	}
-	t.r.ReadByte() // ack
 }
 
-// Delete implements Transport.
+// Delete implements Transport. Errors drop the delete (tallied as
+// degraded); error-aware callers should use TryDelete instead.
 func (t *TCPTransport) Delete(key uint64) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if err := t.writeHeader(opDelete, key, 0); err != nil {
-		return
+	if err := t.TryDelete(key); err != nil {
+		t.stats.degraded.Add(1)
 	}
-	if err := t.w.Flush(); err != nil {
-		return
-	}
-	t.r.ReadByte() // ack
 }
 
-// Close closes the underlying connection.
-func (t *TCPTransport) Close() error { return t.conn.Close() }
+// Close closes the underlying connection; all later operations fail with
+// ErrClosed.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.closed = true
+	if t.conn == nil {
+		return nil
+	}
+	err := t.conn.Close()
+	t.conn = nil
+	t.r = nil
+	t.w = nil
+	return err
+}
 
 var _ Transport = (*SimLink)(nil)
 var _ Transport = (*TCPTransport)(nil)
+var _ ErrorTransport = (*TCPTransport)(nil)

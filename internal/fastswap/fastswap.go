@@ -64,6 +64,11 @@ type Config struct {
 	ReadaheadPages int
 	// Transport overrides the default in-process RDMA link.
 	Transport fabric.Transport
+	// RemoteRetries is the total attempts per remote page transfer when
+	// the transport surfaces errors (default 4). A remote fault whose
+	// fetch still fails after the budget panics — the moral equivalent
+	// of the SIGBUS the kernel delivers when swap-in I/O fails.
+	RemoteRetries int
 }
 
 // Backing mirrors aifm.Backing without importing it, keeping the two
@@ -81,7 +86,8 @@ const (
 // Like the other runtimes it is single-timeline and not concurrency-safe.
 type Swap struct {
 	env      *sim.Env
-	link     fabric.Transport
+	link     fabric.ErrorTransport
+	retries  int
 	pageSize int
 	shift    uint
 
@@ -138,9 +144,14 @@ func New(cfg Config) (*Swap, error) {
 	if ra < 0 {
 		ra = 0
 	}
+	retries := cfg.RemoteRetries
+	if retries <= 0 {
+		retries = 4
+	}
 	s := &Swap{
 		env:        cfg.Env,
-		link:       link,
+		link:       fabric.AsErrorTransport(link),
+		retries:    retries,
 		pageSize:   cfg.PageSize,
 		shift:      uint(bits.TrailingZeros(uint(cfg.PageSize))),
 		heapSize:   cfg.HeapSize,
@@ -218,7 +229,13 @@ func (s *Swap) fault(pg uint64, write bool) uint64 {
 		f := s.takeFrame()
 		base := uint64(f) * uint64(s.pageSize)
 		buf := make([]byte, s.pageSize)
-		s.link.Fetch(pg, buf)
+		if err := s.fetchPage(pg, buf); err != nil {
+			// The kernel's swap-in I/O-error path: the process gets
+			// SIGBUS. Panicking with the typed fabric error is the
+			// simulation analogue — under no circumstances is the
+			// mutator handed a zero-filled page in place of its data.
+			panic(fmt.Sprintf("fastswap: unrecoverable remote fault on page %d: %v", pg, err))
+		}
 		s.arena.WriteAt(base, buf)
 		s.install(pg, f, write)
 		s.maybeReadahead(pg)
@@ -226,6 +243,21 @@ func (s *Swap) fault(pg uint64, write bool) uint64 {
 	default:
 		panic("fastswap: fault on mapped page")
 	}
+}
+
+// fetchPage pulls a remote page with the swap system's retry budget,
+// tallying each failed attempt in Counters.RemoteFetchFaults.
+func (s *Swap) fetchPage(pg uint64, buf []byte) error {
+	var last error
+	for attempt := 1; attempt <= s.retries; attempt++ {
+		if _, err := s.link.TryFetch(pg, buf); err == nil {
+			return nil
+		} else {
+			last = err
+			s.env.Counters.RemoteFetchFaults++
+		}
+	}
+	return fmt.Errorf("fastswap: fetch page %d after %d attempts: %w", pg, s.retries, last)
 }
 
 func (s *Swap) install(pg uint64, f uint32, write bool) {
@@ -262,7 +294,13 @@ func (s *Swap) maybeReadahead(pg uint64) {
 		}
 		base := uint64(f) * uint64(s.pageSize)
 		buf := make([]byte, s.pageSize)
-		s.link.FetchAsync(next, buf)
+		if _, err := s.link.TryFetchAsync(next, buf); err != nil {
+			// Readahead is speculation: return the frame and stop the
+			// window rather than installing a zero-filled page.
+			s.env.Counters.RemoteFetchFaults++
+			s.freeFrames = append(s.freeFrames, f)
+			return
+		}
 		s.arena.WriteAt(base, buf)
 		s.install(next, f, false)
 		s.env.Counters.PrefetchIssued++
@@ -298,25 +336,50 @@ func (s *Swap) tryTakeFrame() (uint32, bool) {
 				s.refd[pg] = false
 				continue
 			}
-			s.evict(uint32(f), uint64(pg))
+			if !s.evict(uint32(f), uint64(pg)) {
+				continue // write-back stalled; scan for another victim
+			}
 			return uint32(f), true
 		}
 	}
 	return 0, false
 }
 
-func (s *Swap) evict(f uint32, pg uint64) {
+// evict reclaims frame f, reporting whether it completed. A dirty page
+// whose write-back fails past the retry budget stays mapped (it is the
+// only copy of the data); the reclaim clock moves on to another victim,
+// mirroring a kernel that cannot free a page while its swap-out I/O fails.
+func (s *Swap) evict(f uint32, pg uint64) bool {
 	s.env.Clock.Advance(s.env.Costs.EvictPage)
 	base := uint64(f) * uint64(s.pageSize)
 	if s.dirty[pg] {
 		buf := make([]byte, s.pageSize)
 		s.arena.ReadAt(base, buf)
-		s.link.Push(pg, buf)
+		if err := s.pushPage(pg, buf); err != nil {
+			s.env.Counters.EvictionStalls++
+			return false
+		}
 		s.dirty[pg] = false
 	}
 	s.states[pg] = PageRemote
 	s.frameOwner[f] = noPage
 	s.env.Counters.PageEvictions++
+	return true
+}
+
+// pushPage writes a page back with the swap system's retry budget,
+// tallying each failed attempt in Counters.RemotePushFaults.
+func (s *Swap) pushPage(pg uint64, buf []byte) error {
+	var last error
+	for attempt := 1; attempt <= s.retries; attempt++ {
+		if err := s.link.TryPush(pg, buf); err == nil {
+			return nil
+		} else {
+			last = err
+			s.env.Counters.RemotePushFaults++
+		}
+	}
+	return last
 }
 
 // EvacuateAll reclaims every resident page, starting measurement cold.
@@ -325,8 +388,9 @@ func (s *Swap) EvacuateAll() {
 		if pg == noPage {
 			continue
 		}
-		s.evict(uint32(f), uint64(pg))
-		s.freeFrames = append(s.freeFrames, uint32(f))
+		if s.evict(uint32(f), uint64(pg)) {
+			s.freeFrames = append(s.freeFrames, uint32(f))
+		}
 	}
 }
 

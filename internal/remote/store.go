@@ -61,6 +61,15 @@ func (s *Store) Delete(key uint64) {
 	s.mu.Unlock()
 }
 
+// Clear drops every blob, resetting the node between experiment phases
+// (e.g. a fault-injection harness reusing one server across scenarios).
+func (s *Store) Clear() {
+	s.mu.Lock()
+	s.blobs = make(map[uint64][]byte)
+	s.bytes = 0
+	s.mu.Unlock()
+}
+
 // Len reports the number of stored blobs.
 func (s *Store) Len() int {
 	s.mu.RLock()

@@ -19,6 +19,19 @@ func TestStorePutGet(t *testing.T) {
 	}
 }
 
+func TestStoreClear(t *testing.T) {
+	s := NewStore()
+	s.Put(1, []byte{1, 2})
+	s.Put(2, []byte{3})
+	s.Clear()
+	if s.Len() != 0 || s.Bytes() != 0 {
+		t.Fatalf("after Clear: len=%d bytes=%d", s.Len(), s.Bytes())
+	}
+	if s.Get(1, make([]byte, 2)) {
+		t.Fatalf("Get found a blob after Clear")
+	}
+}
+
 func TestStoreGetMissingZeroFills(t *testing.T) {
 	s := NewStore()
 	dst := []byte{9, 9, 9}

@@ -37,6 +37,15 @@ type Counters struct {
 	// Allocation events.
 	Mallocs uint64
 	Frees   uint64
+
+	// Fault handling (error-aware transports only; the in-process
+	// SimLink never fails). Each failed remote operation attempt a
+	// runtime observes is counted once, whether it was retried or
+	// surfaced — so these reconcile exactly against an injector's
+	// fault counts.
+	RemoteFetchFaults uint64 // failed fetch attempts observed by a runtime
+	RemotePushFaults  uint64 // failed push/delete attempts observed by a runtime
+	EvictionStalls    uint64 // evictions aborted after push retries exhausted
 }
 
 // Reset zeroes all counters.
@@ -85,6 +94,9 @@ func (c *Counters) String() string {
 	add("pageEvict", c.PageEvictions)
 	add("pfIssued", c.PrefetchIssued)
 	add("pfHits", c.PrefetchHits)
+	add("fetchFault", c.RemoteFetchFaults)
+	add("pushFault", c.RemotePushFaults)
+	add("evictStall", c.EvictionStalls)
 	return strings.TrimSpace(b.String())
 }
 
