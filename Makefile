@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race fuzz-short smoke_test bench figs clean \
+.PHONY: all build check test test-race test-soak fuzz-short smoke_test bench figs clean \
         trackfm_table1 trackfm_table2 trackfm_table3 trackfm_table4 \
         trackfm_fig6 trackfm_fig7 trackfm_fig8 trackfm_fig9 trackfm_fig10 \
         trackfm_fig11 trackfm_fig12 trackfm_fig13 trackfm_fig14a trackfm_fig15 \
@@ -20,6 +20,11 @@ smoke_test:
 	$(GO) vet ./...
 	$(GO) test ./internal/sim ./internal/core ./internal/compiler
 
+# Everything a PR must pass: build, vet, and the tier-1 suite.
+check: build
+	$(GO) vet ./...
+	$(MAKE) test
+
 # Tier-1: the full suite, plus race mode over the concurrency-bearing
 # packages (the TCP fabric and the runtime that retries over it).
 test:
@@ -30,9 +35,18 @@ test:
 test-race:
 	$(GO) test -race ./...
 
-# A short deterministic-budget run of the wire-protocol fuzzer.
+# The replica-failover soak: 10k ops over three TCP replicas with seeded
+# drops and corruption on every link and one replica killed/restarted
+# (empty) mid-run, under the race detector.
+test-soak:
+	$(GO) test -race -run TestReplicaFailoverSoak -v ./internal/fabric
+
+# Short deterministic-budget runs of the wire-protocol fuzzers: raw v1
+# framing, then the v2 CRC-trailer frame decoder (go test accepts one
+# -fuzz pattern per invocation, hence two runs).
 fuzz-short:
 	$(GO) test -run=^$$ -fuzz=FuzzWireProtocol -fuzztime=30s ./internal/fabric
+	$(GO) test -run=^$$ -fuzz=FuzzCRCFrame -fuzztime=30s ./internal/fabric
 
 bench:
 	$(GO) test -bench=. -benchmem

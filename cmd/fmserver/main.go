@@ -8,9 +8,38 @@
 // the same address: the TCPTransport reconnects with bounded backoff, and
 // the store contents can be considered the node's "memory" (a restarted
 // process with a fresh store serves fetches as not-found, which clients
-// observe as typed errors or misses — never as corrupted data).
+// observe as typed errors or misses — never as corrupted data: every blob
+// carries a CRC32-C recorded at push, verified on every fetch, and the v2
+// wire protocol adds a CRC trailer on every payload frame).
 //
 //	fmserver -addr 127.0.0.1:7070
+//
+// # Running as a replica-set member
+//
+// A replicated deployment runs one fmserver per replica; the client builds
+// a fabric.ReplicaSet over one TCPTransport per address and hands it to
+// aifm.Pool or fastswap.Swap via Config.Replicas:
+//
+//	fmserver -addr 10.0.0.1:7070 -replica r0
+//	fmserver -addr 10.0.0.2:7070 -replica r1
+//	fmserver -addr 10.0.0.3:7070 -replica r2
+//
+//	            client (aifm.Pool / fastswap.Swap)
+//	                     fabric.ReplicaSet
+//	          writes: fan-out, quorum-acked  reads: preferred + failover
+//	           ┌───────────────┼───────────────┐
+//	           ▼               ▼               ▼
+//	      TCPTransport    TCPTransport    TCPTransport
+//	           │               │               │
+//	      fmserver r0     fmserver r1     fmserver r2
+//	      (preferred)      (failover)      (failover)
+//
+// Replication is client-driven: the servers do not talk to each other. A
+// member that crashes is quarantined by its circuit breaker, and when it
+// comes back (same address, even with an empty store) the client resyncs
+// the writes it missed before reads land on it again. The -replica flag
+// only labels the node's log output so interleaved replica logs stay
+// readable.
 package main
 
 import (
@@ -29,7 +58,13 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
 	stats := flag.Duration("stats", 10*time.Second, "stats reporting interval (0 disables)")
+	replica := flag.String("replica", "", "replica label for log lines when running as a replica-set member")
 	flag.Parse()
+
+	tag := "fmserver"
+	if *replica != "" {
+		tag = fmt.Sprintf("fmserver[%s]", *replica)
+	}
 
 	store := remote.NewStore()
 	srv := fabric.NewServer(store)
@@ -37,13 +72,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("fmserver: serving far memory on %s\n", bound)
+	fmt.Printf("%s: serving far memory on %s\n", tag, bound)
 
 	if *stats > 0 {
 		go func() {
 			for range time.Tick(*stats) {
-				fmt.Printf("fmserver: %d objects, %d bytes resident | %s\n",
-					store.Len(), store.Bytes(), srv.Stats())
+				ss := store.Stats()
+				fmt.Printf("%s: %d objects, %d bytes resident | %s | store sizeMismatches=%d checksumFails=%d\n",
+					tag, store.Len(), store.Bytes(), srv.Stats(), ss.SizeMismatches, ss.ChecksumFails)
 			}
 		}()
 	}
@@ -51,6 +87,6 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Printf("\nfmserver: shutting down | %s\n", srv.Stats())
+	fmt.Printf("\n%s: shutting down | %s\n", tag, srv.Stats())
 	srv.Close()
 }

@@ -24,8 +24,19 @@ const (
 type Config struct {
 	// Env supplies the clock, counters and cost model. Required.
 	Env *sim.Env
-	// Transport moves object data to and from the remote node. Required.
+	// Transport moves object data to and from the remote node. Exactly one
+	// of Transport and Replicas must be set.
 	Transport fabric.Transport
+	// Replicas, when non-empty, replicates the pool's remote keyspace: the
+	// pool builds a fabric.ReplicaSet over these transports (write-all with
+	// quorum acks, health-checked read failover, end-to-end checksums) and
+	// uses it in place of Transport. Replication.Clock defaults to
+	// Env.Clock so breaker timing is deterministic.
+	Replicas []fabric.Transport
+	// Replication parameterizes the replica set built from Replicas
+	// (ignored when Replicas is empty). Zero values select the documented
+	// fabric.ReplicaConfig defaults.
+	Replication fabric.ReplicaConfig
 	// ObjectSize is the fixed object (chunk) size in bytes. Must be a
 	// power of two in [64, 65536]. The paper argues only powers of two
 	// from the cache-line size (64B) to the base page size (4KB) are
@@ -67,6 +78,7 @@ type Config struct {
 type Pool struct {
 	env       *sim.Env
 	transport fabric.ErrorTransport
+	replicas  *fabric.ReplicaSet // non-nil only when Config.Replicas was set
 	retries   int
 	objSize   int
 	shift     uint // log2(objSize)
@@ -99,8 +111,24 @@ func NewPool(cfg Config) (*Pool, error) {
 	if cfg.Env == nil {
 		return nil, fmt.Errorf("aifm: Config.Env is required")
 	}
-	if cfg.Transport == nil {
-		return nil, fmt.Errorf("aifm: Config.Transport is required")
+	if cfg.Transport == nil && len(cfg.Replicas) == 0 {
+		return nil, fmt.Errorf("aifm: Config.Transport or Config.Replicas is required")
+	}
+	if cfg.Transport != nil && len(cfg.Replicas) > 0 {
+		return nil, fmt.Errorf("aifm: Config.Transport and Config.Replicas are mutually exclusive")
+	}
+	var replicas *fabric.ReplicaSet
+	if len(cfg.Replicas) > 0 {
+		rcfg := cfg.Replication
+		if rcfg.Clock == nil {
+			rcfg.Clock = &cfg.Env.Clock
+		}
+		var err error
+		replicas, err = fabric.NewReplicaSet(rcfg, cfg.Replicas...)
+		if err != nil {
+			return nil, fmt.Errorf("aifm: %w", err)
+		}
+		cfg.Transport = replicas
 	}
 	if cfg.ObjectSize < 64 || cfg.ObjectSize > 65536 || bits.OnesCount(uint(cfg.ObjectSize)) != 1 {
 		return nil, fmt.Errorf("aifm: ObjectSize %d must be a power of two in [64, 65536]", cfg.ObjectSize)
@@ -142,6 +170,7 @@ func NewPool(cfg Config) (*Pool, error) {
 	p := &Pool{
 		env:           cfg.Env,
 		transport:     fabric.AsErrorTransport(cfg.Transport),
+		replicas:      replicas,
 		retries:       retries,
 		objSize:       cfg.ObjectSize,
 		shift:         uint(bits.TrailingZeros(uint(cfg.ObjectSize))),
@@ -170,6 +199,11 @@ func (p *Pool) NumObjects() uint64 { return uint64(len(p.table)) }
 
 // NumSlots reports how many objects fit in local memory at once.
 func (p *Pool) NumSlots() int { return len(p.slotOwner) }
+
+// ReplicaSet exposes the replica set serving this pool's remote keyspace,
+// or nil when the pool runs on a single transport (Config.Replicas empty).
+// Use it to read replica health and integrity counters.
+func (p *Pool) ReplicaSet() *fabric.ReplicaSet { return p.replicas }
 
 // Table exposes the contiguous metadata table. The TrackFM layer aliases
 // this slice as its object state table; because it is the same storage,

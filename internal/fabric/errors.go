@@ -35,6 +35,16 @@ var (
 	// ErrClosed is returned for operations on an explicitly Closed
 	// transport. Never retried.
 	ErrClosed = errors.New("fabric: transport closed")
+
+	// ErrIntegrity is an end-to-end integrity failure: a payload whose
+	// CRC32-C did not survive the wire, a stored blob the remote node
+	// reports as corrupt or truncated, or a replica whose data disagrees
+	// with the checksum recorded at push time. Whether it is retryable
+	// depends on where the corruption lives: in-flight corruption heals on
+	// retry (the transport retries it), corruption at rest on one node
+	// does not (the server answers it as a permanent error frame and a
+	// ReplicaSet repairs from another replica instead).
+	ErrIntegrity = errors.New("fabric: integrity check failed")
 )
 
 // permanentError marks an error the retry loop must not retry (protocol
@@ -54,6 +64,7 @@ func isPermanent(err error) bool {
 
 func isTimeout(err error) bool   { return errors.Is(err, ErrTimeout) }
 func isShortRead(err error) bool { return errors.Is(err, ErrShortRead) }
+func isIntegrity(err error) bool { return errors.Is(err, ErrIntegrity) }
 
 // classify maps a raw network error onto the typed taxonomy, preserving the
 // original error in the wrap chain for diagnostics.

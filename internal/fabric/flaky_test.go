@@ -98,13 +98,20 @@ func TestMidResponseErrorMarksConnDead(t *testing.T) {
 			}
 			select {
 			case <-truncateFirst:
-				// First connection: read the request header, answer
-				// with the found flag and half the payload, then die.
+				// First connection: complete the version handshake,
+				// then read the request header, answer with the found
+				// flag and half the payload, and die mid-frame.
 				go func(c net.Conn) {
 					defer c.Close()
 					hdr := make([]byte, 13)
 					if _, err := io.ReadFull(c, hdr); err != nil {
 						return
+					}
+					if hdr[0] == opHello {
+						c.Write([]byte{ackHello, protoV2})
+						if _, err := io.ReadFull(c, hdr); err != nil {
+							return
+						}
 					}
 					c.Write([]byte{flagFound, 1, 2, 3, 4})
 				}(c)

@@ -2,6 +2,7 @@ package fabric
 
 import (
 	"encoding/binary"
+	"errors"
 	"io"
 	"net"
 	"testing"
@@ -66,6 +67,85 @@ func FuzzWireProtocol(f *testing.F) {
 		case <-done:
 		case <-time.After(5 * time.Second):
 			t.Fatalf("server.handle did not return after client close")
+		}
+	})
+}
+
+// FuzzCRCFrame throws arbitrary bytes at the v2 (CRC-trailer) frame
+// decoder: every input is prefixed with a well-formed hello so the
+// connection negotiates protocol v2, then the fuzzer's bytes arrive as
+// CRC-trailed frames — valid trailers, corrupt trailers, truncated
+// trailers, trailing garbage after the hello magic. The server must never
+// panic, never hang, and never let a frame whose trailer does not verify
+// reach the store (a stored blob always passes its own checksum, so a
+// wire-corrupt push that slipped through would surface as accepted
+// garbage in later deterministic tests; here we bound the decoder's
+// behaviour under arbitrary framing).
+func FuzzCRCFrame(f *testing.F) {
+	// A hello is a bare 13-byte header: the proposed version rides in the
+	// length field, no payload follows (extra bytes would desync every
+	// frame after it — the seeds below must arrive header-aligned).
+	hello := make([]byte, 13)
+	hello[0] = opHello
+	binary.BigEndian.PutUint64(hello[1:9], helloMagic)
+	binary.BigEndian.PutUint32(hello[9:13], protoV2)
+
+	// A v2 push with a correct CRC trailer.
+	payload := []byte{1, 2, 3, 4}
+	goodPush := make([]byte, 13+len(payload)+crcLen)
+	goodPush[0] = opPush
+	binary.BigEndian.PutUint64(goodPush[1:9], 42)
+	binary.BigEndian.PutUint32(goodPush[9:13], uint32(len(payload)))
+	copy(goodPush[13:], payload)
+	binary.BigEndian.PutUint32(goodPush[13+len(payload):], payloadCRC(payload))
+	f.Add(goodPush)
+
+	// The same push with the trailer flipped (must be rejected), with the
+	// trailer truncated, and a v2 fetch of the pushed key.
+	badPush := append([]byte{}, goodPush...)
+	badPush[len(badPush)-1] ^= 0xFF
+	f.Add(badPush)
+	f.Add(goodPush[:len(goodPush)-2])
+	fetch := make([]byte, 13)
+	fetch[0] = opFetch
+	binary.BigEndian.PutUint64(fetch[1:9], 42)
+	binary.BigEndian.PutUint32(fetch[9:13], uint32(len(payload)))
+	f.Add(fetch)
+	// A second hello mid-stream, and a bad-magic hello after the good one.
+	f.Add(append(append([]byte{}, goodPush...), hello...))
+	badHello := append([]byte{}, hello...)
+	binary.BigEndian.PutUint64(badHello[1:9], 0xDEADBEEF)
+	f.Add(badHello)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		store := remote.NewStore()
+		s := NewServer(store)
+		client, server := net.Pipe()
+		done := make(chan struct{})
+		go func() {
+			s.handle(server)
+			close(done)
+		}()
+		go io.Copy(io.Discard, client)
+		client.SetDeadline(time.Now().Add(2 * time.Second))
+		go func() {
+			// Negotiate v2, then deliver the fuzzed frames.
+			client.Write(hello)
+			client.Write(data)
+			client.Close()
+		}()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("server.handle did not return after client close")
+		}
+		// Whatever the fuzzer managed to store must verify: the store
+		// recomputes every blob's checksum at Put, so an accepted frame
+		// can never read back as ErrChecksum. (ErrSizeMismatch is fine —
+		// the fuzzer may legitimately store a shorter blob under this key.)
+		buf := make([]byte, len(payload))
+		if _, err := store.Get(42, buf); errors.Is(err, remote.ErrChecksum) {
+			t.Fatalf("stored blob failed integrity on read-back: %v", err)
 		}
 	})
 }

@@ -1,0 +1,670 @@
+package fabric
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"trackfm/internal/remote"
+	"trackfm/internal/sim"
+)
+
+// probeKey is the reserved key liveness probes fetch. It sits at the top
+// of the key space, above any key the runtimes generate (aifm namespaces
+// keys as dsid<<56|id with 38-bit ids), so a probe can never read — or be
+// confused with — application data.
+const probeKey = ^uint64(0)
+
+// ReplicaConfig parameterizes a ReplicaSet.
+type ReplicaConfig struct {
+	// Quorum is the minimum number of replicas that must acknowledge a
+	// write (push or delete) for the operation to succeed. Writes are
+	// always attempted on every healthy replica (write-all); the quorum
+	// only decides when the caller is told the write failed. Zero selects
+	// a majority (n/2+1).
+	Quorum int
+
+	// FailureThreshold is the number of consecutive failed operations
+	// that opens a replica's circuit breaker (default 3). Integrity
+	// failures do not count — a node serving corrupt bytes for one key is
+	// alive, and is handled by read-repair instead of quarantine.
+	FailureThreshold int
+
+	// OpenTimeout is how long an open breaker waits before a half-open
+	// probe, in clock units: simulated cycles when Clock is set,
+	// nanoseconds otherwise. Zero selects 1e6 cycles / 500ms. The actual
+	// deadline is jittered into [3/4, 5/4) of the nominal value by the
+	// seeded RNG so replicas sharing a config do not probe in lockstep.
+	OpenTimeout uint64
+
+	// ResyncInterval throttles background resync attempts for a replica
+	// that is closed but still owes missed writes (it failed a write
+	// without tripping its breaker). Same units as OpenTimeout; zero
+	// selects OpenTimeout.
+	ResyncInterval uint64
+
+	// Clock, when set, drives breaker timing off the deterministic
+	// simulated clock — fault-injection experiments replay bit-identically.
+	// When nil, wall-clock time is used.
+	Clock *sim.Clock
+
+	// HedgeDelay, when positive, launches a hedged second read against
+	// the next healthy replica if the preferred replica has not answered
+	// within this wall-clock delay; the first answer wins. Hedging is
+	// wall-clock by nature (it exists to cut real tail latency), so
+	// deterministic experiments should leave it off.
+	HedgeDelay time.Duration
+
+	// Seed seeds the deterministic RNG behind breaker-deadline jitter
+	// (zero selects sim.NewRNG's fixed default).
+	Seed uint64
+}
+
+func (c ReplicaConfig) withDefaults(n int) ReplicaConfig {
+	if c.Quorum <= 0 {
+		c.Quorum = n/2 + 1
+	}
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 3
+	}
+	if c.OpenTimeout == 0 {
+		if c.Clock != nil {
+			c.OpenTimeout = 1_000_000
+		} else {
+			c.OpenTimeout = uint64(500 * time.Millisecond)
+		}
+	}
+	if c.ResyncInterval == 0 {
+		c.ResyncInterval = c.OpenTimeout
+	}
+	return c
+}
+
+// blobVer is the authoritative record of the last write accepted for a
+// key: a monotonic version, the payload's CRC32-C, and its length. It is
+// what makes acks "versioned" — a replica is only considered caught up for
+// a key when it has acknowledged (or been resynced to) the latest version
+// — and what gives reads their end-to-end integrity check.
+type blobVer struct {
+	ver  uint64
+	crc  uint32
+	size int
+}
+
+// ReplicaSet is an ErrorTransport that replicates a far-memory keyspace
+// across N underlying transports:
+//
+//   - Writes fan out to every healthy replica (write-all) and succeed when
+//     a configurable quorum acknowledges. Replicas that miss a write (down,
+//     or the write failed) are recorded and resynced before they serve
+//     reads again.
+//   - Reads are served by the preferred (lowest-index) healthy replica,
+//     with automatic failover down the replica list and an optional hedged
+//     second read after a latency threshold.
+//   - Each replica runs a circuit breaker: consecutive failures open it,
+//     an open breaker quarantines the replica until a timeout, and a
+//     half-open probe (liveness check plus full replay of missed writes)
+//     decides whether it rejoins. Timing runs off sim.Clock when
+//     configured, so failover schedules are deterministic.
+//   - Every fetched payload is verified against the CRC32-C recorded when
+//     the key was last pushed. A replica serving corrupt, stale, or
+//     unexpectedly absent data is detected (Stats.ChecksumFaults), the
+//     read fails over, and the bad replica is repaired in place from the
+//     healthy copy — corruption is never handed to the mutator.
+//
+// ReplicaSet is safe for concurrent use; operations are serialized by one
+// mutex (the runtimes above it are single-timeline, so the coarse lock is
+// not a bottleneck — hedged reads still overlap their network legs).
+type ReplicaSet struct {
+	cfg     ReplicaConfig
+	members []ErrorTransport
+	stats   Stats
+	rstats  ReplicaSetStats
+
+	mu     sync.Mutex
+	vers   map[uint64]blobVer
+	brk    []breaker
+	missed []map[uint64]struct{} // per-replica keys whose latest write it has not acked
+	rng    *sim.RNG
+}
+
+// NewReplicaSet builds a replica set over members (preferred read order =
+// argument order). Members are lifted to ErrorTransport with
+// AsErrorTransport; at least one is required and the quorum cannot exceed
+// the member count.
+func NewReplicaSet(cfg ReplicaConfig, members ...Transport) (*ReplicaSet, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("fabric: ReplicaSet needs at least one member")
+	}
+	cfg = cfg.withDefaults(len(members))
+	if cfg.Quorum > len(members) {
+		return nil, fmt.Errorf("fabric: quorum %d exceeds %d replicas", cfg.Quorum, len(members))
+	}
+	rs := &ReplicaSet{
+		cfg:    cfg,
+		vers:   make(map[uint64]blobVer),
+		brk:    make([]breaker, len(members)),
+		missed: make([]map[uint64]struct{}, len(members)),
+		rng:    sim.NewRNG(cfg.Seed),
+	}
+	for _, m := range members {
+		rs.members = append(rs.members, AsErrorTransport(m))
+	}
+	for i := range rs.missed {
+		rs.missed[i] = make(map[uint64]struct{})
+	}
+	return rs, nil
+}
+
+// Stats exposes the set's transport-level counters (checksum faults,
+// degraded legacy ops, ...).
+func (rs *ReplicaSet) Stats() *Stats { return &rs.stats }
+
+// ReplicaStats exposes the set's replication-level counters.
+func (rs *ReplicaSet) ReplicaStats() *ReplicaSetStats { return &rs.rstats }
+
+// Health returns a point-in-time view of every replica's breaker, in
+// member order.
+func (rs *ReplicaSet) Health() []ReplicaHealth {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	out := make([]ReplicaHealth, len(rs.members))
+	for i := range rs.members {
+		out[i] = ReplicaHealth{
+			State:       rs.brk[i].state,
+			ConsecFails: rs.brk[i].consecFails,
+			MissedKeys:  len(rs.missed[i]),
+		}
+	}
+	return out
+}
+
+// HealthString renders Health as one line for stats tickers.
+func (rs *ReplicaSet) HealthString() string {
+	h := rs.Health()
+	s := ""
+	for i, r := range h {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("r%d=%s", i, r)
+	}
+	return s
+}
+
+// now reads the breaker clock: simulated cycles when configured, else
+// wall-clock nanoseconds.
+func (rs *ReplicaSet) now() uint64 {
+	if rs.cfg.Clock != nil {
+		return rs.cfg.Clock.Cycles()
+	}
+	return uint64(time.Now().UnixNano())
+}
+
+// jitteredTimeout draws a deadline offset in [3/4, 5/4) of nominal from
+// the seeded RNG.
+func (rs *ReplicaSet) jitteredTimeout(nominal uint64) uint64 {
+	if nominal < 4 {
+		return nominal
+	}
+	return nominal*3/4 + rs.rng.Uint64()%(nominal/2)
+}
+
+// Probe advances the health state machine: open breakers whose timeout
+// expired are probed (resync + liveness) and rejoin or re-open, and closed
+// replicas owing missed writes get a throttled background resync. It is
+// called implicitly at the start of every operation; a background ticker
+// (e.g. in a server-side stats loop) may also call it so recovery is not
+// gated on traffic.
+func (rs *ReplicaSet) Probe() {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.advanceLocked()
+}
+
+func (rs *ReplicaSet) advanceLocked() {
+	now := rs.now()
+	for i := range rs.members {
+		b := &rs.brk[i]
+		switch b.state {
+		case BreakerOpen:
+			if now >= b.deadline {
+				b.state = BreakerHalfOpen
+				rs.probeLocked(i, now)
+			}
+		case BreakerClosed:
+			if len(rs.missed[i]) > 0 && now >= b.deadline {
+				// Background repair of a replica that failed writes
+				// without tripping its breaker.
+				if !rs.resyncLocked(i) {
+					b.deadline = now + rs.jitteredTimeout(rs.cfg.ResyncInterval)
+				}
+			}
+		}
+	}
+}
+
+// probeLocked runs the half-open probe for replica i: replay every missed
+// write, then verify liveness. Success closes the breaker; failure
+// re-opens it for another timeout.
+func (rs *ReplicaSet) probeLocked(i int, now uint64) {
+	rs.rstats.probes.Add(1)
+	ok := rs.resyncLocked(i)
+	if ok {
+		// Liveness: the replica must answer a fetch before rejoining.
+		// probeKey is reserved, so "absent without error" is healthy.
+		var b [1]byte
+		err := tryN(resyncAttempts, func() error {
+			_, err := rs.members[i].TryFetch(probeKey, b[:])
+			return err
+		})
+		ok = err == nil
+	}
+	b := &rs.brk[i]
+	if ok {
+		b.state = BreakerClosed
+		b.consecFails = 0
+		b.deadline = 0
+		return
+	}
+	rs.rstats.probeFails.Add(1)
+	b.state = BreakerOpen
+	b.deadline = now + rs.jitteredTimeout(rs.cfg.OpenTimeout)
+}
+
+// resyncAttempts is the per-key retry budget resync and probe traffic get
+// against a replica's transport: over a lossy link (the failover tests run
+// 10% injected drops) a single attempt per key would make a large resync
+// effectively never complete (0.9^n), while a small budget makes per-key
+// success overwhelmingly likely without masking a genuinely dead replica.
+const resyncAttempts = 3
+
+// tryN runs op up to n times, returning nil on the first success.
+func tryN(n int, op func() error) error {
+	var err error
+	for a := 0; a < n; a++ {
+		if err = op(); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// resyncLocked replays replica i's missed writes from healthy peers:
+// deleted keys are deleted, live keys are fetched from a donor, verified
+// against the recorded CRC, and pushed. Keys that fail their retry budget
+// stay in the missed set for the next attempt — an isolated loss must not
+// restart the whole replay — but two keys failing every attempt in a row
+// means the replica is unreachable, and the resync bails out rather than
+// grind through the rest of the set against a dead node. Reports whether
+// the missed set drained completely.
+func (rs *ReplicaSet) resyncLocked(i int) bool {
+	hardFails := 0
+	for key := range rs.missed[i] {
+		if hardFails >= 2 {
+			return false
+		}
+		e, live := rs.vers[key]
+		if !live {
+			// The latest write was a delete: propagate the tombstone.
+			if err := tryN(resyncAttempts, func() error { return rs.members[i].TryDelete(key) }); err != nil {
+				hardFails++
+				continue
+			}
+		} else {
+			buf, ok := rs.readVerifiedLocked(key, e, i)
+			if !ok {
+				continue // no intact donor right now; retry next round
+			}
+			if err := tryN(resyncAttempts, func() error { return rs.members[i].TryPush(key, buf) }); err != nil {
+				hardFails++
+				continue
+			}
+		}
+		delete(rs.missed[i], key)
+		rs.rstats.resyncedKeys.Add(1)
+	}
+	return len(rs.missed[i]) == 0
+}
+
+// readVerifiedLocked fetches key from the healthiest donor that is not
+// replica `exclude`, verifying the payload against the recorded version.
+// Donors serving corrupt bytes are counted and skipped (they will be
+// repaired by their own read path).
+func (rs *ReplicaSet) readVerifiedLocked(key uint64, e blobVer, exclude int) ([]byte, bool) {
+	for _, d := range rs.readOrderLocked(key, exclude) {
+		buf := make([]byte, e.size)
+		var found bool
+		var err error
+		for a := 0; a < resyncAttempts; a++ {
+			found, err = rs.members[d].TryFetch(key, buf)
+			if err == nil || isIntegrity(err) {
+				break
+			}
+		}
+		if err != nil {
+			if isIntegrity(err) {
+				rs.stats.checksum.Add(1)
+				rs.missed[d][key] = struct{}{}
+				continue
+			}
+			rs.failLocked(d)
+			continue
+		}
+		rs.okLocked(d)
+		if !found || remote.Checksum(buf) != e.crc {
+			if found {
+				rs.stats.checksum.Add(1)
+			}
+			rs.missed[d][key] = struct{}{}
+			continue
+		}
+		return buf, true
+	}
+	return nil, false
+}
+
+// readOrderLocked returns candidate replica indices for serving key, in
+// preference order: closed replicas that are caught up on the key first,
+// then half-open ones, then — so a total quarantine cannot wedge the
+// system — everything else as a last resort. exclude (-1 for none) is
+// omitted entirely.
+func (rs *ReplicaSet) readOrderLocked(key uint64, exclude int) []int {
+	order := make([]int, 0, len(rs.members))
+	appendTier := func(pred func(i int) bool) {
+		for i := range rs.members {
+			if i == exclude {
+				continue
+			}
+			already := false
+			for _, j := range order {
+				if j == i {
+					already = true
+					break
+				}
+			}
+			if !already && pred(i) {
+				order = append(order, i)
+			}
+		}
+	}
+	caughtUp := func(i int) bool { _, m := rs.missed[i][key]; return !m }
+	appendTier(func(i int) bool { return rs.brk[i].state == BreakerClosed && caughtUp(i) })
+	appendTier(func(i int) bool { return rs.brk[i].state == BreakerHalfOpen && caughtUp(i) })
+	appendTier(func(i int) bool { return true })
+	return order
+}
+
+// failLocked records a non-integrity failure on replica i, opening its
+// breaker at the consecutive-failure threshold.
+func (rs *ReplicaSet) failLocked(i int) {
+	b := &rs.brk[i]
+	b.consecFails++
+	if b.state == BreakerClosed && b.consecFails >= rs.cfg.FailureThreshold {
+		b.state = BreakerOpen
+		b.deadline = rs.now() + rs.jitteredTimeout(rs.cfg.OpenTimeout)
+		rs.rstats.breakerOpens.Add(1)
+	} else if b.state == BreakerHalfOpen {
+		b.state = BreakerOpen
+		b.deadline = rs.now() + rs.jitteredTimeout(rs.cfg.OpenTimeout)
+	}
+}
+
+// okLocked records a success on replica i.
+func (rs *ReplicaSet) okLocked(i int) {
+	rs.brk[i].consecFails = 0
+}
+
+// TryFetch implements ErrorTransport: the read is served by the preferred
+// healthy replica, failing over down the candidate list. Every found
+// payload is verified against the version record; replicas serving
+// corrupt, stale, or unexpectedly absent data are repaired from the
+// healthy copy before the (correct) result is returned.
+func (rs *ReplicaSet) TryFetch(key uint64, dst []byte) (bool, error) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.advanceLocked()
+	e, tracked := rs.vers[key]
+	verify := tracked && e.size == len(dst)
+	order := rs.readOrderLocked(key, -1)
+	var bad []int // replicas to repair from the healthy copy
+	var firstErr error
+	for n, i := range order {
+		if n > 0 {
+			rs.rstats.failovers.Add(1)
+		}
+		found, err := rs.fetchMaybeHedged(order[n:], key, dst)
+		if err != nil {
+			if isIntegrity(err) {
+				// The node reports its blob corrupt/truncated (alive,
+				// so the breaker is untouched) — repair it below.
+				rs.stats.checksum.Add(1)
+				bad = append(bad, i)
+			} else {
+				rs.failLocked(i)
+				if firstErr == nil {
+					firstErr = err
+				}
+			}
+			continue
+		}
+		rs.okLocked(i)
+		if found {
+			if verify && remote.Checksum(dst) != e.crc {
+				// Corrupt in flight above the wire CRC, or stale at
+				// rest: detected end to end, never surfaced.
+				rs.stats.checksum.Add(1)
+				bad = append(bad, i)
+				continue
+			}
+		} else if tracked {
+			// The replica lost a blob it acked (e.g. restarted empty):
+			// absence is corruption when a version is on record.
+			bad = append(bad, i)
+			continue
+		}
+		rs.repairLocked(key, dst, found, bad)
+		return found, nil
+	}
+	if firstErr == nil {
+		firstErr = fmt.Errorf("%w: no replica could serve key %d intact", ErrIntegrity, key)
+	}
+	return false, firstErr
+}
+
+// fetchMaybeHedged performs the fetch against candidates[0], optionally
+// hedging with candidates[1] after the configured delay. Only the winning
+// payload is copied into dst.
+func (rs *ReplicaSet) fetchMaybeHedged(candidates []int, key uint64, dst []byte) (bool, error) {
+	primary := rs.members[candidates[0]]
+	if rs.cfg.HedgeDelay <= 0 || len(candidates) < 2 {
+		return primary.TryFetch(key, dst)
+	}
+	type result struct {
+		found     bool
+		err       error
+		buf       []byte
+		secondary bool
+	}
+	ch := make(chan result, 2)
+	launch := func(m ErrorTransport, secondary bool) {
+		buf := make([]byte, len(dst))
+		found, err := m.TryFetch(key, buf)
+		ch <- result{found: found, err: err, buf: buf, secondary: secondary}
+	}
+	go launch(primary, false)
+	timer := time.NewTimer(rs.cfg.HedgeDelay)
+	defer timer.Stop()
+	outstanding := 1
+	hedged := false
+	var first *result
+	for {
+		select {
+		case r := <-ch:
+			outstanding--
+			if r.err == nil || outstanding == 0 {
+				if r.err == nil && r.secondary {
+					rs.rstats.hedgeWins.Add(1)
+				}
+				if r.err != nil && first != nil {
+					r = *first // prefer the earlier failure for attribution
+				}
+				if r.err == nil {
+					copy(dst, r.buf)
+				}
+				return r.found, r.err
+			}
+			first = &r // one leg failed; wait for the other
+		case <-timer.C:
+			if !hedged {
+				hedged = true
+				rs.rstats.hedgedReads.Add(1)
+				outstanding++
+				go launch(rs.members[candidates[1]], true)
+			}
+		}
+	}
+}
+
+// repairLocked overwrites every replica in bad with the verified payload
+// (or deletes, for a verified-absent key), so corruption and staleness are
+// healed in place instead of lingering until the next outage.
+func (rs *ReplicaSet) repairLocked(key uint64, good []byte, found bool, bad []int) {
+	for _, i := range bad {
+		var err error
+		if found {
+			err = rs.members[i].TryPush(key, good)
+		} else {
+			err = rs.members[i].TryDelete(key)
+		}
+		if err != nil {
+			// Leave it recorded as missed; resync will replay it.
+			rs.missed[i][key] = struct{}{}
+			continue
+		}
+		delete(rs.missed[i], key)
+		rs.rstats.readRepairs.Add(1)
+	}
+}
+
+// TryFetchAsync implements ErrorTransport. Replication has no simulated
+// overlap to model; it is a documented alias for TryFetch (see
+// TCPTransport.TryFetchAsync for the alias contract).
+func (rs *ReplicaSet) TryFetchAsync(key uint64, dst []byte) (bool, error) {
+	return rs.TryFetch(key, dst)
+}
+
+// TryPush implements ErrorTransport: record the new version, fan the write
+// to every closed replica, mark the rest missed, and succeed when the ack
+// quorum is met.
+func (rs *ReplicaSet) TryPush(key uint64, src []byte) error {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.advanceLocked()
+	e := rs.vers[key]
+	e.ver++
+	e.crc = remote.Checksum(src)
+	e.size = len(src)
+	rs.vers[key] = e
+	acks := 0
+	var firstErr error
+	for i, m := range rs.members {
+		if rs.brk[i].state != BreakerClosed {
+			rs.missed[i][key] = struct{}{}
+			continue
+		}
+		if err := m.TryPush(key, src); err != nil {
+			rs.failLocked(i)
+			rs.missed[i][key] = struct{}{}
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		rs.okLocked(i)
+		delete(rs.missed[i], key)
+		acks++
+	}
+	if acks >= rs.cfg.Quorum {
+		return nil
+	}
+	rs.rstats.quorumFails.Add(1)
+	if firstErr != nil {
+		return fmt.Errorf("%w: write quorum %d/%d (first failure: %v)", ErrRemoteUnavailable, acks, rs.cfg.Quorum, firstErr)
+	}
+	return fmt.Errorf("%w: write quorum %d/%d", ErrRemoteUnavailable, acks, rs.cfg.Quorum)
+}
+
+// TryDelete implements ErrorTransport: a delete is a write of a tombstone
+// — fan-out, quorum, and missed-key tracking all match TryPush.
+func (rs *ReplicaSet) TryDelete(key uint64) error {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.advanceLocked()
+	delete(rs.vers, key)
+	acks := 0
+	var firstErr error
+	for i, m := range rs.members {
+		if rs.brk[i].state != BreakerClosed {
+			rs.missed[i][key] = struct{}{}
+			continue
+		}
+		if err := m.TryDelete(key); err != nil {
+			rs.failLocked(i)
+			rs.missed[i][key] = struct{}{}
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		rs.okLocked(i)
+		delete(rs.missed[i], key)
+		acks++
+	}
+	if acks >= rs.cfg.Quorum {
+		return nil
+	}
+	rs.rstats.quorumFails.Add(1)
+	if firstErr != nil {
+		return fmt.Errorf("%w: delete quorum %d/%d (first failure: %v)", ErrRemoteUnavailable, acks, rs.cfg.Quorum, firstErr)
+	}
+	return fmt.Errorf("%w: delete quorum %d/%d", ErrRemoteUnavailable, acks, rs.cfg.Quorum)
+}
+
+// Fetch implements Transport, degrading errors into a zero-filled
+// not-found (tallied as degraded); error-aware callers should use
+// TryFetch.
+func (rs *ReplicaSet) Fetch(key uint64, dst []byte) bool {
+	found, err := rs.TryFetch(key, dst)
+	if err != nil {
+		rs.stats.degraded.Add(1)
+		for i := range dst {
+			dst[i] = 0
+		}
+		return false
+	}
+	return found
+}
+
+// FetchAsync implements Transport; it behaves exactly like Fetch.
+func (rs *ReplicaSet) FetchAsync(key uint64, dst []byte) bool {
+	return rs.Fetch(key, dst)
+}
+
+// Push implements Transport; quorum failures drop the push (tallied as
+// degraded).
+func (rs *ReplicaSet) Push(key uint64, src []byte) {
+	if err := rs.TryPush(key, src); err != nil {
+		rs.stats.degraded.Add(1)
+	}
+}
+
+// Delete implements Transport; quorum failures drop the delete (tallied
+// as degraded).
+func (rs *ReplicaSet) Delete(key uint64) {
+	if err := rs.TryDelete(key); err != nil {
+		rs.stats.degraded.Add(1)
+	}
+}
+
+var _ ErrorTransport = (*ReplicaSet)(nil)

@@ -1,0 +1,411 @@
+package fabric
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"trackfm/internal/remote"
+	"trackfm/internal/sim"
+)
+
+// gateLink is a test transport whose failures are switched on and off
+// directly, for driving the breaker state machine deterministically.
+type gateLink struct {
+	inner ErrorTransport
+	down  bool
+	slow  time.Duration // wall-clock delay per op, for hedging tests
+}
+
+func newGateLink(env *sim.Env) *gateLink {
+	return &gateLink{inner: AsErrorTransport(NewSimLink(env, BackendTCP))}
+}
+
+func (g *gateLink) op() error {
+	if g.slow > 0 {
+		time.Sleep(g.slow)
+	}
+	if g.down {
+		return fmt.Errorf("%w: gate closed", ErrRemoteUnavailable)
+	}
+	return nil
+}
+
+func (g *gateLink) TryFetch(key uint64, dst []byte) (bool, error) {
+	if err := g.op(); err != nil {
+		return false, err
+	}
+	return g.inner.TryFetch(key, dst)
+}
+
+func (g *gateLink) TryFetchAsync(key uint64, dst []byte) (bool, error) {
+	return g.TryFetch(key, dst)
+}
+
+func (g *gateLink) TryPush(key uint64, src []byte) error {
+	if err := g.op(); err != nil {
+		return err
+	}
+	return g.inner.TryPush(key, src)
+}
+
+func (g *gateLink) TryDelete(key uint64) error {
+	if err := g.op(); err != nil {
+		return err
+	}
+	return g.inner.TryDelete(key)
+}
+
+func (g *gateLink) Fetch(key uint64, dst []byte) bool {
+	found, err := g.TryFetch(key, dst)
+	return err == nil && found
+}
+
+func (g *gateLink) FetchAsync(key uint64, dst []byte) bool { return g.Fetch(key, dst) }
+func (g *gateLink) Push(key uint64, src []byte)            { _ = g.TryPush(key, src) }
+func (g *gateLink) Delete(key uint64)                      { _ = g.TryDelete(key) }
+
+func newTestSet(t *testing.T, n int, cfg ReplicaConfig) (*ReplicaSet, []*SimLink) {
+	t.Helper()
+	env := sim.NewEnv()
+	links := make([]*SimLink, n)
+	members := make([]Transport, n)
+	for i := range links {
+		links[i] = NewSimLink(env, BackendTCP)
+		members[i] = links[i]
+	}
+	rs, err := NewReplicaSet(cfg, members...)
+	if err != nil {
+		t.Fatalf("NewReplicaSet: %v", err)
+	}
+	return rs, links
+}
+
+func TestReplicaSetWriteFanOut(t *testing.T) {
+	rs, links := newTestSet(t, 3, ReplicaConfig{})
+	blob := []byte("replicated payload")
+	if err := rs.TryPush(7, blob); err != nil {
+		t.Fatalf("TryPush: %v", err)
+	}
+	for i, l := range links {
+		dst := make([]byte, len(blob))
+		if !l.Fetch(7, dst) || !bytes.Equal(dst, blob) {
+			t.Fatalf("replica %d did not receive the write", i)
+		}
+	}
+	dst := make([]byte, len(blob))
+	found, err := rs.TryFetch(7, dst)
+	if err != nil || !found || !bytes.Equal(dst, blob) {
+		t.Fatalf("TryFetch = (%v, %v), payload match %v", found, err, bytes.Equal(dst, blob))
+	}
+	if err := rs.TryDelete(7); err != nil {
+		t.Fatalf("TryDelete: %v", err)
+	}
+	for i, l := range links {
+		if l.RemoteKeys() != 0 {
+			t.Fatalf("replica %d still holds keys after delete", i)
+		}
+	}
+}
+
+func TestReplicaSetQuorumFailure(t *testing.T) {
+	env := sim.NewEnv()
+	gates := []*gateLink{newGateLink(env), newGateLink(env), newGateLink(env)}
+	rs, err := NewReplicaSet(ReplicaConfig{Quorum: 2}, gates[0], gates[1], gates[2])
+	if err != nil {
+		t.Fatalf("NewReplicaSet: %v", err)
+	}
+	gates[1].down = true
+	gates[2].down = true
+	err = rs.TryPush(1, []byte{0xAB})
+	if !errors.Is(err, ErrRemoteUnavailable) {
+		t.Fatalf("push with 1/2 quorum: err = %v, want ErrRemoteUnavailable", err)
+	}
+	if rs.ReplicaStats().QuorumFails() == 0 {
+		t.Fatal("quorum failure not counted")
+	}
+	gates[1].down = false
+	if err := rs.TryPush(1, []byte{0xAB}); err != nil {
+		t.Fatalf("push with 2/2 quorum: %v", err)
+	}
+}
+
+func TestReplicaSetQuorumValidation(t *testing.T) {
+	env := sim.NewEnv()
+	if _, err := NewReplicaSet(ReplicaConfig{Quorum: 3}, NewSimLink(env, BackendTCP)); err == nil {
+		t.Fatal("quorum larger than member count accepted")
+	}
+	if _, err := NewReplicaSet(ReplicaConfig{}); err == nil {
+		t.Fatal("empty replica set accepted")
+	}
+}
+
+func TestReplicaSetFailoverRead(t *testing.T) {
+	env := sim.NewEnv()
+	gates := []*gateLink{newGateLink(env), newGateLink(env)}
+	rs, err := NewReplicaSet(ReplicaConfig{Quorum: 1}, gates[0], gates[1])
+	if err != nil {
+		t.Fatalf("NewReplicaSet: %v", err)
+	}
+	blob := []byte("failover me")
+	if err := rs.TryPush(3, blob); err != nil {
+		t.Fatalf("TryPush: %v", err)
+	}
+	gates[0].down = true
+	dst := make([]byte, len(blob))
+	found, err := rs.TryFetch(3, dst)
+	if err != nil || !found || !bytes.Equal(dst, blob) {
+		t.Fatalf("failover read = (%v, %v)", found, err)
+	}
+	if rs.ReplicaStats().Failovers() == 0 {
+		t.Fatal("failover not counted")
+	}
+}
+
+func TestReplicaSetBreakerLifecycle(t *testing.T) {
+	clk := &sim.Clock{}
+	env := sim.NewEnv()
+	gates := []*gateLink{newGateLink(env), newGateLink(env)}
+	rs, err := NewReplicaSet(ReplicaConfig{
+		Quorum:           1,
+		FailureThreshold: 3,
+		OpenTimeout:      1000,
+		Clock:            clk,
+		Seed:             42,
+	}, gates[0], gates[1])
+	if err != nil {
+		t.Fatalf("NewReplicaSet: %v", err)
+	}
+	blob := []byte("breaker payload")
+	if err := rs.TryPush(9, blob); err != nil {
+		t.Fatalf("TryPush: %v", err)
+	}
+
+	// Fail replica 0 until its breaker opens.
+	gates[0].down = true
+	for i := 0; i < 3; i++ {
+		if err := rs.TryPush(9, blob); err != nil {
+			t.Fatalf("push %d should still meet quorum 1: %v", i, err)
+		}
+	}
+	h := rs.Health()
+	if h[0].State != BreakerOpen {
+		t.Fatalf("replica 0 breaker = %v after threshold failures, want open", h[0].State)
+	}
+	if rs.ReplicaStats().BreakerOpens() != 1 {
+		t.Fatalf("breakerOpens = %d, want 1", rs.ReplicaStats().BreakerOpens())
+	}
+	if h[0].MissedKeys == 0 {
+		t.Fatal("missed writes not recorded for the open replica")
+	}
+
+	// While open, writes skip the replica entirely (no new failures), and
+	// this newest version is what resync must later replay.
+	latest := []byte("BREAKER PAYLOAD")
+	if err := rs.TryPush(9, latest); err != nil {
+		t.Fatalf("push while open: %v", err)
+	}
+
+	// Advance past the (jittered <= 5/4) open timeout while still down:
+	// the half-open probe must fail and re-open the breaker.
+	clk.Advance(1251)
+	rs.Probe()
+	if got := rs.Health()[0].State; got != BreakerOpen {
+		t.Fatalf("breaker after failed probe = %v, want open", got)
+	}
+	if rs.ReplicaStats().ProbeFails() == 0 {
+		t.Fatal("failed probe not counted")
+	}
+
+	// Recover the replica, advance past the next timeout: the probe must
+	// resync the missed writes and close the breaker.
+	gates[0].down = false
+	clk.Advance(1251)
+	rs.Probe()
+	h = rs.Health()
+	if h[0].State != BreakerClosed {
+		t.Fatalf("breaker after recovery = %v, want closed", h[0].State)
+	}
+	if h[0].MissedKeys != 0 {
+		t.Fatalf("missed keys after resync = %d, want 0", h[0].MissedKeys)
+	}
+	if rs.ReplicaStats().ResyncedKeys() == 0 {
+		t.Fatal("resynced writes not counted")
+	}
+
+	// The resynced replica serves the latest version, not the one it
+	// missed first.
+	dst := make([]byte, len(latest))
+	found, err := gates[0].TryFetch(9, dst)
+	if err != nil || !found {
+		t.Fatalf("direct fetch from resynced replica = (%v, %v)", found, err)
+	}
+	if !bytes.Equal(dst, latest) {
+		t.Fatalf("resynced replica holds %q, want latest %q", dst, latest)
+	}
+}
+
+func TestReplicaSetChecksumRepairStale(t *testing.T) {
+	rs, links := newTestSet(t, 2, ReplicaConfig{Quorum: 1})
+	blob := []byte("authoritative bytes")
+	if err := rs.TryPush(5, blob); err != nil {
+		t.Fatalf("TryPush: %v", err)
+	}
+	// Corrupt replica 0's at-rest copy behind the set's back.
+	stale := append([]byte(nil), blob...)
+	stale[0] ^= 0xFF
+	links[0].Push(5, stale)
+
+	dst := make([]byte, len(blob))
+	found, err := rs.TryFetch(5, dst)
+	if err != nil || !found || !bytes.Equal(dst, blob) {
+		t.Fatalf("read of corrupted replica = (%v, %v), payload intact %v", found, err, bytes.Equal(dst, blob))
+	}
+	if rs.Stats().ChecksumFaults() == 0 {
+		t.Fatal("corruption not counted as a checksum fault")
+	}
+	if rs.ReplicaStats().ReadRepairs() == 0 {
+		t.Fatal("read repair not counted")
+	}
+	// The bad replica was overwritten in place with the good copy.
+	got := make([]byte, len(blob))
+	if !links[0].Fetch(5, got) || !bytes.Equal(got, blob) {
+		t.Fatal("replica 0 not repaired")
+	}
+}
+
+func TestReplicaSetRepairsAbsentBlob(t *testing.T) {
+	rs, links := newTestSet(t, 2, ReplicaConfig{Quorum: 1})
+	blob := []byte("must survive restart")
+	if err := rs.TryPush(11, blob); err != nil {
+		t.Fatalf("TryPush: %v", err)
+	}
+	// Replica 0 "restarts empty": it acked the write but lost the blob.
+	links[0].Delete(11)
+
+	dst := make([]byte, len(blob))
+	found, err := rs.TryFetch(11, dst)
+	if err != nil || !found || !bytes.Equal(dst, blob) {
+		t.Fatalf("read after replica data loss = (%v, %v)", found, err)
+	}
+	got := make([]byte, len(blob))
+	if !links[0].Fetch(11, got) || !bytes.Equal(got, blob) {
+		t.Fatal("absent blob not re-pushed to replica 0")
+	}
+	if rs.ReplicaStats().ReadRepairs() == 0 {
+		t.Fatal("absent-blob repair not counted")
+	}
+}
+
+func TestReplicaSetInFlightCorruptionDetected(t *testing.T) {
+	env := sim.NewEnv()
+	inner0 := NewSimLink(env, BackendTCP)
+	inner1 := NewSimLink(env, BackendTCP)
+	// Replica 0's link corrupts every fetched payload in flight.
+	f0 := NewFaultLink(inner0, FaultConfig{Seed: 1, CorruptRate: 1})
+	rs, err := NewReplicaSet(ReplicaConfig{Quorum: 1}, f0, inner1)
+	if err != nil {
+		t.Fatalf("NewReplicaSet: %v", err)
+	}
+	blob := []byte("bytes on a noisy wire")
+	if err := rs.TryPush(2, blob); err != nil {
+		t.Fatalf("TryPush: %v", err)
+	}
+	dst := make([]byte, len(blob))
+	found, err := rs.TryFetch(2, dst)
+	if err != nil || !found || !bytes.Equal(dst, blob) {
+		t.Fatalf("read over corrupting link = (%v, %v), payload intact %v", found, err, bytes.Equal(dst, blob))
+	}
+	if rs.Stats().ChecksumFaults() == 0 {
+		t.Fatal("in-flight corruption not counted")
+	}
+	if got := f0.Stats().Corruptions; got == 0 {
+		t.Fatal("fault link reports no corruption — test is vacuous")
+	}
+}
+
+func TestReplicaSetUntrackedReadIsNotFound(t *testing.T) {
+	rs, _ := newTestSet(t, 3, ReplicaConfig{})
+	dst := make([]byte, 8)
+	found, err := rs.TryFetch(999, dst)
+	if err != nil || found {
+		t.Fatalf("fetch of never-written key = (%v, %v), want (false, nil)", found, err)
+	}
+}
+
+func TestReplicaSetHedgedRead(t *testing.T) {
+	env := sim.NewEnv()
+	slow := newGateLink(env)
+	slow.slow = 50 * time.Millisecond
+	fast := newGateLink(env)
+	rs, err := NewReplicaSet(ReplicaConfig{Quorum: 1, HedgeDelay: time.Millisecond}, slow, fast)
+	if err != nil {
+		t.Fatalf("NewReplicaSet: %v", err)
+	}
+	blob := []byte("tail latency")
+	slow.slow = 0
+	if err := rs.TryPush(4, blob); err != nil {
+		t.Fatalf("TryPush: %v", err)
+	}
+	slow.slow = 50 * time.Millisecond
+
+	dst := make([]byte, len(blob))
+	start := time.Now()
+	found, err := rs.TryFetch(4, dst)
+	if err != nil || !found || !bytes.Equal(dst, blob) {
+		t.Fatalf("hedged read = (%v, %v)", found, err)
+	}
+	if d := time.Since(start); d > 40*time.Millisecond {
+		t.Fatalf("hedged read took %v — hedge did not cut the slow primary", d)
+	}
+	if rs.ReplicaStats().HedgedReads() == 0 || rs.ReplicaStats().HedgeWins() == 0 {
+		t.Fatalf("hedge counters = %d launched / %d wins, want both > 0",
+			rs.ReplicaStats().HedgedReads(), rs.ReplicaStats().HedgeWins())
+	}
+}
+
+// TestTryFetchAsyncAliasPinned pins the documented contract that
+// TryFetchAsync is an alias for TryFetch on both TCPTransport and
+// ReplicaSet: same result, same payload, no separate pipeline state to
+// drain (see the TryFetchAsync doc comments). The simulated-overlap
+// semantics exist only on SimLink, whose cost model charges
+// issue+bandwidth instead of the full round trip.
+func TestTryFetchAsyncAliasPinned(t *testing.T) {
+	checkAlias := func(t *testing.T, tr ErrorTransport) {
+		t.Helper()
+		blob := []byte("alias contract")
+		if err := tr.TryPush(6, blob); err != nil {
+			t.Fatalf("TryPush: %v", err)
+		}
+		a := make([]byte, len(blob))
+		b := make([]byte, len(blob))
+		fs, errS := tr.TryFetch(6, a)
+		fa, errA := tr.TryFetchAsync(6, b)
+		if fs != fa || (errS == nil) != (errA == nil) || !bytes.Equal(a, b) {
+			t.Fatalf("TryFetchAsync diverged from TryFetch: (%v,%v) vs (%v,%v)", fs, errS, fa, errA)
+		}
+		if !fs || errS != nil {
+			t.Fatalf("pushed key not served: (%v, %v)", fs, errS)
+		}
+	}
+	t.Run("ReplicaSet", func(t *testing.T) {
+		rs, _ := newTestSet(t, 2, ReplicaConfig{})
+		checkAlias(t, rs)
+	})
+	t.Run("TCPTransport", func(t *testing.T) {
+		srv := NewServer(remote.NewStore())
+		addr, err := srv.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("ListenAndServe: %v", err)
+		}
+		defer srv.Close()
+		tr, err := Dial(addr)
+		if err != nil {
+			t.Fatalf("Dial: %v", err)
+		}
+		defer tr.Close()
+		checkAlias(t, tr)
+	})
+}

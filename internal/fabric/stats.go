@@ -16,6 +16,8 @@ type Stats struct {
 	degraded    atomic.Uint64 // legacy-API ops that swallowed an error (zero-fill / dropped push)
 	shortReads  atomic.Uint64 // responses truncated mid-frame
 	unavailable atomic.Uint64 // connection-level failures (refused/reset/dial)
+	checksum    atomic.Uint64 // integrity failures detected (wire CRC, server corrupt frame, replica blob mismatch)
+	downgrades  atomic.Uint64 // connections negotiated down to the CRC-less v1 protocol
 }
 
 // Retries reports operation attempts beyond the first (each backoff-retry).
@@ -38,32 +40,51 @@ func (s *Stats) ShortReads() uint64 { return s.shortReads.Load() }
 // Unavailable reports connection-level failures (refused, reset, dial errors).
 func (s *Stats) Unavailable() uint64 { return s.unavailable.Load() }
 
+// ChecksumFaults reports detected integrity failures: a wire CRC32-C
+// trailer that did not verify, a corrupt/truncated-blob error frame from
+// the server, or (on a ReplicaSet) a fetched payload disagreeing with the
+// checksum recorded when it was pushed. Every event here is corruption
+// that was caught instead of being handed to the mutator.
+func (s *Stats) ChecksumFaults() uint64 { return s.checksum.Load() }
+
+// ProtocolDowngrades reports connections that fell back to the v1 (CRC-less)
+// wire protocol because the peer did not answer the version handshake.
+func (s *Stats) ProtocolDowngrades() uint64 { return s.downgrades.Load() }
+
 // StatsSnapshot is a plain-value copy of Stats for reporting.
 type StatsSnapshot struct {
-	Retries         uint64
-	Timeouts        uint64
-	Reconnects      uint64
-	DegradedFetches uint64
-	ShortReads      uint64
-	Unavailable     uint64
+	Retries            uint64
+	Timeouts           uint64
+	Reconnects         uint64
+	DegradedFetches    uint64
+	ShortReads         uint64
+	Unavailable        uint64
+	ChecksumFaults     uint64
+	ProtocolDowngrades uint64
 }
 
 // Snapshot copies the current counter values.
 func (s *Stats) Snapshot() StatsSnapshot {
 	return StatsSnapshot{
-		Retries:         s.Retries(),
-		Timeouts:        s.Timeouts(),
-		Reconnects:      s.Reconnects(),
-		DegradedFetches: s.DegradedFetches(),
-		ShortReads:      s.ShortReads(),
-		Unavailable:     s.Unavailable(),
+		Retries:            s.Retries(),
+		Timeouts:           s.Timeouts(),
+		Reconnects:         s.Reconnects(),
+		DegradedFetches:    s.DegradedFetches(),
+		ShortReads:         s.ShortReads(),
+		Unavailable:        s.Unavailable(),
+		ChecksumFaults:     s.ChecksumFaults(),
+		ProtocolDowngrades: s.ProtocolDowngrades(),
 	}
 }
 
+// String implements fmt.Stringer on the live counter block, so a stats
+// ticker can print a transport's health without building a snapshot first.
+func (s *Stats) String() string { return s.Snapshot().String() }
+
 // String implements fmt.Stringer.
 func (s StatsSnapshot) String() string {
-	return fmt.Sprintf("retries=%d timeouts=%d reconnects=%d degraded=%d shortReads=%d unavailable=%d",
-		s.Retries, s.Timeouts, s.Reconnects, s.DegradedFetches, s.ShortReads, s.Unavailable)
+	return fmt.Sprintf("retries=%d timeouts=%d reconnects=%d degraded=%d shortReads=%d unavailable=%d checksumFaults=%d protoDowngrades=%d",
+		s.Retries, s.Timeouts, s.Reconnects, s.DegradedFetches, s.ShortReads, s.Unavailable, s.ChecksumFaults, s.ProtocolDowngrades)
 }
 
 // record classifies err (already mapped by classify) into the right bucket.
@@ -74,6 +95,8 @@ func (s *Stats) record(err error) {
 		s.timeouts.Add(1)
 	case isShortRead(err):
 		s.shortReads.Add(1)
+	case isIntegrity(err):
+		s.checksum.Add(1)
 	default:
 		s.unavailable.Add(1)
 	}

@@ -24,23 +24,62 @@ import (
 //
 //	flag(1) payload(length)
 //
-// with flag 0 (absent, zero payload follows), 1 (found), or flagErr (the
-// request was rejected — no payload follows). opPush and opDelete are
-// answered with a single ack byte: ackOK, or ackErr for a rejected request.
+// with flag 0 (absent, zero payload follows), 1 (found), flagErr (the
+// request was rejected — no payload follows), or flagCorrupt (the stored
+// blob failed its integrity checks — no payload follows). opPush and
+// opDelete are answered with a single ack byte: ackOK, ackErr for a
+// rejected request, or ackCorrupt for a push whose CRC trailer did not
+// survive the wire.
+//
+// Protocol version 2 (negotiated per connection with opHello, see below)
+// adds end-to-end integrity framing: every payload-bearing frame carries a
+// CRC32-C trailer (4 bytes, big-endian) computed over the payload —
+// opPush requests become "header payload crc" and opFetch responses become
+// "flag payload crc". Connections that never send opHello speak version 1
+// unchanged, so old peers interoperate; a v2 client talking to a v1 server
+// detects the dropped handshake and falls back.
 const (
 	opFetch  = byte(1)
 	opPush   = byte(2)
 	opDelete = byte(3)
+	// opHello negotiates the protocol version for the connection: key
+	// carries helloMagic (so random bytes cannot accidentally negotiate),
+	// length carries the highest version the client speaks. The server
+	// answers ackHello followed by the agreed version byte. Old servers
+	// drop the connection on the unknown opcode, which the client treats
+	// as "peer speaks v1".
+	opHello = byte(4)
 
 	flagAbsent = byte(0)
 	flagFound  = byte(1)
 
-	ackOK = byte(0xA5)
+	ackOK    = byte(0xA5)
+	ackHello = byte(0x5A)
 	// ackErr doubles as the fetch error flag: any rejected request is
 	// answered with this byte so the client gets a definite error frame
 	// instead of a silently dropped connection.
 	ackErr = byte(0xEE)
+	// ackCorrupt / flagCorrupt is the integrity error frame: the stored
+	// blob failed its checksum or was shorter than the requested read
+	// (fetch), or a pushed payload's CRC trailer did not verify (push).
+	// It is only sent on v2 connections — v1 peers get ackErr.
+	ackCorrupt = byte(0xC7)
+
+	protoV1 = 1
+	protoV2 = 2
+
+	// helloMagic guards the handshake opcode: "TFMFABR2" as a big-endian
+	// integer in the key field.
+	helloMagic = uint64(0x54464D4641425232)
 )
+
+// crcLen is the width of the CRC32-C payload trailer in v2 frames.
+const crcLen = 4
+
+// payloadCRC is the trailer checksum over a payload frame. It deliberately
+// shares remote.Checksum (CRC32-C), so a blob has one checksum identity
+// from the client's buffer, across the wire, to the store and back.
+func payloadCRC(p []byte) uint32 { return remote.Checksum(p) }
 
 // maxPayload bounds a single transfer; far-memory objects and pages are at
 // most a few KiB, so 16 MiB is generous while still rejecting corrupt
@@ -53,10 +92,14 @@ var ErrPayloadTooLarge = errors.New("fabric: payload exceeds protocol limit")
 
 // ServerStats counts server-side protocol events; all fields are atomic.
 type ServerStats struct {
-	conns     atomic.Uint64 // connections accepted
-	frames    atomic.Uint64 // well-formed request frames served
-	badFrames atomic.Uint64 // unknown opcodes (connection dropped)
-	oversize  atomic.Uint64 // requests rejected with an error frame
+	conns       atomic.Uint64 // connections accepted
+	frames      atomic.Uint64 // well-formed request frames served
+	badFrames   atomic.Uint64 // unknown opcodes / bad hello magic (connection dropped)
+	oversize    atomic.Uint64 // requests rejected with an error frame
+	hellos      atomic.Uint64 // connections negotiated to protocol v2
+	sizeErrs    atomic.Uint64 // fetches of a truncated blob answered with an integrity error frame
+	corrupt     atomic.Uint64 // fetches of a checksum-failing blob answered with an integrity error frame
+	wireRejects atomic.Uint64 // v2 pushes whose CRC trailer failed verification (not stored)
 }
 
 // Conns reports connections accepted over the server's lifetime.
@@ -72,10 +115,26 @@ func (s *ServerStats) BadFrames() uint64 { return s.badFrames.Load() }
 // above the protocol limit.
 func (s *ServerStats) OversizeRejects() uint64 { return s.oversize.Load() }
 
+// Hellos reports connections that negotiated the v2 (CRC-framed) protocol.
+func (s *ServerStats) Hellos() uint64 { return s.hellos.Load() }
+
+// SizeMismatches reports fetches that found a stored blob shorter than the
+// requested read and were answered with an integrity error frame instead
+// of a zero-filled tail.
+func (s *ServerStats) SizeMismatches() uint64 { return s.sizeErrs.Load() }
+
+// CorruptBlobs reports fetches that found a stored blob failing its
+// checksum and were answered with an integrity error frame.
+func (s *ServerStats) CorruptBlobs() uint64 { return s.corrupt.Load() }
+
+// WireRejects reports v2 pushes whose payload CRC trailer failed
+// verification; the payload was discarded, never stored.
+func (s *ServerStats) WireRejects() uint64 { return s.wireRejects.Load() }
+
 // String implements fmt.Stringer.
 func (s *ServerStats) String() string {
-	return fmt.Sprintf("conns=%d frames=%d badFrames=%d oversize=%d",
-		s.Conns(), s.Frames(), s.BadFrames(), s.OversizeRejects())
+	return fmt.Sprintf("conns=%d frames=%d badFrames=%d oversize=%d hellos=%d sizeMismatch=%d corruptBlobs=%d wireRejects=%d",
+		s.Conns(), s.Frames(), s.BadFrames(), s.OversizeRejects(), s.Hellos(), s.SizeMismatches(), s.CorruptBlobs(), s.WireRejects())
 }
 
 // Server serves a remote.Store over TCP. Create with NewServer, then call
@@ -97,6 +156,9 @@ func NewServer(store *remote.Store) *Server {
 
 // Stats exposes the server's protocol-event counters.
 func (s *Server) Stats() *ServerStats { return &s.stats }
+
+// Store exposes the backing blob store (for stats reporters).
+func (s *Server) Store() *remote.Store { return s.store }
 
 // ListenAndServe binds addr (e.g. "127.0.0.1:0") and serves in a background
 // goroutine. It returns the bound address so callers using port 0 can find
@@ -142,6 +204,7 @@ func (s *Server) handle(conn net.Conn) {
 	}()
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
+	ver := protoV1 // until the connection negotiates otherwise
 	var hdr [13]byte
 	for {
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -150,7 +213,7 @@ func (s *Server) handle(conn net.Conn) {
 		op := hdr[0]
 		key := binary.BigEndian.Uint64(hdr[1:9])
 		length := binary.BigEndian.Uint32(hdr[9:13])
-		if length > maxPayload {
+		if op != opHello && length > maxPayload {
 			// Answer with an error frame rather than silently
 			// dropping the connection; the client sees a definite
 			// rejection. After an oversize opPush the stream cannot
@@ -167,9 +230,50 @@ func (s *Server) handle(conn net.Conn) {
 			continue
 		}
 		switch op {
+		case opHello:
+			if key != helloMagic {
+				// A stray frame that happens to use the hello opcode
+				// is a protocol violation, not a handshake.
+				s.stats.badFrames.Add(1)
+				return
+			}
+			agreed := protoV1
+			if length >= protoV2 {
+				agreed = protoV2
+			}
+			if err := w.WriteByte(ackHello); err != nil {
+				return
+			}
+			if err := w.WriteByte(byte(agreed)); err != nil {
+				return
+			}
+			ver = agreed
+			if agreed == protoV2 {
+				s.stats.hellos.Add(1)
+			}
 		case opFetch:
 			buf := make([]byte, length)
-			found := s.store.Get(key, buf)
+			found, err := s.store.Get(key, buf)
+			if err != nil {
+				// The stored blob is corrupt (bad checksum) or
+				// truncated (shorter than the read): answer an
+				// integrity error frame instead of fabricating a
+				// zero-filled tail. No payload follows, so the
+				// stream stays in sync.
+				if errors.Is(err, remote.ErrSizeMismatch) {
+					s.stats.sizeErrs.Add(1)
+				} else {
+					s.stats.corrupt.Add(1)
+				}
+				errFlag := ackErr
+				if ver >= protoV2 {
+					errFlag = ackCorrupt
+				}
+				if werr := w.WriteByte(errFlag); werr != nil {
+					return
+				}
+				break
+			}
 			flag := flagAbsent
 			if found {
 				flag = flagFound
@@ -180,10 +284,34 @@ func (s *Server) handle(conn net.Conn) {
 			if _, err := w.Write(buf); err != nil {
 				return
 			}
+			if ver >= protoV2 {
+				var crc [crcLen]byte
+				binary.BigEndian.PutUint32(crc[:], payloadCRC(buf))
+				if _, err := w.Write(crc[:]); err != nil {
+					return
+				}
+			}
 		case opPush:
 			buf := make([]byte, length)
 			if _, err := io.ReadFull(r, buf); err != nil {
 				return
+			}
+			if ver >= protoV2 {
+				var crc [crcLen]byte
+				if _, err := io.ReadFull(r, crc[:]); err != nil {
+					return
+				}
+				if binary.BigEndian.Uint32(crc[:]) != payloadCRC(buf) {
+					// The payload was damaged in flight. Discard it —
+					// storing it would turn transient wire corruption
+					// into durable corruption — and tell the client,
+					// which retries the (idempotent) push.
+					s.stats.wireRejects.Add(1)
+					if err := w.WriteByte(ackCorrupt); err != nil {
+						return
+					}
+					break
+				}
 			}
 			s.store.Put(key, buf)
 			if err := w.WriteByte(ackOK); err != nil {
@@ -219,6 +347,22 @@ func (s *Server) Close() error {
 	return nil
 }
 
+// WireVersion selects how a TCPTransport frames payloads.
+type WireVersion int
+
+const (
+	// WireAuto negotiates: the client offers v2 (CRC trailers) and falls
+	// back to v1 when the server drops the handshake (an old peer). The
+	// fallback is sticky per transport so an old server is not re-probed
+	// on every reconnect.
+	WireAuto WireVersion = iota
+	// WireV1 forces the legacy CRC-less protocol (no handshake is sent).
+	WireV1
+	// WireV2 requires CRC framing: a peer that cannot negotiate v2 is a
+	// permanent ErrProtocol. Use when integrity must not silently degrade.
+	WireV2
+)
+
 // DialOptions tunes a TCPTransport's fault handling.
 type DialOptions struct {
 	// Retry bounds per-operation re-issues; zero fields take defaults
@@ -231,24 +375,34 @@ type DialOptions struct {
 	// zero seed selects sim.NewRNG's fixed default, so the schedule is
 	// reproducible even when unset.
 	Seed uint64
+	// Wire selects the payload framing (default WireAuto: negotiate v2
+	// CRC trailers, fall back to v1 against old servers).
+	Wire WireVersion
 }
 
 // TCPTransport is a Transport backed by a real TCP connection to a Server.
 // It implements ErrorTransport: the Try methods surface typed errors, apply
 // per-operation deadlines, retry with deterministic-jitter backoff, and
-// transparently reconnect after the connection is marked dead. The legacy
-// Transport methods remain as degrading adapters (errors become not-found /
-// dropped ops, tallied in Stats as degraded). It is safe for concurrent use.
+// transparently reconnect after the connection is marked dead. On v2
+// connections every payload crossing the wire carries a CRC32-C trailer;
+// corruption in flight is detected on receipt (ErrIntegrity, counted in
+// Stats.ChecksumFaults) and healed by the retry loop instead of being
+// handed to the caller. The legacy Transport methods remain as degrading
+// adapters (errors become not-found / dropped ops, tallied in Stats as
+// degraded). It is safe for concurrent use.
 type TCPTransport struct {
 	addr      string
 	policy    RetryPolicy
 	opTimeout time.Duration
+	wire      WireVersion
 	stats     Stats
 
 	mu     sync.Mutex
 	conn   net.Conn
 	r      *bufio.Reader
 	w      *bufio.Writer
+	ver    int  // negotiated protocol version of the live connection
+	legacy bool // sticky: peer dropped the handshake, speak v1 (WireAuto only)
 	rng    *sim.RNG
 	closed bool
 }
@@ -262,32 +416,48 @@ func Dial(addr string) (*TCPTransport, error) {
 // options. The initial dial is not retried: an unreachable server at
 // construction time is a configuration error the caller should see
 // immediately. Once constructed, the transport survives server restarts by
-// reconnecting on demand.
+// reconnecting on demand (renegotiating the wire version each time).
 func DialWith(addr string, opts DialOptions) (*TCPTransport, error) {
 	t := &TCPTransport{
 		addr:      addr,
 		policy:    opts.Retry.withDefaults(),
 		opTimeout: opts.OpTimeout,
+		wire:      opts.Wire,
 		rng:       sim.NewRNG(opts.Seed),
 	}
 	if t.opTimeout <= 0 {
 		t.opTimeout = 2 * time.Second
 	}
-	conn, err := net.DialTimeout("tcp", addr, t.opTimeout)
+	t.mu.Lock()
+	err := t.ensureConn()
+	t.mu.Unlock()
 	if err != nil {
 		return nil, fmt.Errorf("fabric: dial %s: %w", addr, err)
 	}
-	t.attach(conn)
+	// The constructor's dial is not a reconnect.
+	t.stats.reconnects.Store(0)
 	return t, nil
 }
 
 // Stats exposes the transport's fault-handling counters.
 func (t *TCPTransport) Stats() *Stats { return &t.stats }
 
-func (t *TCPTransport) attach(conn net.Conn) {
+// WireVersionInUse reports the protocol version of the live connection
+// (0 when disconnected). Mostly useful in tests and stats reporters.
+func (t *TCPTransport) WireVersionInUse() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.conn == nil {
+		return 0
+	}
+	return t.ver
+}
+
+func (t *TCPTransport) attach(conn net.Conn, ver int) {
 	t.conn = conn
 	t.r = bufio.NewReader(conn)
 	t.w = bufio.NewWriter(conn)
+	t.ver = ver
 }
 
 // markDead tears down the current connection so the next attempt re-dials.
@@ -300,10 +470,13 @@ func (t *TCPTransport) markDead() {
 		t.conn = nil
 		t.r = nil
 		t.w = nil
+		t.ver = 0
 	}
 }
 
-// ensureConn re-dials if the connection was marked dead. Caller holds t.mu.
+// ensureConn re-dials if the connection was marked dead. The attached
+// connection starts with version 0 ("handshake pending") unless the
+// transport is configured or stickily downgraded to v1. Caller holds t.mu.
 func (t *TCPTransport) ensureConn() error {
 	if t.conn != nil {
 		return nil
@@ -312,8 +485,65 @@ func (t *TCPTransport) ensureConn() error {
 	if err != nil {
 		return err
 	}
-	t.attach(conn)
+	ver := 0 // hello pending
+	if t.wire == WireV1 || (t.wire == WireAuto && t.legacy) {
+		ver = protoV1
+	}
+	t.attach(conn, ver)
 	t.stats.reconnects.Add(1)
+	return nil
+}
+
+// ensureHello negotiates the wire version on a freshly attached connection.
+// It runs lazily on the first operation over each connection (not at dial
+// time), so DialWith stays a pure reachability check and handshake failures
+// flow through the per-operation retry/typed-error machinery. A peer that
+// closes the connection on the hello opcode is an old v1 server: under
+// WireAuto the transport stickily falls back to v1 and redials; under
+// WireV2 that peer is a permanent protocol error. Caller holds t.mu.
+func (t *TCPTransport) ensureHello() error {
+	if t.ver != 0 {
+		return nil
+	}
+	t.conn.SetDeadline(time.Now().Add(t.opTimeout))
+	var hdr [13]byte
+	hdr[0] = opHello
+	binary.BigEndian.PutUint64(hdr[1:9], helloMagic)
+	binary.BigEndian.PutUint32(hdr[9:13], protoV2)
+	_, err := t.w.Write(hdr[:])
+	if err == nil {
+		err = t.w.Flush()
+	}
+	var resp [2]byte
+	if err == nil {
+		_, err = io.ReadFull(t.r, resp[:])
+	}
+	if err != nil {
+		t.markDead()
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			if t.wire == WireV2 {
+				return permanent(fmt.Errorf("%w: peer does not speak CRC protocol v2", ErrProtocol))
+			}
+			t.legacy = true
+			t.stats.downgrades.Add(1)
+			return t.ensureConn() // redial; legacy is set, so no hello
+		}
+		return err
+	}
+	if resp[0] != ackHello {
+		t.markDead()
+		return permanent(fmt.Errorf("%w: hello ack %#x", ErrProtocol, resp[0]))
+	}
+	ver := int(resp[1])
+	if ver < protoV1 || ver > protoV2 {
+		t.markDead()
+		return permanent(fmt.Errorf("%w: hello version %d", ErrProtocol, ver))
+	}
+	if ver < protoV2 && t.wire == WireV2 {
+		t.markDead()
+		return permanent(fmt.Errorf("%w: peer negotiated v%d, need v2", ErrProtocol, ver))
+	}
+	t.ver = ver
 	return nil
 }
 
@@ -333,21 +563,28 @@ func (t *TCPTransport) do(op func() error) error {
 			t.stats.retries.Add(1)
 			time.Sleep(t.policy.backoff(attempt-1, t.rng))
 		}
-		if err := t.ensureConn(); err != nil {
+		err := t.ensureConn()
+		if err == nil {
+			err = t.ensureHello()
+		}
+		if err != nil {
 			last = classify(err)
 			t.stats.record(last)
+			if isPermanent(err) {
+				break
+			}
 			continue
 		}
 		t.conn.SetDeadline(time.Now().Add(t.opTimeout))
-		err := op()
-		if err == nil {
+		if err := op(); err == nil {
 			return nil
-		}
-		last = classify(err)
-		t.stats.record(last)
-		t.markDead()
-		if isPermanent(err) {
-			break
+		} else {
+			last = classify(err)
+			t.stats.record(last)
+			t.markDead()
+			if isPermanent(err) {
+				break
+			}
 		}
 	}
 	return last
@@ -383,11 +620,28 @@ func (t *TCPTransport) TryFetch(key uint64, dst []byte) (bool, error) {
 		case flagAbsent, flagFound:
 		case ackErr:
 			return permanent(fmt.Errorf("%w: server rejected fetch", ErrProtocol))
+		case ackCorrupt:
+			// The blob is corrupt at rest on this node: retrying the
+			// same node cannot help, so the error is permanent here —
+			// a ReplicaSet recovers by reading another replica.
+			return permanent(fmt.Errorf("%w: server reports blob corrupt or truncated", ErrIntegrity))
 		default:
 			return permanent(fmt.Errorf("%w: fetch flag %#x", ErrProtocol, flag))
 		}
 		if _, err := io.ReadFull(t.r, dst); err != nil {
 			return err
+		}
+		if t.ver >= protoV2 {
+			var crc [crcLen]byte
+			if _, err := io.ReadFull(t.r, crc[:]); err != nil {
+				return err
+			}
+			if binary.BigEndian.Uint32(crc[:]) != payloadCRC(dst) {
+				// In-flight corruption: the connection's framing may
+				// also be suspect, so the conn is torn down (do's
+				// error path) and the retry re-reads over a fresh one.
+				return fmt.Errorf("%w: fetch payload CRC mismatch", ErrIntegrity)
+			}
 		}
 		found = flag == flagFound
 		return nil
@@ -399,7 +653,11 @@ func (t *TCPTransport) TryFetch(key uint64, dst []byte) (bool, error) {
 }
 
 // TryFetchAsync implements ErrorTransport. Over a real network there is no
-// simulated overlap to model; it behaves exactly like TryFetch.
+// simulated overlap to model, so this is a documented alias for TryFetch:
+// identical blocking round trip, identical retry/stat accounting. (The
+// pipelined-overlap behaviour exists only on SimLink, where the cost model
+// charges issue+bandwidth instead of the full round trip.) A test pins the
+// alias so it cannot silently diverge.
 func (t *TCPTransport) TryFetchAsync(key uint64, dst []byte) (bool, error) {
 	return t.TryFetch(key, dst)
 }
@@ -415,6 +673,13 @@ func (t *TCPTransport) TryPush(key uint64, src []byte) error {
 		}
 		if _, err := t.w.Write(src); err != nil {
 			return err
+		}
+		if t.ver >= protoV2 {
+			var crc [crcLen]byte
+			binary.BigEndian.PutUint32(crc[:], payloadCRC(src))
+			if _, err := t.w.Write(crc[:]); err != nil {
+				return err
+			}
 		}
 		if err := t.w.Flush(); err != nil {
 			return err
@@ -446,6 +711,11 @@ func (t *TCPTransport) readAck(op string) error {
 		return nil
 	case ackErr:
 		return permanent(fmt.Errorf("%w: server rejected %s", ErrProtocol, op))
+	case ackCorrupt:
+		// The server saw a damaged CRC trailer: the payload was
+		// corrupted in flight and discarded. Retrying re-sends the
+		// intact source buffer, so this is retryable.
+		return fmt.Errorf("%w: server rejected %s payload CRC", ErrIntegrity, op)
 	default:
 		return permanent(fmt.Errorf("%w: %s ack %#x", ErrProtocol, op, ack))
 	}
@@ -466,7 +736,8 @@ func (t *TCPTransport) Fetch(key uint64, dst []byte) bool {
 	return found
 }
 
-// FetchAsync implements Transport; it behaves exactly like Fetch.
+// FetchAsync implements Transport; it behaves exactly like Fetch (see
+// TryFetchAsync for the alias contract).
 func (t *TCPTransport) FetchAsync(key uint64, dst []byte) bool {
 	return t.Fetch(key, dst)
 }

@@ -62,8 +62,18 @@ type Config struct {
 	// knowledge about the access pattern", §4.3). Set it explicitly to
 	// model an ideal readahead.
 	ReadaheadPages int
-	// Transport overrides the default in-process RDMA link.
+	// Transport overrides the default in-process RDMA link. Mutually
+	// exclusive with Replicas.
 	Transport fabric.Transport
+	// Replicas, when non-empty, replicates the swap device: page-outs fan
+	// to every replica (quorum-acked), page-ins fail over between them, and
+	// every page-in is checksum-verified end to end (fabric.ReplicaSet).
+	// Replication.Clock defaults to Env.Clock for deterministic breaker
+	// timing.
+	Replicas []fabric.Transport
+	// Replication parameterizes the replica set built from Replicas
+	// (ignored when Replicas is empty).
+	Replication fabric.ReplicaConfig
 	// RemoteRetries is the total attempts per remote page transfer when
 	// the transport surfaces errors (default 4). A remote fault whose
 	// fetch still fails after the budget panics — the moral equivalent
@@ -87,6 +97,7 @@ const (
 type Swap struct {
 	env      *sim.Env
 	link     fabric.ErrorTransport
+	replicas *fabric.ReplicaSet // non-nil only when Config.Replicas was set
 	retries  int
 	pageSize int
 	shift    uint
@@ -136,7 +147,23 @@ func New(cfg Config) (*Swap, error) {
 	} else {
 		arena = mem.NewRealStore(nFrames * uint64(cfg.PageSize))
 	}
+	if cfg.Transport != nil && len(cfg.Replicas) > 0 {
+		return nil, fmt.Errorf("fastswap: Config.Transport and Config.Replicas are mutually exclusive")
+	}
 	link := cfg.Transport
+	var replicas *fabric.ReplicaSet
+	if len(cfg.Replicas) > 0 {
+		rcfg := cfg.Replication
+		if rcfg.Clock == nil {
+			rcfg.Clock = &cfg.Env.Clock
+		}
+		var err error
+		replicas, err = fabric.NewReplicaSet(rcfg, cfg.Replicas...)
+		if err != nil {
+			return nil, fmt.Errorf("fastswap: %w", err)
+		}
+		link = replicas
+	}
 	if link == nil {
 		link = fabric.NewSimLink(cfg.Env, fabric.BackendRDMA)
 	}
@@ -151,6 +178,7 @@ func New(cfg Config) (*Swap, error) {
 	s := &Swap{
 		env:        cfg.Env,
 		link:       fabric.AsErrorTransport(link),
+		replicas:   replicas,
 		retries:    retries,
 		pageSize:   cfg.PageSize,
 		shift:      uint(bits.TrailingZeros(uint(cfg.PageSize))),
@@ -177,6 +205,10 @@ func (s *Swap) Env() *sim.Env { return s.env }
 
 // PageSize reports the architected page size.
 func (s *Swap) PageSize() int { return s.pageSize }
+
+// ReplicaSet exposes the replica set serving as the swap device, or nil
+// when the swap runs on a single transport (Config.Replicas empty).
+func (s *Swap) ReplicaSet() *fabric.ReplicaSet { return s.replicas }
 
 // ResidentBytes reports bytes of resident pages (cgroup usage).
 func (s *Swap) ResidentBytes() uint64 {

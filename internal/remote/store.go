@@ -3,59 +3,128 @@
 // and a TCP server exposing it over the wire protocol in package fabric.
 package remote
 
-import "sync"
+import (
+	"errors"
+	"hash/crc32"
+	"sync"
+)
+
+// Integrity errors surfaced by Get. A far-memory blob is written exactly as
+// wide as its object or page, so a stored blob shorter than the requested
+// read is corruption (a truncated write, bit rot in the length accounting),
+// not a miss — the old behaviour of silently zero-filling the tail handed
+// the mutator fabricated data. Callers (the fabric server) turn these into
+// error frames on the wire.
+var (
+	// ErrSizeMismatch reports a stored blob shorter than the requested
+	// read — a truncated blob is corruption, not a miss.
+	ErrSizeMismatch = errors.New("remote: stored blob shorter than requested read")
+
+	// ErrChecksum reports a stored blob whose bytes no longer match the
+	// CRC32-C recorded when it was put — in-memory corruption on the node.
+	ErrChecksum = errors.New("remote: stored blob fails its checksum")
+)
+
+// castagnoli is the CRC32-C polynomial table shared by every checksum in
+// the store. CRC32-C matches the wire-trailer checksum in package fabric,
+// so an intact blob has one checksum identity end to end.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum computes the CRC32-C checksum the store records for a payload.
+// Exported so the fabric layer and replica-set read-repair share one
+// definition of "intact".
+func Checksum(p []byte) uint32 { return crc32.Checksum(p, castagnoli) }
+
+// blob is a stored payload plus the checksum computed at Put time.
+type blob struct {
+	data []byte
+	crc  uint32
+}
 
 // Store is a thread-safe blob store keyed by object or page ID. It is the
-// memory of the remote node. The zero value is not ready; use NewStore.
+// memory of the remote node. Every blob carries a CRC32-C computed at Put
+// time and verified at Get time, so corruption of stored bytes is detected
+// at the node instead of being served to a client. The zero value is not
+// ready; use NewStore.
 type Store struct {
 	mu    sync.RWMutex
-	blobs map[uint64][]byte
+	blobs map[uint64]blob
 	bytes uint64
+	stats StoreStats
+}
+
+// StoreStats counts integrity events observed by the store.
+type StoreStats struct {
+	SizeMismatches uint64 // Gets that found a too-short blob
+	ChecksumFails  uint64 // Gets that found a blob failing its CRC
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
-	return &Store{blobs: make(map[uint64][]byte)}
+	return &Store{blobs: make(map[uint64]blob)}
 }
 
-// Put stores a copy of src under key, replacing any previous blob.
+// Put stores a copy of src under key, replacing any previous blob, and
+// records its CRC32-C.
 func (s *Store) Put(key uint64, src []byte) {
-	blob := make([]byte, len(src))
-	copy(blob, src)
+	data := make([]byte, len(src))
+	copy(data, src)
+	b := blob{data: data, crc: Checksum(data)}
 	s.mu.Lock()
 	if old, ok := s.blobs[key]; ok {
-		s.bytes -= uint64(len(old))
+		s.bytes -= uint64(len(old.data))
 	}
-	s.blobs[key] = blob
-	s.bytes += uint64(len(blob))
+	s.blobs[key] = b
+	s.bytes += uint64(len(b.data))
 	s.mu.Unlock()
 }
 
 // Get copies the blob under key into dst and reports whether it existed.
-// If the blob is shorter than dst the remainder is zero-filled; if longer,
-// only len(dst) bytes are copied.
-func (s *Store) Get(key uint64, dst []byte) bool {
+// An absent key zero-fills dst and returns (false, nil) — freshly
+// allocated remote memory reads as zeros. A present blob is verified
+// against its stored CRC32-C and its length: a checksum failure returns
+// ErrChecksum, a blob shorter than dst returns ErrSizeMismatch (a
+// truncated blob is corruption, not a miss). On error the contents of dst
+// are unspecified. A blob longer than dst serves the prefix: a sub-object
+// read is well-formed.
+func (s *Store) Get(key uint64, dst []byte) (bool, error) {
 	s.mu.RLock()
-	blob, ok := s.blobs[key]
+	b, ok := s.blobs[key]
 	s.mu.RUnlock()
 	if !ok {
 		for i := range dst {
 			dst[i] = 0
 		}
-		return false
+		return false, nil
 	}
-	n := copy(dst, blob)
-	for i := n; i < len(dst); i++ {
-		dst[i] = 0
+	if Checksum(b.data) != b.crc {
+		s.mu.Lock()
+		s.stats.ChecksumFails++
+		s.mu.Unlock()
+		return true, ErrChecksum
 	}
-	return true
+	if len(b.data) < len(dst) {
+		s.mu.Lock()
+		s.stats.SizeMismatches++
+		s.mu.Unlock()
+		return true, ErrSizeMismatch
+	}
+	copy(dst, b.data)
+	return true, nil
+}
+
+// Stats returns a copy of the store's integrity counters.
+func (s *Store) Stats() StoreStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.stats
 }
 
 // Delete removes key. Deleting an absent key is a no-op.
 func (s *Store) Delete(key uint64) {
 	s.mu.Lock()
 	if old, ok := s.blobs[key]; ok {
-		s.bytes -= uint64(len(old))
+		s.bytes -= uint64(len(old.data))
 		delete(s.blobs, key)
 	}
 	s.mu.Unlock()
@@ -65,9 +134,42 @@ func (s *Store) Delete(key uint64) {
 // (e.g. a fault-injection harness reusing one server across scenarios).
 func (s *Store) Clear() {
 	s.mu.Lock()
-	s.blobs = make(map[uint64][]byte)
+	s.blobs = make(map[uint64]blob)
 	s.bytes = 0
 	s.mu.Unlock()
+}
+
+// FlipByte XORs 0xFF into byte i of key's stored blob without updating its
+// recorded checksum. It is a fault-injection hook modelling bit rot on the
+// remote node (the counterpart of fabric.FaultLink's in-flight corruption);
+// a later Get of the blob fails with ErrChecksum. It reports whether the
+// blob existed and was wide enough to corrupt.
+func (s *Store) FlipByte(key uint64, i int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.blobs[key]
+	if !ok || i < 0 || i >= len(b.data) {
+		return false
+	}
+	b.data[i] ^= 0xFF
+	return true
+}
+
+// Truncate shortens key's stored blob to n bytes, recomputing its checksum
+// so only the length — not the bytes — is wrong. It is a fault-injection
+// hook modelling a torn write; a later Get wider than n fails with
+// ErrSizeMismatch. It reports whether the blob existed and was longer
+// than n.
+func (s *Store) Truncate(key uint64, n int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.blobs[key]
+	if !ok || n < 0 || n >= len(b.data) {
+		return false
+	}
+	s.bytes -= uint64(len(b.data) - n)
+	s.blobs[key] = blob{data: b.data[:n], crc: Checksum(b.data[:n])}
+	return true
 }
 
 // Len reports the number of stored blobs.

@@ -2,16 +2,28 @@ package remote
 
 import (
 	"bytes"
+	"errors"
 	"sync"
 	"testing"
 	"testing/quick"
 )
 
+// mustGet is the test shorthand for a Get that must not surface an
+// integrity error.
+func mustGet(t *testing.T, s *Store, key uint64, dst []byte) bool {
+	t.Helper()
+	found, err := s.Get(key, dst)
+	if err != nil {
+		t.Fatalf("Get(%d): %v", key, err)
+	}
+	return found
+}
+
 func TestStorePutGet(t *testing.T) {
 	s := NewStore()
 	s.Put(7, []byte{1, 2, 3, 4})
 	dst := make([]byte, 4)
-	if !s.Get(7, dst) {
+	if !mustGet(t, s, 7, dst) {
 		t.Fatalf("Get(7) missed after Put")
 	}
 	if !bytes.Equal(dst, []byte{1, 2, 3, 4}) {
@@ -27,7 +39,7 @@ func TestStoreClear(t *testing.T) {
 	if s.Len() != 0 || s.Bytes() != 0 {
 		t.Fatalf("after Clear: len=%d bytes=%d", s.Len(), s.Bytes())
 	}
-	if s.Get(1, make([]byte, 2)) {
+	if mustGet(t, s, 1, make([]byte, 2)) {
 		t.Fatalf("Get found a blob after Clear")
 	}
 }
@@ -35,7 +47,7 @@ func TestStoreClear(t *testing.T) {
 func TestStoreGetMissingZeroFills(t *testing.T) {
 	s := NewStore()
 	dst := []byte{9, 9, 9}
-	if s.Get(1, dst) {
+	if mustGet(t, s, 1, dst) {
 		t.Fatalf("Get on empty store reported found")
 	}
 	if !bytes.Equal(dst, []byte{0, 0, 0}) {
@@ -43,25 +55,81 @@ func TestStoreGetMissingZeroFills(t *testing.T) {
 	}
 }
 
-func TestStoreGetShortBlobZeroFillsTail(t *testing.T) {
+// A stored blob shorter than the read is corruption, not a miss: the old
+// zero-fill-the-tail behaviour fabricated data.
+func TestStoreGetShortBlobIsSizeMismatch(t *testing.T) {
 	s := NewStore()
 	s.Put(1, []byte{5, 6})
-	dst := []byte{9, 9, 9, 9}
-	if !s.Get(1, dst) {
+	dst := make([]byte, 4)
+	found, err := s.Get(1, dst)
+	if !found {
 		t.Fatalf("Get missed")
 	}
-	if !bytes.Equal(dst, []byte{5, 6, 0, 0}) {
-		t.Fatalf("short blob read = %v", dst)
+	if !errors.Is(err, ErrSizeMismatch) {
+		t.Fatalf("short blob read err = %v, want ErrSizeMismatch", err)
+	}
+	if got := s.Stats().SizeMismatches; got != 1 {
+		t.Fatalf("SizeMismatches = %d, want 1", got)
 	}
 }
 
-func TestStoreGetLongBlobTruncates(t *testing.T) {
+func TestStoreGetLongBlobServesPrefix(t *testing.T) {
 	s := NewStore()
 	s.Put(1, []byte{1, 2, 3, 4})
 	dst := make([]byte, 2)
-	s.Get(1, dst)
+	if !mustGet(t, s, 1, dst) {
+		t.Fatalf("Get missed")
+	}
 	if !bytes.Equal(dst, []byte{1, 2}) {
-		t.Fatalf("truncated read = %v", dst)
+		t.Fatalf("prefix read = %v", dst)
+	}
+}
+
+// FlipByte corrupts stored bytes under the recorded CRC; the next Get must
+// answer ErrChecksum instead of serving the corrupt blob.
+func TestStoreChecksumDetectsBitRot(t *testing.T) {
+	s := NewStore()
+	s.Put(3, []byte{10, 20, 30, 40})
+	if !s.FlipByte(3, 2) {
+		t.Fatalf("FlipByte missed an existing blob")
+	}
+	found, err := s.Get(3, make([]byte, 4))
+	if !found {
+		t.Fatalf("Get missed")
+	}
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupt blob read err = %v, want ErrChecksum", err)
+	}
+	if got := s.Stats().ChecksumFails; got != 1 {
+		t.Fatalf("ChecksumFails = %d, want 1", got)
+	}
+	// A fresh Put heals the key.
+	s.Put(3, []byte{1, 1, 1, 1})
+	dst := make([]byte, 4)
+	if !mustGet(t, s, 3, dst) || !bytes.Equal(dst, []byte{1, 1, 1, 1}) {
+		t.Fatalf("Put did not heal corrupted key: %v", dst)
+	}
+}
+
+// Truncate models a torn write: the bytes are intact but the blob is too
+// short, and the accounting must follow the new length.
+func TestStoreTruncateIsSizeMismatch(t *testing.T) {
+	s := NewStore()
+	s.Put(4, []byte{1, 2, 3, 4})
+	if !s.Truncate(4, 2) {
+		t.Fatalf("Truncate missed an existing blob")
+	}
+	if s.Bytes() != 2 {
+		t.Fatalf("Bytes() = %d after truncate, want 2", s.Bytes())
+	}
+	_, err := s.Get(4, make([]byte, 4))
+	if !errors.Is(err, ErrSizeMismatch) {
+		t.Fatalf("truncated blob read err = %v, want ErrSizeMismatch", err)
+	}
+	// A read no wider than the surviving prefix is well-formed.
+	dst := make([]byte, 2)
+	if !mustGet(t, s, 4, dst) || !bytes.Equal(dst, []byte{1, 2}) {
+		t.Fatalf("prefix read after truncate = %v", dst)
 	}
 }
 
@@ -88,7 +156,7 @@ func TestStorePutCopies(t *testing.T) {
 	s.Put(1, src)
 	src[0] = 99
 	dst := make([]byte, 3)
-	s.Get(1, dst)
+	mustGet(t, s, 1, dst)
 	if dst[0] != 1 {
 		t.Fatalf("Put aliased caller buffer")
 	}
@@ -105,7 +173,10 @@ func TestStoreConcurrent(t *testing.T) {
 			for i := 0; i < 500; i++ {
 				key := uint64(g*1000 + i%50)
 				s.Put(key, []byte{byte(g), byte(i), 0, 0, 0, 0, 0, 0})
-				s.Get(key, buf)
+				if _, err := s.Get(key, buf); err != nil {
+					t.Errorf("Get(%d): %v", key, err)
+					return
+				}
 				if i%10 == 0 {
 					s.Delete(key)
 				}
@@ -120,7 +191,8 @@ func TestStoreRoundTripProperty(t *testing.T) {
 	if err := quick.Check(func(key uint64, payload []byte) bool {
 		s.Put(key, payload)
 		dst := make([]byte, len(payload))
-		if !s.Get(key, dst) {
+		found, err := s.Get(key, dst)
+		if !found || err != nil {
 			return false
 		}
 		return bytes.Equal(dst, payload)
