@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build check test test-race test-soak fuzz-short smoke_test bench figs clean \
+.PHONY: all build check vet test test-race test-soak fuzz-short smoke_test bench figs clean \
         trackfm_table1 trackfm_table2 trackfm_table3 trackfm_table4 \
         trackfm_fig6 trackfm_fig7 trackfm_fig8 trackfm_fig9 trackfm_fig10 \
         trackfm_fig11 trackfm_fig12 trackfm_fig13 trackfm_fig14a trackfm_fig15 \
@@ -20,9 +20,17 @@ smoke_test:
 	$(GO) vet ./...
 	$(GO) test ./internal/sim ./internal/core ./internal/compiler
 
-# Everything a PR must pass: build, vet, and the tier-1 suite.
-check: build
+# Static checks: go vet plus the metrics-name lint — every metric
+# registered by any subsystem must match obs.NamePattern
+# (^trackfm_[a-z0-9_]+$), enforced by registering them all in one registry.
+vet:
 	$(GO) vet ./...
+	$(GO) test -run TestMetricNamesLint ./internal/obs
+
+# Everything a PR must pass: build, vet (incl. metrics lint), and the
+# tier-1 suite.
+check: build
+	$(MAKE) vet
 	$(MAKE) test
 
 # Tier-1: the full suite, plus race mode over the concurrency-bearing

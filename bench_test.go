@@ -113,7 +113,7 @@ func BenchmarkPoolLocalizeResident(b *testing.B) {
 	env := sim.NewEnv()
 	link := fabric.NewSimLink(env, fabric.BackendTCP)
 	pool, err := aifm.NewPool(aifm.Config{
-		Env: env, Transport: link,
+		Env: env, RemoteConfig: fabric.RemoteConfig{Transport: link},
 		ObjectSize: 4096, HeapSize: 1 << 24, LocalBudget: 1 << 24,
 	})
 	if err != nil {

@@ -46,12 +46,15 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"trackfm/internal/fabric"
+	"trackfm/internal/obs"
 	"trackfm/internal/remote"
 )
 
@@ -59,6 +62,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
 	stats := flag.Duration("stats", 10*time.Second, "stats reporting interval (0 disables)")
 	replica := flag.String("replica", "", "replica label for log lines when running as a replica-set member")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics over HTTP at this address under /metrics (empty disables)")
 	flag.Parse()
 
 	tag := "fmserver"
@@ -73,6 +77,30 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("%s: serving far memory on %s\n", tag, bound)
+
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		// The replica label carries through to every series, so one
+		// Prometheus job can scrape a whole replica set apart.
+		var labels []obs.Label
+		if *replica != "" {
+			labels = append(labels, obs.L("replica", *replica))
+		}
+		srv.Stats().Register(reg, labels...)
+		store.Register(reg, labels...)
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		go func() {
+			if err := http.Serve(ln, mux); err != nil {
+				log.Printf("%s: metrics server: %v", tag, err)
+			}
+		}()
+		fmt.Printf("%s: serving metrics on http://%s/metrics\n", tag, ln.Addr())
+	}
 
 	if *stats > 0 {
 		go func() {

@@ -22,7 +22,12 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "problem-size multiplier")
 	asJSON := flag.Bool("json", false, "emit JSON instead of aligned text")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	phaseStats := flag.Bool("phase-stats", false, "print per-phase counter deltas and p50/p99 fetch latencies to stderr")
 	flag.Parse()
+
+	if *phaseStats {
+		bench.PhaseWriter = os.Stderr
+	}
 
 	if *list {
 		for _, e := range bench.Experiments() {

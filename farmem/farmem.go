@@ -25,6 +25,7 @@ import (
 	"trackfm/internal/aifm"
 	"trackfm/internal/core"
 	"trackfm/internal/fabric"
+	"trackfm/internal/obs"
 	"trackfm/internal/sim"
 )
 
@@ -39,9 +40,11 @@ type Config struct {
 	// random access; large objects suit streaming (see the paper's
 	// Figs. 9-10, or use the autotuner).
 	ObjectBytes int
-	// RemoteAddr connects to a real remote-memory node (cmd/fmserver)
-	// instead of the in-process simulated one.
-	RemoteAddr string
+	// RemoteConfig selects the remote side: RemoteAddr dials a real
+	// remote-memory node (cmd/fmserver), Replicas spreads the keyspace
+	// over a fault-tolerant replica set, Transport injects one directly.
+	// The zero value keeps the in-process simulated link.
+	fabric.RemoteConfig
 	// DisablePrefetch turns off prefetching in Range iterators.
 	DisablePrefetch bool
 	// Phantom disables the data plane: reads return zeros, but the
@@ -52,9 +55,9 @@ type Config struct {
 
 // Heap is a far-memory heap. Not safe for concurrent use.
 type Heap struct {
-	rt  *core.Runtime
-	env *sim.Env
-	tcp *fabric.TCPTransport
+	rt     *core.Runtime
+	env    *sim.Env
+	closer func() error // non-nil when the heap dialed RemoteAddr itself
 }
 
 // New creates a heap.
@@ -63,39 +66,39 @@ func New(cfg Config) (*Heap, error) {
 		return nil, fmt.Errorf("farmem: HeapBytes and LocalBytes are required")
 	}
 	env := sim.NewEnv()
+	transport, replicas, closer, err := cfg.Connect(&env.Clock)
+	if err != nil {
+		return nil, fmt.Errorf("farmem: %w", err)
+	}
+	if replicas != nil {
+		replicas.ObserveFailovers(env.Lat().Failover)
+	}
 	rc := core.Config{
-		Env:         env,
-		ObjectSize:  cfg.ObjectBytes,
-		HeapSize:    cfg.HeapBytes,
-		LocalBudget: cfg.LocalBytes,
-		NoPrefetch:  cfg.DisablePrefetch,
+		Env:           env,
+		ObjectSize:    cfg.ObjectBytes,
+		HeapSize:      cfg.HeapBytes,
+		LocalBudget:   cfg.LocalBytes,
+		NoPrefetch:    cfg.DisablePrefetch,
+		Transport:     transport,
+		RemoteRetries: cfg.RemoteRetries,
 	}
 	if cfg.Phantom {
 		rc.Backing = aifm.BackingPhantom
 	}
-	var tcp *fabric.TCPTransport
-	if cfg.RemoteAddr != "" {
-		t, err := fabric.Dial(cfg.RemoteAddr)
-		if err != nil {
-			return nil, fmt.Errorf("farmem: %w", err)
-		}
-		rc.Transport = t
-		tcp = t
-	}
 	rt, err := core.NewRuntime(rc)
 	if err != nil {
-		if tcp != nil {
-			tcp.Close()
+		if closer != nil {
+			closer()
 		}
 		return nil, fmt.Errorf("farmem: %w", err)
 	}
-	return &Heap{rt: rt, env: env, tcp: tcp}, nil
+	return &Heap{rt: rt, env: env, closer: closer}, nil
 }
 
 // Close releases the heap's network connection, if any.
 func (h *Heap) Close() error {
-	if h.tcp != nil {
-		return h.tcp.Close()
+	if h.closer != nil {
+		return h.closer()
 	}
 	return nil
 }
@@ -128,7 +131,47 @@ func (h *Heap) Stats() Stats {
 	}
 }
 
-// ResetStats zeroes the counters and the simulated clock.
+// HeapSnapshot is a typed, race-free, point-in-time view of everything the
+// runtime measured: the full counter block, the simulated clock, latency
+// quantiles derived from the sim-clock histograms, and the raw registry
+// snapshot for Delta math and generic consumers.
+type HeapSnapshot struct {
+	// Counters is the complete runtime counter block (guards, fetches,
+	// faults, allocator traffic, ...), a superset of Stats.
+	Counters sim.Counters
+	// SimulatedSeconds is the modeled execution time at 2.4 GHz.
+	SimulatedSeconds float64
+	// RemoteFetchP50 and RemoteFetchP99 are remote-fetch latency
+	// quantiles in simulated cycles, interpolated from the
+	// trackfm_remote_fetch_cycles histogram.
+	RemoteFetchP50, RemoteFetchP99 float64
+	// Metrics is the underlying registry snapshot: every counter, gauge,
+	// and histogram, keyed by metric id. Use Metrics.Delta(prev.Metrics)
+	// for interval reporting.
+	Metrics obs.Snapshot
+}
+
+// Snapshot captures the heap's metrics at a point in time. Unlike Stats it
+// is lossless: the whole counter block, the latency distributions, and the
+// registry snapshot all come along.
+func (h *Heap) Snapshot() HeapSnapshot {
+	m := h.env.Metrics().Snapshot()
+	fetch := m.Histogram("trackfm_remote_fetch_cycles")
+	return HeapSnapshot{
+		Counters:         h.env.Counters.Snapshot(),
+		SimulatedSeconds: h.env.Clock.Seconds(),
+		RemoteFetchP50:   fetch.Quantile(0.50),
+		RemoteFetchP99:   fetch.Quantile(0.99),
+		Metrics:          m,
+	}
+}
+
+// Metrics exposes the heap's metrics registry, e.g. for mounting its
+// Prometheus Handler in an HTTP server.
+func (h *Heap) Metrics() *obs.Registry { return h.env.Metrics() }
+
+// ResetStats zeroes the counters, latency histograms, and the simulated
+// clock.
 func (h *Heap) ResetStats() { h.env.Reset() }
 
 // InUse reports far-heap bytes currently allocated.

@@ -27,7 +27,8 @@ func TestConfigValidation(t *testing.T) {
 	if _, err := New(Config{HeapBytes: 1 << 20, LocalBytes: 1 << 16, ObjectBytes: 100}); err == nil {
 		t.Fatalf("bad object size accepted")
 	}
-	if _, err := New(Config{HeapBytes: 1 << 20, LocalBytes: 1 << 16, RemoteAddr: "127.0.0.1:1"}); err == nil {
+	if _, err := New(Config{HeapBytes: 1 << 20, LocalBytes: 1 << 16,
+		RemoteConfig: fabric.RemoteConfig{RemoteAddr: "127.0.0.1:1"}}); err == nil {
 		t.Fatalf("dead remote accepted")
 	}
 }
@@ -209,7 +210,7 @@ func TestRealRemoteNode(t *testing.T) {
 
 	h, err := New(Config{
 		HeapBytes: 1 << 20, LocalBytes: 1 << 13, // 8 KB local: two objects
-		RemoteAddr: addr,
+		RemoteConfig: fabric.RemoteConfig{RemoteAddr: addr},
 	})
 	if err != nil {
 		t.Fatalf("New: %v", err)

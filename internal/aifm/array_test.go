@@ -12,7 +12,7 @@ func newArrayPool(t *testing.T, objSize int, budget uint64) (*Pool, *sim.Env) {
 	env := sim.NewEnv()
 	link := fabric.NewSimLink(env, fabric.BackendTCP)
 	p, err := NewPool(Config{
-		Env: env, Transport: link,
+		Env: env, RemoteConfig: fabric.RemoteConfig{Transport: link},
 		ObjectSize: objSize, HeapSize: 1 << 20, LocalBudget: budget,
 	})
 	if err != nil {

@@ -13,11 +13,11 @@ import (
 func ExampleArray() {
 	env := sim.NewEnv()
 	pool, err := aifm.NewPool(aifm.Config{
-		Env:         env,
-		Transport:   fabric.NewSimLink(env, fabric.BackendTCP),
-		ObjectSize:  256,
-		HeapSize:    1 << 20,
-		LocalBudget: 1 << 12, // 16 objects local: evictions will happen
+		Env:          env,
+		RemoteConfig: fabric.RemoteConfig{Transport: fabric.NewSimLink(env, fabric.BackendTCP)},
+		ObjectSize:   256,
+		HeapSize:     1 << 20,
+		LocalBudget:  1 << 12, // 16 objects local: evictions will happen
 	})
 	if err != nil {
 		panic(err)

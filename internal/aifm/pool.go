@@ -24,19 +24,12 @@ const (
 type Config struct {
 	// Env supplies the clock, counters and cost model. Required.
 	Env *sim.Env
-	// Transport moves object data to and from the remote node. Exactly one
-	// of Transport and Replicas must be set.
-	Transport fabric.Transport
-	// Replicas, when non-empty, replicates the pool's remote keyspace: the
-	// pool builds a fabric.ReplicaSet over these transports (write-all with
-	// quorum acks, health-checked read failover, end-to-end checksums) and
-	// uses it in place of Transport. Replication.Clock defaults to
-	// Env.Clock so breaker timing is deterministic.
-	Replicas []fabric.Transport
-	// Replication parameterizes the replica set built from Replicas
-	// (ignored when Replicas is empty). Zero values select the documented
-	// fabric.ReplicaConfig defaults.
-	Replication fabric.ReplicaConfig
+	// RemoteConfig locates the pool's far memory: an explicit Transport,
+	// a Replicas set (the pool builds a fabric.ReplicaSet over them with
+	// Replication.Clock defaulting to Env.Clock), or a RemoteAddr to
+	// dial. Leaving it zero selects an in-process SimLink over the TCP
+	// cost model (AIFM's backend).
+	fabric.RemoteConfig
 	// ObjectSize is the fixed object (chunk) size in bytes. Must be a
 	// power of two in [64, 65536]. The paper argues only powers of two
 	// from the cache-line size (64B) to the base page size (4KB) are
@@ -60,12 +53,6 @@ type Config struct {
 	AutoPrefetch bool
 	// PrefetchDepth is how many objects ahead to prefetch (default 8).
 	PrefetchDepth int
-	// RemoteRetries is the total attempts per remote operation when the
-	// transport surfaces errors (fabric.ErrorTransport): a failed fetch
-	// or evacuation push is re-issued up to RemoteRetries-1 times before
-	// the pool gives up (default 4). The in-process SimLink never fails,
-	// so deterministic experiments are unaffected.
-	RemoteRetries int
 }
 
 // Pool is an AIFM-style far-memory object pool: a contiguous metadata table
@@ -77,8 +64,10 @@ type Config struct {
 // accesses onto one logical timeline.
 type Pool struct {
 	env       *sim.Env
+	lat       *sim.Latencies
 	transport fabric.ErrorTransport
 	replicas  *fabric.ReplicaSet // non-nil only when Config.Replicas was set
+	closer    func() error       // non-nil only when the pool dialed RemoteAddr
 	retries   int
 	objSize   int
 	shift     uint // log2(objSize)
@@ -110,25 +99,6 @@ const noOwner = ObjectID(^uint64(0))
 func NewPool(cfg Config) (*Pool, error) {
 	if cfg.Env == nil {
 		return nil, fmt.Errorf("aifm: Config.Env is required")
-	}
-	if cfg.Transport == nil && len(cfg.Replicas) == 0 {
-		return nil, fmt.Errorf("aifm: Config.Transport or Config.Replicas is required")
-	}
-	if cfg.Transport != nil && len(cfg.Replicas) > 0 {
-		return nil, fmt.Errorf("aifm: Config.Transport and Config.Replicas are mutually exclusive")
-	}
-	var replicas *fabric.ReplicaSet
-	if len(cfg.Replicas) > 0 {
-		rcfg := cfg.Replication
-		if rcfg.Clock == nil {
-			rcfg.Clock = &cfg.Env.Clock
-		}
-		var err error
-		replicas, err = fabric.NewReplicaSet(rcfg, cfg.Replicas...)
-		if err != nil {
-			return nil, fmt.Errorf("aifm: %w", err)
-		}
-		cfg.Transport = replicas
 	}
 	if cfg.ObjectSize < 64 || cfg.ObjectSize > 65536 || bits.OnesCount(uint(cfg.ObjectSize)) != 1 {
 		return nil, fmt.Errorf("aifm: ObjectSize %d must be a power of two in [64, 65536]", cfg.ObjectSize)
@@ -163,15 +133,23 @@ func NewPool(cfg Config) (*Pool, error) {
 			depth = 1
 		}
 	}
-	retries := cfg.RemoteRetries
-	if retries <= 0 {
-		retries = 4
+	transport, replicas, closer, err := cfg.Connect(&cfg.Env.Clock)
+	if err != nil {
+		return nil, fmt.Errorf("aifm: %w", err)
+	}
+	if transport == nil {
+		transport = fabric.NewSimLink(cfg.Env, fabric.BackendTCP)
+	}
+	if replicas != nil {
+		replicas.ObserveFailovers(cfg.Env.Lat().Failover)
 	}
 	p := &Pool{
 		env:           cfg.Env,
-		transport:     fabric.AsErrorTransport(cfg.Transport),
+		lat:           cfg.Env.Lat(),
+		transport:     transport,
 		replicas:      replicas,
-		retries:       retries,
+		closer:        closer,
+		retries:       cfg.Retries(),
 		objSize:       cfg.ObjectSize,
 		shift:         uint(bits.TrailingZeros(uint(cfg.ObjectSize))),
 		dsID:          cfg.DSID,
@@ -204,6 +182,16 @@ func (p *Pool) NumSlots() int { return len(p.slotOwner) }
 // or nil when the pool runs on a single transport (Config.Replicas empty).
 // Use it to read replica health and integrity counters.
 func (p *Pool) ReplicaSet() *fabric.ReplicaSet { return p.replicas }
+
+// Close releases any connection the pool itself opened (the
+// Config.RemoteAddr path). Pools over caller-provided transports close
+// nothing — the caller owns the transport's lifetime.
+func (p *Pool) Close() error {
+	if p.closer == nil {
+		return nil
+	}
+	return p.closer()
+}
 
 // Table exposes the contiguous metadata table. The TrackFM layer aliases
 // this slice as its object state table; because it is the same storage,
@@ -258,7 +246,7 @@ func (p *Pool) TryLocalize(id ObjectID, forWrite bool) (uint64, bool, error) {
 		}
 		if m.Prefetched() {
 			nm &^= MetaPF
-			p.env.Counters.PrefetchHits++
+			sim.Inc(&p.env.Counters.PrefetchHits)
 		}
 		if nm != m {
 			p.table[id] = nm
@@ -286,8 +274,8 @@ func (p *Pool) TryLocalize(id ObjectID, forWrite bool) (uint64, bool, error) {
 	if fresh {
 		return base, false, nil
 	}
-	p.env.Counters.RemoteFetches++
-	p.env.Counters.CriticalFetches++
+	sim.Inc(&p.env.Counters.RemoteFetches)
+	sim.Inc(&p.env.Counters.CriticalFetches)
 	p.maybeStridePrefetch(id)
 	return base, true, nil
 }
@@ -321,8 +309,8 @@ func (p *Pool) Prefetch(id ObjectID) {
 			p.freeSlots = append(p.freeSlots, slot)
 			return
 		}
-		p.env.Counters.PrefetchIssued++
-		p.env.Counters.RemoteFetches++
+		sim.Inc(&p.env.Counters.PrefetchIssued)
+		sim.Inc(&p.env.Counters.RemoteFetches)
 	}
 	p.slotOwner[slot] = id
 	p.table[id] = LocalMeta(base, p.dsID) | MetaPF
@@ -333,6 +321,8 @@ func (p *Pool) Prefetch(id ObjectID) {
 // Counters.RemoteFetchFaults, so injected fault counts reconcile exactly
 // with what the runtime observed.
 func (p *Pool) fetchInto(id ObjectID, base uint64, async bool) error {
+	start := p.env.Clock.Cycles()
+	defer func() { p.lat.RemoteFetch.Observe(p.env.Clock.Cycles() - start) }()
 	buf := make([]byte, p.objSize)
 	key := p.transportKey(id)
 	var last error
@@ -348,7 +338,7 @@ func (p *Pool) fetchInto(id ObjectID, base uint64, async bool) error {
 			return nil
 		}
 		last = err
-		p.env.Counters.RemoteFetchFaults++
+		sim.Inc(&p.env.Counters.RemoteFetchFaults)
 	}
 	return fmt.Errorf("aifm: fetch object %d after %d attempts: %w", id, p.retries, last)
 }
@@ -357,13 +347,15 @@ func (p *Pool) fetchInto(id ObjectID, base uint64, async bool) error {
 // failures up to the pool's budget; failed attempts are tallied in
 // Counters.RemotePushFaults.
 func (p *Pool) pushWithRetry(key uint64, buf []byte) error {
+	start := p.env.Clock.Cycles()
+	defer func() { p.lat.RemotePush.Observe(p.env.Clock.Cycles() - start) }()
 	var last error
 	for attempt := 1; attempt <= p.retries; attempt++ {
 		if err := p.transport.TryPush(key, buf); err == nil {
 			return nil
 		} else {
 			last = err
-			p.env.Counters.RemotePushFaults++
+			sim.Inc(&p.env.Counters.RemotePushFaults)
 		}
 	}
 	return last
@@ -494,6 +486,8 @@ func (p *Pool) tryTakeSlot() (uint32, bool) {
 // "pin and degrade" path: under a persistent remote outage every dirty
 // object effectively pins itself until the fabric heals.
 func (p *Pool) evictSlot(slot uint32, id ObjectID) bool {
+	start := p.env.Clock.Cycles()
+	defer func() { p.lat.Evacuation.Observe(p.env.Clock.Cycles() - start) }()
 	m := p.table[id]
 	base := uint64(slot) * uint64(p.objSize)
 	p.env.Clock.Advance(p.env.Costs.EvacuateObject)
@@ -501,13 +495,13 @@ func (p *Pool) evictSlot(slot uint32, id ObjectID) bool {
 		buf := make([]byte, p.objSize)
 		p.arena.ReadAt(base, buf)
 		if err := p.pushWithRetry(p.transportKey(id), buf); err != nil {
-			p.env.Counters.EvictionStalls++
+			sim.Inc(&p.env.Counters.EvictionStalls)
 			return false
 		}
 	}
 	p.table[id] = RemoteMeta(id, uint32(p.objSize), p.dsID)
 	p.slotOwner[slot] = noOwner
-	p.env.Counters.Evacuations++
+	sim.Inc(&p.env.Counters.Evacuations)
 	p.Evacuations++
 	return true
 }
@@ -567,7 +561,7 @@ func (p *Pool) Free(id ObjectID) {
 		if err := p.transport.TryDelete(p.transportKey(id)); err == nil {
 			break
 		}
-		p.env.Counters.RemotePushFaults++
+		sim.Inc(&p.env.Counters.RemotePushFaults)
 	}
 	p.table[id] = 0
 }

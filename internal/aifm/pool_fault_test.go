@@ -45,12 +45,11 @@ func (f *faultyLink) TryDelete(key uint64) error {
 func faultyPool(t *testing.T, link *faultyLink, env *sim.Env, retries int) *Pool {
 	t.Helper()
 	p, err := NewPool(Config{
-		Env:           env,
-		Transport:     link,
-		ObjectSize:    64,
-		HeapSize:      64 * 16,
-		LocalBudget:   64 * 2, // two slots: easy to force eviction
-		RemoteRetries: retries,
+		Env:          env,
+		RemoteConfig: fabric.RemoteConfig{Transport: link, RemoteRetries: retries},
+		ObjectSize:   64,
+		HeapSize:     64 * 16,
+		LocalBudget:  64 * 2, // two slots: easy to force eviction
 	})
 	if err != nil {
 		t.Fatalf("NewPool: %v", err)

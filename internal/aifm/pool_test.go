@@ -14,11 +14,11 @@ func newTestPool(t *testing.T, objSize int, heap, budget uint64, opts ...func(*C
 	env := sim.NewEnv()
 	link := fabric.NewSimLink(env, fabric.BackendTCP)
 	cfg := Config{
-		Env:         env,
-		Transport:   link,
-		ObjectSize:  objSize,
-		HeapSize:    heap,
-		LocalBudget: budget,
+		Env:          env,
+		RemoteConfig: fabric.RemoteConfig{Transport: link},
+		ObjectSize:   objSize,
+		HeapSize:     heap,
+		LocalBudget:  budget,
 	}
 	for _, o := range opts {
 		o(&cfg)
@@ -33,14 +33,16 @@ func newTestPool(t *testing.T, objSize int, heap, budget uint64, opts ...func(*C
 func TestNewPoolValidation(t *testing.T) {
 	env := sim.NewEnv()
 	link := fabric.NewSimLink(env, fabric.BackendTCP)
+	rc := fabric.RemoteConfig{Transport: link}
 	bad := []Config{
-		{Transport: link, ObjectSize: 64, HeapSize: 1 << 20, LocalBudget: 1 << 16},                // no env
-		{Env: env, ObjectSize: 64, HeapSize: 1 << 20, LocalBudget: 1 << 16},                       // no transport
-		{Env: env, Transport: link, ObjectSize: 48, HeapSize: 1 << 20, LocalBudget: 1 << 16},      // not power of two
-		{Env: env, Transport: link, ObjectSize: 32, HeapSize: 1 << 20, LocalBudget: 1 << 16},      // too small
-		{Env: env, Transport: link, ObjectSize: 1 << 17, HeapSize: 1 << 20, LocalBudget: 1 << 18}, // too large
-		{Env: env, Transport: link, ObjectSize: 64, LocalBudget: 1 << 16},                         // no heap
-		{Env: env, Transport: link, ObjectSize: 64, HeapSize: 1 << 20, LocalBudget: 32},           // budget < one object
+		{RemoteConfig: rc, ObjectSize: 64, HeapSize: 1 << 20, LocalBudget: 1 << 16},                // no env
+		{Env: env, RemoteConfig: rc, ObjectSize: 48, HeapSize: 1 << 20, LocalBudget: 1 << 16},      // not power of two
+		{Env: env, RemoteConfig: rc, ObjectSize: 32, HeapSize: 1 << 20, LocalBudget: 1 << 16},      // too small
+		{Env: env, RemoteConfig: rc, ObjectSize: 1 << 17, HeapSize: 1 << 20, LocalBudget: 1 << 18}, // too large
+		{Env: env, RemoteConfig: rc, ObjectSize: 64, LocalBudget: 1 << 16},                         // no heap
+		{Env: env, RemoteConfig: rc, ObjectSize: 64, HeapSize: 1 << 20, LocalBudget: 32},           // budget < one object
+		{Env: env, RemoteConfig: fabric.RemoteConfig{Transport: link, RemoteAddr: "127.0.0.1:1"},
+			ObjectSize: 64, HeapSize: 1 << 20, LocalBudget: 1 << 16}, // two remote sources
 	}
 	for i, cfg := range bad {
 		if _, err := NewPool(cfg); err == nil {

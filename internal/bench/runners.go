@@ -75,9 +75,11 @@ func compiled(prog *ir.Program, opts compiler.Options) *ir.Program {
 func runTrackFM(prog *ir.Program, objSize int, heap, budget uint64, noPrefetch bool) *sim.Env {
 	env := sim.NewEnv()
 	rt := newRuntime(env, objSize, heap, budget, noPrefetch)
+	start := phaseStart(env)
 	if _, err := interp.Run(prog, interp.NewTrackFMBackend(rt), interp.Options{}); err != nil {
 		panic(fmt.Sprintf("bench: trackfm run: %v", err))
 	}
+	reportPhase("trackfm", env, start)
 	return env
 }
 
@@ -85,9 +87,11 @@ func runTrackFM(prog *ir.Program, objSize int, heap, budget uint64, noPrefetch b
 func runFastswap(prog *ir.Program, heap, budget uint64) *sim.Env {
 	env := sim.NewEnv()
 	sw := newSwap(env, heap, budget)
+	start := phaseStart(env)
 	if _, err := interp.Run(prog, interp.NewFastswapBackend(sw), interp.Options{}); err != nil {
 		panic(fmt.Sprintf("bench: fastswap run: %v", err))
 	}
+	reportPhase("fastswap", env, start)
 	return env
 }
 
@@ -103,9 +107,11 @@ func runAIFM(prog *ir.Program, objSize int, heap, budget uint64) *sim.Env {
 	if err != nil {
 		panic(fmt.Sprintf("bench: %v", err))
 	}
+	start := phaseStart(env)
 	if _, err := interp.Run(prog, be, interp.Options{}); err != nil {
 		panic(fmt.Sprintf("bench: aifm run: %v", err))
 	}
+	reportPhase("aifm", env, start)
 	return env
 }
 
@@ -113,9 +119,11 @@ func runAIFM(prog *ir.Program, objSize int, heap, budget uint64) *sim.Env {
 // baseline of the slowdown figures).
 func runLocal(prog *ir.Program) *sim.Env {
 	env := sim.NewEnv()
+	start := phaseStart(env)
 	if _, err := interp.Run(prog, interp.NewLocalBackend(env), interp.Options{}); err != nil {
 		panic(fmt.Sprintf("bench: local run: %v", err))
 	}
+	reportPhase("local", env, start)
 	return env
 }
 

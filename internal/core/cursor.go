@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 
 	"trackfm/internal/aifm"
+	"trackfm/internal/sim"
 )
 
 // Cursor is the runtime half of the loop-chunking transformation (§3.4,
@@ -44,7 +45,7 @@ type Cursor struct {
 func (r *Runtime) NewCursor(base Ptr, elemSize int, prefetch bool) *Cursor {
 	checkManaged(base, "NewCursor")
 	r.env.Clock.Advance(r.env.Costs.ChunkInit)
-	r.env.Counters.ChunkInits++
+	sim.Inc(&r.env.Counters.ChunkInits)
 	return &Cursor{
 		rt:       r,
 		base:     base,
@@ -58,7 +59,7 @@ func (r *Runtime) NewCursor(base Ptr, elemSize int, prefetch bool) *Cursor {
 func (c *Cursor) ensure(off uint64, write bool) aifm.ObjectID {
 	r := c.rt
 	r.env.Clock.Advance(r.env.Costs.BoundaryCheck)
-	r.env.Counters.BoundaryChecks++
+	sim.Inc(&r.env.Counters.BoundaryChecks)
 	id := aifm.ObjectID(off >> r.shift)
 	if c.pinned && id == c.obj {
 		if write && !r.ost[id].Dirty() {
@@ -71,7 +72,7 @@ func (c *Cursor) ensure(off uint64, write bool) aifm.ObjectID {
 		r.pool.Unpin(c.obj)
 	}
 	r.env.Clock.Advance(r.env.Costs.LocalityInvariantPin)
-	r.env.Counters.LocalityGuards++
+	sim.Inc(&r.env.Counters.LocalityGuards)
 	r.pool.Localize(id, write)
 	r.pool.Pin(id)
 	c.obj, c.pinned = id, true

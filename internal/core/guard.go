@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"trackfm/internal/aifm"
+	"trackfm/internal/sim"
 )
 
 // guardObject is the compiler-injected guard of §3.3 / Figure 4 for the
@@ -28,7 +29,7 @@ func (r *Runtime) guardObject(id aifm.ObjectID, write bool) {
 		}
 	}
 	if m.Safe() {
-		r.env.Counters.FastPathGuards++
+		sim.Inc(&r.env.Counters.FastPathGuards)
 		switch {
 		case write && warm:
 			r.env.Clock.Advance(costs.FastGuardWriteCached)
@@ -48,7 +49,8 @@ func (r *Runtime) guardObject(id aifm.ObjectID, write bool) {
 	// Slow path: runtime call adhering to AIFM's DerefScope API. The
 	// measured slow-guard constants (Table 1) already include the scope
 	// enter/exit work, so no separate scope cost is charged here.
-	r.env.Counters.SlowPathGuards++
+	slowStart := r.env.Clock.Cycles()
+	sim.Inc(&r.env.Counters.SlowPathGuards)
 	switch {
 	case write && warm:
 		r.env.Clock.Advance(costs.SlowGuardWriteCached)
@@ -60,6 +62,7 @@ func (r *Runtime) guardObject(id aifm.ObjectID, write bool) {
 		r.env.Clock.Advance(costs.SlowGuardReadUncached)
 	}
 	r.pool.Localize(id, write) // charges the remote fetch when absent
+	r.lat.GuardSlow.Observe(r.env.Clock.Cycles() - slowStart)
 	r.collectPoint()
 }
 
@@ -78,7 +81,7 @@ func checkManaged(p Ptr, op string) {
 // access against their own local memory.
 func (r *Runtime) CustodyReject() {
 	r.env.Clock.Advance(r.env.Costs.CustodyCheck)
-	r.env.Counters.CustodyRejects++
+	sim.Inc(&r.env.Counters.CustodyRejects)
 }
 
 // LoadU64 performs a guarded 8-byte load at p.

@@ -28,7 +28,11 @@ type Config struct {
 	Backing aifm.Backing
 	// Transport overrides the default in-process simulated TCP link;
 	// used by the examples to run against a real fmserver.
-	Transport fabric.Transport
+	Transport fabric.ErrorTransport
+	// RemoteRetries caps attempts per remote operation on a fallible
+	// transport (0 selects the fabric default; see
+	// fabric.RemoteConfig.RemoteRetries).
+	RemoteRetries int
 	// PrefetchDepth is how many objects ahead compiler-directed streams
 	// prefetch (default 8; 0 keeps the default, use NoPrefetch to
 	// disable).
@@ -55,6 +59,7 @@ type Config struct {
 // logical timeline.
 type Runtime struct {
 	env   *sim.Env
+	lat   *sim.Latencies
 	pool  *aifm.Pool
 	ost   []aifm.Meta // alias of pool.Table(): coherent by construction
 	cache *ostCache
@@ -99,7 +104,7 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	}
 	pool, err := aifm.NewPool(aifm.Config{
 		Env:           cfg.Env,
-		Transport:     transport,
+		RemoteConfig:  fabric.RemoteConfig{Transport: transport, RemoteRetries: cfg.RemoteRetries},
 		ObjectSize:    cfg.ObjectSize,
 		HeapSize:      cfg.HeapSize,
 		LocalBudget:   cfg.LocalBudget,
@@ -129,6 +134,7 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	}
 	return &Runtime{
 		env:           cfg.Env,
+		lat:           cfg.Env.Lat(),
 		pool:          pool,
 		ost:           pool.Table(),
 		cache:         newOSTCache(cfg.OSTCacheLines),
@@ -174,7 +180,7 @@ func (r *Runtime) Malloc(n uint64) (Ptr, error) {
 		n = 1
 	}
 	r.env.Clock.Advance(r.env.Costs.MallocCost)
-	r.env.Counters.Mallocs++
+	sim.Inc(&r.env.Counters.Mallocs)
 
 	const align = 16
 	start := (r.brk + align - 1) &^ (align - 1)
@@ -215,7 +221,7 @@ func (r *Runtime) Free(p Ptr) {
 		panic(fmt.Sprintf("core: Free of unknown pointer %#x", uint64(p)))
 	}
 	r.env.Clock.Advance(r.env.Costs.FreeCost)
-	r.env.Counters.Frees++
+	sim.Inc(&r.env.Counters.Frees)
 	delete(r.allocs, p)
 
 	start := p.HeapOffset()

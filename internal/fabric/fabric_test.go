@@ -113,11 +113,13 @@ func TestTCPTransportRoundTrip(t *testing.T) {
 	}
 	defer srv.Close()
 
-	tr, err := Dial(addr)
+	tc, err := Dial(addr)
 	if err != nil {
 		t.Fatalf("Dial: %v", err)
 	}
-	defer tr.Close()
+	defer tc.Close()
+	// The legacy best-effort view is now an explicit opt-in.
+	tr := Degrading{T: tc}
 
 	payload := []byte("far memory object payload")
 	tr.Push(1234, payload)
@@ -160,12 +162,13 @@ func TestTCPTransportConcurrentClients(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			tr, err := Dial(addr)
+			tc, err := Dial(addr)
 			if err != nil {
 				t.Errorf("Dial: %v", err)
 				return
 			}
-			defer tr.Close()
+			defer tc.Close()
+			tr := Degrading{T: tc}
 			buf := make([]byte, 16)
 			for i := 0; i < 100; i++ {
 				key := uint64(g<<32 | i)
@@ -196,11 +199,12 @@ func TestTCPTransportOversizedPayloadRejected(t *testing.T) {
 		t.Fatalf("ListenAndServe: %v", err)
 	}
 	defer srv.Close()
-	tr, err := Dial(addr)
+	tc, err := Dial(addr)
 	if err != nil {
 		t.Fatalf("Dial: %v", err)
 	}
-	defer tr.Close()
+	defer tc.Close()
+	tr := Degrading{T: tc}
 	// Push above the protocol limit must be dropped client-side.
 	tr.Push(1, make([]byte, maxPayload+1))
 	if store.Len() != 0 {

@@ -17,11 +17,12 @@ func TestFetchAfterServerClose(t *testing.T) {
 	if err != nil {
 		t.Fatalf("ListenAndServe: %v", err)
 	}
-	tr, err := Dial(addr)
+	tc, err := Dial(addr)
 	if err != nil {
 		t.Fatalf("Dial: %v", err)
 	}
-	defer tr.Close()
+	defer tc.Close()
+	tr := Degrading{T: tc}
 	tr.Push(1, []byte{1, 2, 3, 4})
 
 	srv.Close()
@@ -82,11 +83,12 @@ func TestServerSurvivesGarbageClient(t *testing.T) {
 	conn.Close()
 
 	// The server must still serve well-formed clients.
-	tr, err := Dial(addr)
+	tc, err := Dial(addr)
 	if err != nil {
 		t.Fatalf("Dial after garbage clients: %v", err)
 	}
-	defer tr.Close()
+	defer tc.Close()
+	tr := Degrading{T: tc}
 	tr.Push(7, []byte{42})
 	dst := make([]byte, 1)
 	if !tr.Fetch(7, dst) || dst[0] != 42 {
@@ -109,7 +111,7 @@ func TestTransportReconnectSemantics(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Dial: %v", err)
 	}
-	tr1.Push(100, []byte{7, 7})
+	Degrading{T: tr1}.Push(100, []byte{7, 7})
 	tr1.Close()
 
 	tr2, err := Dial(addr)
@@ -118,7 +120,7 @@ func TestTransportReconnectSemantics(t *testing.T) {
 	}
 	defer tr2.Close()
 	dst := make([]byte, 2)
-	if !tr2.Fetch(100, dst) || dst[0] != 7 {
+	if !(Degrading{T: tr2}).Fetch(100, dst) || dst[0] != 7 {
 		t.Fatalf("data lost across reconnect")
 	}
 }

@@ -69,12 +69,12 @@ type FaultLink struct {
 }
 
 // NewFaultLink wraps inner with the fault injector described by cfg.
-func NewFaultLink(inner Transport, cfg FaultConfig) *FaultLink {
+func NewFaultLink(inner ErrorTransport, cfg FaultConfig) *FaultLink {
 	if cfg.OutageEvery > 0 && cfg.OutageLen <= 0 {
 		cfg.OutageLen = 1
 	}
 	return &FaultLink{
-		inner: AsErrorTransport(inner),
+		inner: inner,
 		cfg:   cfg,
 		rng:   sim.NewRNG(cfg.Seed),
 	}
@@ -178,39 +178,7 @@ func (f *FaultLink) TryDelete(key uint64) error {
 	return f.inner.TryDelete(key)
 }
 
-// Fetch implements Transport, degrading injected failures into a
-// zero-filled not-found exactly like a legacy lossy link would.
-func (f *FaultLink) Fetch(key uint64, dst []byte) bool {
-	found, err := f.TryFetch(key, dst)
-	if err != nil {
-		for i := range dst {
-			dst[i] = 0
-		}
-		return false
-	}
-	return found
-}
-
-// FetchAsync implements Transport.
-func (f *FaultLink) FetchAsync(key uint64, dst []byte) bool {
-	found, err := f.TryFetchAsync(key, dst)
-	if err != nil {
-		for i := range dst {
-			dst[i] = 0
-		}
-		return false
-	}
-	return found
-}
-
-// Push implements Transport; injected failures drop the push.
-func (f *FaultLink) Push(key uint64, src []byte) {
-	_ = f.TryPush(key, src)
-}
-
-// Delete implements Transport; injected failures drop the delete.
-func (f *FaultLink) Delete(key uint64) {
-	_ = f.TryDelete(key)
-}
+// FaultLink intentionally has no infallible Fetch/Push/Delete methods:
+// callers that accept best-effort semantics wrap it in Degrading{f}.
 
 var _ ErrorTransport = (*FaultLink)(nil)

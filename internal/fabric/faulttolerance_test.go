@@ -56,16 +56,18 @@ func TestFaultyFabricWorkloadIntegrity(t *testing.T) {
 		nOps     = 10_000
 	)
 	pool, err := aifm.NewPool(aifm.Config{
-		Env:         env,
-		Transport:   fl,
+		Env: env,
+		RemoteConfig: fabric.RemoteConfig{
+			Transport: fl,
+			// 8 attempts at 10% drop: the chance any op exhausts the
+			// budget is 1e-8, negligible over 10k ops — so every
+			// injected drop is followed by a successful retry and the
+			// counters reconcile exactly.
+			RemoteRetries: 8,
+		},
 		ObjectSize:  objSize,
 		HeapSize:    objSize * nObjects,
 		LocalBudget: objSize * nSlots,
-		// 8 attempts at 10% drop: the chance any op exhausts the
-		// budget is 1e-8, negligible over 10k ops — so every injected
-		// drop is followed by a successful retry and the counters
-		// reconcile exactly.
-		RemoteRetries: 8,
 	})
 	if err != nil {
 		t.Fatalf("NewPool: %v", err)

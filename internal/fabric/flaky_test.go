@@ -361,7 +361,7 @@ func TestFaultLinkCorruption(t *testing.T) {
 	env := sim.NewEnv()
 	inner := NewSimLink(env, BackendTCP)
 	fl := NewFaultLink(inner, FaultConfig{Seed: 1, CorruptRate: 1.0})
-	fl.Push(3, []byte{7, 7, 7, 7})
+	Degrading{T: fl}.Push(3, []byte{7, 7, 7, 7})
 	dst := make([]byte, 4)
 	found, err := fl.TryFetch(3, dst)
 	if err != nil || !found {

@@ -37,86 +37,113 @@ func (b Backend) String() string {
 	}
 }
 
-// Transport is the interface the runtimes use to move object or page data
-// to and from the remote node. Implementations charge their cost model as
-// a side effect.
-type Transport interface {
-	// Fetch retrieves the n-byte blob stored under key into dst
-	// (len(dst) == n) and returns whether the key was present. A fetch of
-	// an absent key still pays the round trip (the remote node answers
-	// with zeros, modelling freshly allocated remote memory).
-	Fetch(key uint64, dst []byte) bool
-
-	// Push stores src under key on the remote node.
-	Push(key uint64, src []byte)
-
-	// FetchAsync retrieves key like Fetch but models an asynchronous
-	// prefetch: the fixed network latency overlaps with computation, so
-	// only the issue cost and the bandwidth term are charged.
-	FetchAsync(key uint64, dst []byte) bool
-
-	// Delete drops key from the remote node (object freed).
-	Delete(key uint64)
-}
-
-// ErrorTransport is the error-aware superset of Transport. The legacy
-// methods above cannot distinguish "key absent" from "network failed", so
-// a lossy link degrades every failure into a zero-filled not-found — silent
-// corruption for the mutator. Runtimes that care (aifm, fastswap) detect
-// this interface and use the Try variants, which surface the typed errors
-// in errors.go; the legacy methods remain as thin adapters for callers that
-// accept best-effort semantics.
+// ErrorTransport is the interface the runtimes consume to move object or
+// page data to and from the remote node. Implementations charge their
+// cost model as a side effect and surface failures as the typed errors in
+// errors.go, so callers can distinguish "key absent" from "network
+// failed" and retry, fail over, or stall instead of silently corrupting
+// the mutator's data. Infallible in-process links (SimLink) implement it
+// with Try methods that never return an error.
 type ErrorTransport interface {
-	Transport
-
-	// TryFetch is Fetch with failures surfaced: found reports key
-	// presence only when err is nil. On error the contents of dst are
-	// unspecified and must not be used.
+	// TryFetch retrieves the n-byte blob stored under key into dst
+	// (len(dst) == n): found reports key presence only when err is nil.
+	// A fetch of an absent key still pays the round trip (the remote
+	// node answers with zeros, modelling freshly allocated remote
+	// memory). On error the contents of dst are unspecified and must
+	// not be used.
 	TryFetch(key uint64, dst []byte) (found bool, err error)
 
-	// TryFetchAsync is FetchAsync with failures surfaced.
+	// TryFetchAsync retrieves key like TryFetch but models an
+	// asynchronous prefetch: the fixed network latency overlaps with
+	// computation, so only the issue cost and the bandwidth term are
+	// charged.
 	TryFetchAsync(key uint64, dst []byte) (found bool, err error)
 
-	// TryPush is Push with failures surfaced; on error the remote copy
-	// may or may not have been updated (pushes are idempotent
-	// last-writer-wins, so retrying is always safe).
+	// TryPush stores src under key on the remote node; on error the
+	// remote copy may or may not have been updated (pushes are
+	// idempotent last-writer-wins, so retrying is always safe).
 	TryPush(key uint64, src []byte) error
 
-	// TryDelete is Delete with failures surfaced. Deletes are idempotent.
+	// TryDelete drops key from the remote node (object freed). Deletes
+	// are idempotent.
 	TryDelete(key uint64) error
 }
 
-// errorAdapter lifts a plain Transport into an ErrorTransport whose Try
-// methods never fail — correct for in-process links like SimLink, where
-// the only failure mode is "key absent".
-type errorAdapter struct{ Transport }
+// Transport is the legacy infallible interface: the Try methods with
+// errors erased. Only SimLink (which genuinely cannot fail) and the
+// explicit Degrading wrapper implement it; everything inside the
+// repository consumes ErrorTransport.
+type Transport interface {
+	// Fetch is TryFetch with failures degraded into a zero-filled
+	// not-found.
+	Fetch(key uint64, dst []byte) bool
 
-func (a errorAdapter) TryFetch(key uint64, dst []byte) (bool, error) {
-	return a.Transport.Fetch(key, dst), nil
+	// Push is TryPush with failures silently dropped.
+	Push(key uint64, src []byte)
+
+	// FetchAsync is TryFetchAsync with failures degraded like Fetch.
+	FetchAsync(key uint64, dst []byte) bool
+
+	// Delete is TryDelete with failures silently dropped.
+	Delete(key uint64)
 }
 
-func (a errorAdapter) TryFetchAsync(key uint64, dst []byte) (bool, error) {
-	return a.Transport.FetchAsync(key, dst), nil
-}
+// Degrading demotes an ErrorTransport to the legacy infallible Transport
+// by design, not by accident: every swallowed error zero-fills the fetch
+// or drops the write, exactly the silent-corruption behaviour the typed
+// errors exist to avoid. It is for callers that explicitly accept
+// best-effort semantics (lossy caches, metrics side-channels, tests).
+// When the wrapped transport exposes a Stats() *Stats block (TCPTransport,
+// ReplicaSet), each swallowed error is tallied as a degraded operation.
+type Degrading struct{ T ErrorTransport }
 
-func (a errorAdapter) TryPush(key uint64, src []byte) error {
-	a.Transport.Push(key, src)
-	return nil
-}
-
-func (a errorAdapter) TryDelete(key uint64) error {
-	a.Transport.Delete(key)
-	return nil
-}
-
-// AsErrorTransport returns t itself when it already surfaces errors, or
-// wraps it in an infallible adapter. Runtimes call this once at
-// construction so their data paths are uniformly error-aware.
-func AsErrorTransport(t Transport) ErrorTransport {
-	if et, ok := t.(ErrorTransport); ok {
-		return et
+// degrade tallies one swallowed error when the wrapped transport carries
+// a Stats block.
+func (d Degrading) degrade() {
+	if s, ok := d.T.(interface{ Stats() *Stats }); ok {
+		s.Stats().degraded.Add(1)
 	}
-	return errorAdapter{t}
+}
+
+// Fetch implements Transport, degrading errors into a zero-filled
+// not-found.
+func (d Degrading) Fetch(key uint64, dst []byte) bool {
+	found, err := d.T.TryFetch(key, dst)
+	if err != nil {
+		d.degrade()
+		for i := range dst {
+			dst[i] = 0
+		}
+		return false
+	}
+	return found
+}
+
+// FetchAsync implements Transport; errors degrade exactly like Fetch.
+func (d Degrading) FetchAsync(key uint64, dst []byte) bool {
+	found, err := d.T.TryFetchAsync(key, dst)
+	if err != nil {
+		d.degrade()
+		for i := range dst {
+			dst[i] = 0
+		}
+		return false
+	}
+	return found
+}
+
+// Push implements Transport; errors drop the push.
+func (d Degrading) Push(key uint64, src []byte) {
+	if err := d.T.TryPush(key, src); err != nil {
+		d.degrade()
+	}
+}
+
+// Delete implements Transport; errors drop the delete.
+func (d Degrading) Delete(key uint64) {
+	if err := d.T.TryDelete(key); err != nil {
+		d.degrade()
+	}
 }
 
 // SimLink is the deterministic in-process transport. It stores pushed blobs
@@ -147,7 +174,7 @@ func (l *SimLink) fetchCost(n int) uint64 {
 // Fetch implements Transport.
 func (l *SimLink) Fetch(key uint64, dst []byte) bool {
 	l.env.Clock.Advance(l.fetchCost(len(dst)))
-	l.env.Counters.BytesFetched += uint64(len(dst))
+	sim.Add(&l.env.Counters.BytesFetched, uint64(len(dst)))
 	blob, ok := l.store[key]
 	if !ok {
 		for i := range dst {
@@ -170,7 +197,7 @@ func (l *SimLink) FetchAsync(key uint64, dst []byte) bool {
 		charge = xfer
 	}
 	l.env.Clock.Advance(charge)
-	l.env.Counters.BytesFetched += uint64(len(dst))
+	sim.Add(&l.env.Counters.BytesFetched, uint64(len(dst)))
 	blob, ok := l.store[key]
 	if !ok {
 		for i := range dst {
@@ -189,7 +216,7 @@ func (l *SimLink) Push(key uint64, src []byte) {
 		// the bandwidth term, not the full round-trip latency.
 		l.env.Clock.Advance(l.env.Costs.TransferCycles(len(src)))
 	}
-	l.env.Counters.BytesEvicted += uint64(len(src))
+	sim.Add(&l.env.Counters.BytesEvicted, uint64(len(src)))
 	blob := make([]byte, len(src))
 	copy(blob, src)
 	l.store[key] = blob
@@ -198,6 +225,29 @@ func (l *SimLink) Push(key uint64, src []byte) {
 // Delete implements Transport.
 func (l *SimLink) Delete(key uint64) {
 	delete(l.store, key)
+}
+
+// TryFetch implements ErrorTransport; the in-process link cannot fail, so
+// err is always nil.
+func (l *SimLink) TryFetch(key uint64, dst []byte) (bool, error) {
+	return l.Fetch(key, dst), nil
+}
+
+// TryFetchAsync implements ErrorTransport; err is always nil.
+func (l *SimLink) TryFetchAsync(key uint64, dst []byte) (bool, error) {
+	return l.FetchAsync(key, dst), nil
+}
+
+// TryPush implements ErrorTransport; err is always nil.
+func (l *SimLink) TryPush(key uint64, src []byte) error {
+	l.Push(key, src)
+	return nil
+}
+
+// TryDelete implements ErrorTransport; err is always nil.
+func (l *SimLink) TryDelete(key uint64) error {
+	l.Delete(key)
+	return nil
 }
 
 // RemoteBytes reports the total bytes currently resident on the simulated

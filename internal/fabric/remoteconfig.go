@@ -1,0 +1,95 @@
+package fabric
+
+import (
+	"fmt"
+
+	"trackfm/internal/sim"
+)
+
+// RemoteConfig is the shared remote-memory configuration block embedded by
+// every runtime config (aifm.Config, fastswap.Config, farmem.Config): one
+// definition of where far memory lives and how hard to retry, instead of
+// three drifting copies. At most one of RemoteAddr, Transport, and
+// Replicas may be set; leaving all three empty selects the runtime's
+// default in-process SimLink.
+type RemoteConfig struct {
+	// RemoteAddr, when non-empty, dials a fabric.TCPTransport to a real
+	// remote-memory server (cmd/fmserver) at this address.
+	RemoteAddr string
+
+	// Transport, when non-nil, is used directly — an in-process SimLink,
+	// an already-dialed TCPTransport, a FaultLink, or a ReplicaSet built
+	// by the caller.
+	Transport ErrorTransport
+
+	// Replicas, when non-empty, replicates the runtime's remote keyspace:
+	// a ReplicaSet is built over these transports (write-all with quorum
+	// acks, health-checked read failover, end-to-end checksums) and used
+	// in place of Transport.
+	Replicas []ErrorTransport
+
+	// Replication parameterizes the ReplicaSet built from Replicas
+	// (ignored when Replicas is empty). Zero values select the documented
+	// ReplicaConfig defaults; Replication.Clock defaults to the clock
+	// passed to Connect so breaker timing follows the simulation.
+	Replication ReplicaConfig
+
+	// RemoteRetries is the total attempts per remote operation: a failed
+	// fetch or evacuation push is re-issued up to RemoteRetries-1 times
+	// before the runtime gives up (default 4). The in-process SimLink
+	// never fails, so deterministic experiments are unaffected.
+	RemoteRetries int
+}
+
+// Retries returns the configured attempt budget, defaulting to 4.
+func (c *RemoteConfig) Retries() int {
+	if c.RemoteRetries <= 0 {
+		return 4
+	}
+	return c.RemoteRetries
+}
+
+// Connect resolves the config into the transport a runtime should use:
+// the explicit Transport, a ReplicaSet over Replicas (breaker clock
+// defaulting to clk), or a freshly dialed TCPTransport for RemoteAddr. It
+// returns a nil transport when no source is configured — the caller picks
+// its default SimLink. The returned ReplicaSet is non-nil only on the
+// Replicas path, and close is non-nil only when Connect itself opened a
+// connection (the RemoteAddr path) — the runtime's Close method calls it.
+func (c *RemoteConfig) Connect(clk *sim.Clock) (t ErrorTransport, rs *ReplicaSet, close func() error, err error) {
+	sources := 0
+	if c.RemoteAddr != "" {
+		sources++
+	}
+	if c.Transport != nil {
+		sources++
+	}
+	if len(c.Replicas) > 0 {
+		sources++
+	}
+	if sources > 1 {
+		return nil, nil, nil, fmt.Errorf("fabric: RemoteConfig: RemoteAddr, Transport, and Replicas are mutually exclusive")
+	}
+	switch {
+	case c.Transport != nil:
+		return c.Transport, nil, nil, nil
+	case len(c.Replicas) > 0:
+		rcfg := c.Replication
+		if rcfg.Clock == nil {
+			rcfg.Clock = clk
+		}
+		rs, err := NewReplicaSet(rcfg, c.Replicas...)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return rs, rs, nil, nil
+	case c.RemoteAddr != "":
+		tr, err := Dial(c.RemoteAddr)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("fabric: dial %s: %w", c.RemoteAddr, err)
+		}
+		return tr, nil, tr.Close, nil
+	default:
+		return nil, nil, nil, nil
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"trackfm/internal/obs"
 	"trackfm/internal/remote"
 	"trackfm/internal/sim"
 )
@@ -126,13 +127,26 @@ type ReplicaSet struct {
 	brk    []breaker
 	missed []map[uint64]struct{} // per-replica keys whose latest write it has not acked
 	rng    *sim.RNG
+
+	// failoverHist, when set, observes the end-to-end latency (in the
+	// set's clock units) of every read that needed at least one failover.
+	failoverHist *obs.Histogram
+}
+
+// ObserveFailovers directs the set to record the latency of every read
+// that failed over (in clock units: simulated cycles when Clock is set,
+// wall nanoseconds otherwise) into h. The runtimes wire this to their
+// environment's trackfm_replica_failover_cycles histogram.
+func (rs *ReplicaSet) ObserveFailovers(h *obs.Histogram) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.failoverHist = h
 }
 
 // NewReplicaSet builds a replica set over members (preferred read order =
-// argument order). Members are lifted to ErrorTransport with
-// AsErrorTransport; at least one is required and the quorum cannot exceed
+// argument order); at least one is required and the quorum cannot exceed
 // the member count.
-func NewReplicaSet(cfg ReplicaConfig, members ...Transport) (*ReplicaSet, error) {
+func NewReplicaSet(cfg ReplicaConfig, members ...ErrorTransport) (*ReplicaSet, error) {
 	if len(members) == 0 {
 		return nil, fmt.Errorf("fabric: ReplicaSet needs at least one member")
 	}
@@ -147,9 +161,7 @@ func NewReplicaSet(cfg ReplicaConfig, members ...Transport) (*ReplicaSet, error)
 		missed: make([]map[uint64]struct{}, len(members)),
 		rng:    sim.NewRNG(cfg.Seed),
 	}
-	for _, m := range members {
-		rs.members = append(rs.members, AsErrorTransport(m))
-	}
+	rs.members = append(rs.members, members...)
 	for i := range rs.missed {
 		rs.missed[i] = make(map[uint64]struct{})
 	}
@@ -423,6 +435,7 @@ func (rs *ReplicaSet) okLocked(i int) {
 func (rs *ReplicaSet) TryFetch(key uint64, dst []byte) (bool, error) {
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
+	start := rs.now()
 	rs.advanceLocked()
 	e, tracked := rs.vers[key]
 	verify := tracked && e.size == len(dst)
@@ -464,6 +477,9 @@ func (rs *ReplicaSet) TryFetch(key uint64, dst []byte) (bool, error) {
 			continue
 		}
 		rs.repairLocked(key, dst, found, bad)
+		if n > 0 && rs.failoverHist != nil {
+			rs.failoverHist.Observe(rs.now() - start)
+		}
 		return found, nil
 	}
 	if firstErr == nil {
@@ -631,40 +647,7 @@ func (rs *ReplicaSet) TryDelete(key uint64) error {
 	return fmt.Errorf("%w: delete quorum %d/%d", ErrRemoteUnavailable, acks, rs.cfg.Quorum)
 }
 
-// Fetch implements Transport, degrading errors into a zero-filled
-// not-found (tallied as degraded); error-aware callers should use
-// TryFetch.
-func (rs *ReplicaSet) Fetch(key uint64, dst []byte) bool {
-	found, err := rs.TryFetch(key, dst)
-	if err != nil {
-		rs.stats.degraded.Add(1)
-		for i := range dst {
-			dst[i] = 0
-		}
-		return false
-	}
-	return found
-}
-
-// FetchAsync implements Transport; it behaves exactly like Fetch.
-func (rs *ReplicaSet) FetchAsync(key uint64, dst []byte) bool {
-	return rs.Fetch(key, dst)
-}
-
-// Push implements Transport; quorum failures drop the push (tallied as
-// degraded).
-func (rs *ReplicaSet) Push(key uint64, src []byte) {
-	if err := rs.TryPush(key, src); err != nil {
-		rs.stats.degraded.Add(1)
-	}
-}
-
-// Delete implements Transport; quorum failures drop the delete (tallied
-// as degraded).
-func (rs *ReplicaSet) Delete(key uint64) {
-	if err := rs.TryDelete(key); err != nil {
-		rs.stats.degraded.Add(1)
-	}
-}
+// ReplicaSet intentionally has no infallible Fetch/Push/Delete methods:
+// callers that accept best-effort semantics wrap it in Degrading{rs}.
 
 var _ ErrorTransport = (*ReplicaSet)(nil)

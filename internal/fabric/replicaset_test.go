@@ -20,7 +20,7 @@ type gateLink struct {
 }
 
 func newGateLink(env *sim.Env) *gateLink {
-	return &gateLink{inner: AsErrorTransport(NewSimLink(env, BackendTCP))}
+	return &gateLink{inner: NewSimLink(env, BackendTCP)}
 }
 
 func (g *gateLink) op() error {
@@ -71,7 +71,7 @@ func newTestSet(t *testing.T, n int, cfg ReplicaConfig) (*ReplicaSet, []*SimLink
 	t.Helper()
 	env := sim.NewEnv()
 	links := make([]*SimLink, n)
-	members := make([]Transport, n)
+	members := make([]ErrorTransport, n)
 	for i := range links {
 		links[i] = NewSimLink(env, BackendTCP)
 		members[i] = links[i]

@@ -53,7 +53,7 @@ func TestReplicaFailoverSoak(t *testing.T) {
 	addrs := make([]string, nReplicas)
 	trs := make([]*fabric.TCPTransport, nReplicas)
 	links := make([]*fabric.FaultLink, nReplicas)
-	members := make([]fabric.Transport, nReplicas)
+	members := make([]fabric.ErrorTransport, nReplicas)
 	for i := 0; i < nReplicas; i++ {
 		stores[i] = remote.NewStore()
 		servers[i] = fabric.NewServer(stores[i])
@@ -88,18 +88,20 @@ func TestReplicaFailoverSoak(t *testing.T) {
 
 	env := sim.NewEnv()
 	pool, err := aifm.NewPool(aifm.Config{
-		Env:         env,
-		Replicas:    members,
+		Env: env,
+		RemoteConfig: fabric.RemoteConfig{
+			Replicas: members,
+			Replication: fabric.ReplicaConfig{
+				Quorum:           2,
+				FailureThreshold: 6,
+				OpenTimeout:      openTimeout,
+				Seed:             9,
+			},
+			RemoteRetries: 8,
+		},
 		ObjectSize:  objSize,
 		HeapSize:    objSize * nObjects,
 		LocalBudget: objSize * nSlots,
-		Replication: fabric.ReplicaConfig{
-			Quorum:           2,
-			FailureThreshold: 6,
-			OpenTimeout:      openTimeout,
-			Seed:             9,
-		},
-		RemoteRetries: 8,
 	})
 	if err != nil {
 		t.Fatalf("NewPool: %v", err)

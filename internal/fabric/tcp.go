@@ -721,42 +721,8 @@ func (t *TCPTransport) readAck(op string) error {
 	}
 }
 
-// Fetch implements Transport. It degrades errors into a zero-filled
-// not-found (tallied as a degraded fetch); error-aware callers should use
-// TryFetch instead.
-func (t *TCPTransport) Fetch(key uint64, dst []byte) bool {
-	found, err := t.TryFetch(key, dst)
-	if err != nil {
-		t.stats.degraded.Add(1)
-		for i := range dst {
-			dst[i] = 0
-		}
-		return false
-	}
-	return found
-}
-
-// FetchAsync implements Transport; it behaves exactly like Fetch (see
-// TryFetchAsync for the alias contract).
-func (t *TCPTransport) FetchAsync(key uint64, dst []byte) bool {
-	return t.Fetch(key, dst)
-}
-
-// Push implements Transport. Errors drop the push (tallied as degraded);
-// error-aware callers should use TryPush instead.
-func (t *TCPTransport) Push(key uint64, src []byte) {
-	if err := t.TryPush(key, src); err != nil {
-		t.stats.degraded.Add(1)
-	}
-}
-
-// Delete implements Transport. Errors drop the delete (tallied as
-// degraded); error-aware callers should use TryDelete instead.
-func (t *TCPTransport) Delete(key uint64) {
-	if err := t.TryDelete(key); err != nil {
-		t.stats.degraded.Add(1)
-	}
-}
+// TCPTransport intentionally has no infallible Fetch/Push/Delete methods:
+// callers that accept best-effort semantics wrap it in Degrading{t}.
 
 // Close closes the underlying connection; all later operations fail with
 // ErrClosed.
@@ -775,5 +741,6 @@ func (t *TCPTransport) Close() error {
 }
 
 var _ Transport = (*SimLink)(nil)
-var _ Transport = (*TCPTransport)(nil)
+var _ ErrorTransport = (*SimLink)(nil)
+var _ Transport = Degrading{}
 var _ ErrorTransport = (*TCPTransport)(nil)

@@ -62,23 +62,15 @@ type Config struct {
 	// knowledge about the access pattern", §4.3). Set it explicitly to
 	// model an ideal readahead.
 	ReadaheadPages int
-	// Transport overrides the default in-process RDMA link. Mutually
-	// exclusive with Replicas.
-	Transport fabric.Transport
-	// Replicas, when non-empty, replicates the swap device: page-outs fan
-	// to every replica (quorum-acked), page-ins fail over between them, and
-	// every page-in is checksum-verified end to end (fabric.ReplicaSet).
-	// Replication.Clock defaults to Env.Clock for deterministic breaker
-	// timing.
-	Replicas []fabric.Transport
-	// Replication parameterizes the replica set built from Replicas
-	// (ignored when Replicas is empty).
-	Replication fabric.ReplicaConfig
-	// RemoteRetries is the total attempts per remote page transfer when
-	// the transport surfaces errors (default 4). A remote fault whose
-	// fetch still fails after the budget panics — the moral equivalent
-	// of the SIGBUS the kernel delivers when swap-in I/O fails.
-	RemoteRetries int
+	// RemoteConfig locates the swap device: an explicit Transport, a
+	// Replicas set (page-outs fan to every replica quorum-acked, page-ins
+	// fail over between them, every page-in checksum-verified end to end;
+	// Replication.Clock defaults to Env.Clock), or a RemoteAddr to dial.
+	// Leaving it zero selects an in-process SimLink over the RDMA cost
+	// model (Fastswap's backend). A remote fault whose fetch still fails
+	// after the RemoteRetries budget panics — the moral equivalent of the
+	// SIGBUS the kernel delivers when swap-in I/O fails.
+	fabric.RemoteConfig
 }
 
 // Backing mirrors aifm.Backing without importing it, keeping the two
@@ -96,8 +88,10 @@ const (
 // Like the other runtimes it is single-timeline and not concurrency-safe.
 type Swap struct {
 	env      *sim.Env
+	lat      *sim.Latencies
 	link     fabric.ErrorTransport
 	replicas *fabric.ReplicaSet // non-nil only when Config.Replicas was set
+	closer   func() error       // non-nil only when the swap dialed RemoteAddr
 	retries  int
 	pageSize int
 	shift    uint
@@ -147,39 +141,27 @@ func New(cfg Config) (*Swap, error) {
 	} else {
 		arena = mem.NewRealStore(nFrames * uint64(cfg.PageSize))
 	}
-	if cfg.Transport != nil && len(cfg.Replicas) > 0 {
-		return nil, fmt.Errorf("fastswap: Config.Transport and Config.Replicas are mutually exclusive")
-	}
-	link := cfg.Transport
-	var replicas *fabric.ReplicaSet
-	if len(cfg.Replicas) > 0 {
-		rcfg := cfg.Replication
-		if rcfg.Clock == nil {
-			rcfg.Clock = &cfg.Env.Clock
-		}
-		var err error
-		replicas, err = fabric.NewReplicaSet(rcfg, cfg.Replicas...)
-		if err != nil {
-			return nil, fmt.Errorf("fastswap: %w", err)
-		}
-		link = replicas
+	link, replicas, closer, err := cfg.Connect(&cfg.Env.Clock)
+	if err != nil {
+		return nil, fmt.Errorf("fastswap: %w", err)
 	}
 	if link == nil {
 		link = fabric.NewSimLink(cfg.Env, fabric.BackendRDMA)
+	}
+	if replicas != nil {
+		replicas.ObserveFailovers(cfg.Env.Lat().Failover)
 	}
 	ra := cfg.ReadaheadPages
 	if ra < 0 {
 		ra = 0
 	}
-	retries := cfg.RemoteRetries
-	if retries <= 0 {
-		retries = 4
-	}
 	s := &Swap{
 		env:        cfg.Env,
-		link:       fabric.AsErrorTransport(link),
+		lat:        cfg.Env.Lat(),
+		link:       link,
 		replicas:   replicas,
-		retries:    retries,
+		closer:     closer,
+		retries:    cfg.Retries(),
 		pageSize:   cfg.PageSize,
 		shift:      uint(bits.TrailingZeros(uint(cfg.PageSize))),
 		heapSize:   cfg.HeapSize,
@@ -209,6 +191,16 @@ func (s *Swap) PageSize() int { return s.pageSize }
 // ReplicaSet exposes the replica set serving as the swap device, or nil
 // when the swap runs on a single transport (Config.Replicas empty).
 func (s *Swap) ReplicaSet() *fabric.ReplicaSet { return s.replicas }
+
+// Close releases any connection the swap itself opened (the
+// Config.RemoteAddr path). Swaps over caller-provided transports close
+// nothing — the caller owns the transport's lifetime.
+func (s *Swap) Close() error {
+	if s.closer == nil {
+		return nil
+	}
+	return s.closer()
+}
 
 // ResidentBytes reports bytes of resident pages (cgroup usage).
 func (s *Swap) ResidentBytes() uint64 {
@@ -246,7 +238,7 @@ func (s *Swap) fault(pg uint64, write bool) uint64 {
 	case PageUntouched:
 		// Zero-fill minor fault: kernel maps a fresh zeroed page.
 		s.env.Clock.Advance(s.env.Costs.SwapFaultLocal)
-		s.env.Counters.MinorFaults++
+		sim.Inc(&s.env.Counters.MinorFaults)
 		f := s.takeFrame()
 		base := uint64(f) * uint64(s.pageSize)
 		s.arena.WriteAt(base, make([]byte, s.pageSize))
@@ -257,7 +249,7 @@ func (s *Swap) fault(pg uint64, write bool) uint64 {
 		// the frontswap RDMA pull, which the link charges. Together
 		// they land on the paper's ~34K-cycle remote fault (Table 2).
 		s.env.Clock.Advance(s.env.Costs.SwapFaultLocal)
-		s.env.Counters.MajorFaults++
+		sim.Inc(&s.env.Counters.MajorFaults)
 		f := s.takeFrame()
 		base := uint64(f) * uint64(s.pageSize)
 		buf := make([]byte, s.pageSize)
@@ -280,13 +272,15 @@ func (s *Swap) fault(pg uint64, write bool) uint64 {
 // fetchPage pulls a remote page with the swap system's retry budget,
 // tallying each failed attempt in Counters.RemoteFetchFaults.
 func (s *Swap) fetchPage(pg uint64, buf []byte) error {
+	start := s.env.Clock.Cycles()
+	defer func() { s.lat.RemoteFetch.Observe(s.env.Clock.Cycles() - start) }()
 	var last error
 	for attempt := 1; attempt <= s.retries; attempt++ {
 		if _, err := s.link.TryFetch(pg, buf); err == nil {
 			return nil
 		} else {
 			last = err
-			s.env.Counters.RemoteFetchFaults++
+			sim.Inc(&s.env.Counters.RemoteFetchFaults)
 		}
 	}
 	return fmt.Errorf("fastswap: fetch page %d after %d attempts: %w", pg, s.retries, last)
@@ -329,13 +323,13 @@ func (s *Swap) maybeReadahead(pg uint64) {
 		if _, err := s.link.TryFetchAsync(next, buf); err != nil {
 			// Readahead is speculation: return the frame and stop the
 			// window rather than installing a zero-filled page.
-			s.env.Counters.RemoteFetchFaults++
+			sim.Inc(&s.env.Counters.RemoteFetchFaults)
 			s.freeFrames = append(s.freeFrames, f)
 			return
 		}
 		s.arena.WriteAt(base, buf)
 		s.install(next, f, false)
-		s.env.Counters.PrefetchIssued++
+		sim.Inc(&s.env.Counters.PrefetchIssued)
 	}
 }
 
@@ -382,33 +376,37 @@ func (s *Swap) tryTakeFrame() (uint32, bool) {
 // only copy of the data); the reclaim clock moves on to another victim,
 // mirroring a kernel that cannot free a page while its swap-out I/O fails.
 func (s *Swap) evict(f uint32, pg uint64) bool {
+	start := s.env.Clock.Cycles()
+	defer func() { s.lat.Evacuation.Observe(s.env.Clock.Cycles() - start) }()
 	s.env.Clock.Advance(s.env.Costs.EvictPage)
 	base := uint64(f) * uint64(s.pageSize)
 	if s.dirty[pg] {
 		buf := make([]byte, s.pageSize)
 		s.arena.ReadAt(base, buf)
 		if err := s.pushPage(pg, buf); err != nil {
-			s.env.Counters.EvictionStalls++
+			sim.Inc(&s.env.Counters.EvictionStalls)
 			return false
 		}
 		s.dirty[pg] = false
 	}
 	s.states[pg] = PageRemote
 	s.frameOwner[f] = noPage
-	s.env.Counters.PageEvictions++
+	sim.Inc(&s.env.Counters.PageEvictions)
 	return true
 }
 
 // pushPage writes a page back with the swap system's retry budget,
 // tallying each failed attempt in Counters.RemotePushFaults.
 func (s *Swap) pushPage(pg uint64, buf []byte) error {
+	start := s.env.Clock.Cycles()
+	defer func() { s.lat.RemotePush.Observe(s.env.Clock.Cycles() - start) }()
 	var last error
 	for attempt := 1; attempt <= s.retries; attempt++ {
 		if err := s.link.TryPush(pg, buf); err == nil {
 			return nil
 		} else {
 			last = err
-			s.env.Counters.RemotePushFaults++
+			sim.Inc(&s.env.Counters.RemotePushFaults)
 		}
 	}
 	return last

@@ -49,12 +49,11 @@ func (f *faultyLink) TryDelete(key uint64) error {
 func faultySwap(t *testing.T, link *faultyLink, env *sim.Env, retries int) *Swap {
 	t.Helper()
 	s, err := New(Config{
-		Env:           env,
-		PageSize:      512,
-		HeapSize:      512 * 16,
-		LocalBudget:   512 * 2,
-		Transport:     link,
-		RemoteRetries: retries,
+		Env:          env,
+		PageSize:     512,
+		HeapSize:     512 * 16,
+		LocalBudget:  512 * 2,
+		RemoteConfig: fabric.RemoteConfig{Transport: link, RemoteRetries: retries},
 	})
 	if err != nil {
 		t.Fatalf("New: %v", err)
@@ -134,9 +133,8 @@ func TestReadaheadSkipsOnFetchFault(t *testing.T) {
 		PageSize:       512,
 		HeapSize:       512 * 16,
 		LocalBudget:    512 * 8,
-		Transport:      link,
+		RemoteConfig:   fabric.RemoteConfig{Transport: link, RemoteRetries: 2},
 		ReadaheadPages: 4,
-		RemoteRetries:  2,
 	})
 	if err != nil {
 		t.Fatalf("New: %v", err)

@@ -54,7 +54,7 @@ func NewAIFMBackend(cfg AIFMConfig) (*AIFMBackend, error) {
 	}
 	pool, err := aifm.NewPool(aifm.Config{
 		Env:           cfg.Env,
-		Transport:     fabric.NewSimLink(cfg.Env, fabric.BackendTCP),
+		RemoteConfig:  fabric.RemoteConfig{Transport: fabric.NewSimLink(cfg.Env, fabric.BackendTCP)},
 		ObjectSize:    cfg.ObjectSize,
 		HeapSize:      cfg.HeapSize,
 		LocalBudget:   cfg.LocalBudget,

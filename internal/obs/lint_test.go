@@ -1,0 +1,76 @@
+// Package obs_test hosts the cross-subsystem metrics-name lint: it
+// registers every counter block in the tree into one registry (an external
+// test package, so it may import the subsystems that import obs). Any name
+// violating obs.NamePattern panics at registration; any duplicate identity
+// panics too — so `go test -run TestMetricNamesLint ./internal/obs` (wired
+// into `make vet`) is the enforcement point for the exposition namespace.
+package obs_test
+
+import (
+	"strings"
+	"testing"
+
+	"trackfm/internal/fabric"
+	"trackfm/internal/obs"
+	"trackfm/internal/remote"
+	"trackfm/internal/sim"
+)
+
+func TestMetricNamesLint(t *testing.T) {
+	reg := obs.NewRegistry()
+
+	// Runtime counters, clock gauge, and latency histograms: registering
+	// an Env's metrics into its own registry happens lazily; force it and
+	// then re-register the same definitions into the shared lint registry
+	// by snapshotting the per-env registry's ids.
+	env := sim.NewEnv()
+	envSnap := env.Metrics().Snapshot()
+
+	// Fabric: transport-level, server-side, and replication counters,
+	// including the per-replica gauges.
+	var ts fabric.Stats
+	ts.Register(reg, obs.L("transport", "tcp"))
+	store := remote.NewStore()
+	srv := fabric.NewServer(store)
+	srv.Stats().Register(reg)
+	store.Register(reg)
+	env2 := sim.NewEnv()
+	rs, err := fabric.NewReplicaSet(fabric.ReplicaConfig{Clock: &env2.Clock},
+		fabric.NewSimLink(env2, fabric.BackendTCP),
+		fabric.NewSimLink(env2, fabric.BackendTCP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs.Register(reg)
+
+	// Every id in both registries must carry a NamePattern-conforming
+	// bare name (registration already panics on violations; this loop is
+	// the belt to that suspender, and catches names that sneak in through
+	// snapshots).
+	check := func(snap obs.Snapshot) {
+		ids := make([]string, 0, len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms))
+		for id := range snap.Counters {
+			ids = append(ids, id)
+		}
+		for id := range snap.Gauges {
+			ids = append(ids, id)
+		}
+		for id := range snap.Histograms {
+			ids = append(ids, id)
+		}
+		if len(ids) == 0 {
+			t.Fatal("no metrics registered")
+		}
+		for _, id := range ids {
+			name := id
+			if i := strings.IndexByte(id, '{'); i >= 0 {
+				name = id[:i]
+			}
+			if !obs.ValidName(name) {
+				t.Errorf("metric %q violates %s", name, obs.NamePattern)
+			}
+		}
+	}
+	check(envSnap)
+	check(reg.Snapshot())
+}

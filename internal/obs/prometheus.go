@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes the registry contents in the Prometheus text
+// exposition format (version 0.0.4). The output is deterministic: metric
+// families are sorted by name, series within a family by label rendering,
+// so the format can be pinned by a golden-file test. Values are read
+// through the same race-free paths as Snapshot.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	metrics := r.metricsList()
+
+	// Group into families by bare name, preserving one help/kind per
+	// family (registration enforces identical names share a kind in
+	// practice; first registration wins for help text).
+	type family struct {
+		name   string
+		help   string
+		kind   kind
+		series []*metric
+	}
+	fams := make(map[string]*family)
+	var names []string
+	for _, m := range metrics {
+		f, ok := fams[m.name]
+		if !ok {
+			f = &family{name: m.name, help: m.help, kind: m.kind}
+			fams[m.name] = f
+			names = append(names, m.name)
+		}
+		f.series = append(f.series, m)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, name := range names {
+		f := fams[name]
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, typeName(f.kind))
+		for _, m := range f.series {
+			switch m.kind {
+			case kindCounter:
+				fmt.Fprintf(&b, "%s%s %d\n", m.name, m.labels, m.readCounter())
+			case kindGauge:
+				fmt.Fprintf(&b, "%s%s %s\n", m.name, m.labels, formatFloat(m.readGauge()))
+			case kindHistogram:
+				writeHistogram(&b, m)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func typeName(k kind) string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// formatFloat renders a gauge value the way Prometheus clients do:
+// shortest representation that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writeHistogram emits the cumulative _bucket series plus _sum and _count
+// for one histogram metric. The le label is appended after any constant
+// labels, in Prometheus's conventional position.
+func writeHistogram(b *strings.Builder, m *metric) {
+	s := m.hist.Snapshot()
+	var cum uint64
+	for i, bound := range s.Bounds {
+		cum += s.Counts[i]
+		fmt.Fprintf(b, "%s_bucket%s %d\n", m.name, withLE(m.labels, strconv.FormatUint(bound, 10)), cum)
+	}
+	cum += s.Counts[len(s.Counts)-1]
+	fmt.Fprintf(b, "%s_bucket%s %d\n", m.name, withLE(m.labels, "+Inf"), cum)
+	fmt.Fprintf(b, "%s_sum%s %d\n", m.name, m.labels, s.Sum)
+	fmt.Fprintf(b, "%s_count%s %d\n", m.name, m.labels, cum)
+}
+
+// withLE merges an le="..." label into an existing canonical label
+// rendering ("" or "{k=\"v\"}").
+func withLE(labels, le string) string {
+	if labels == "" {
+		return fmt.Sprintf("{le=%q}", le)
+	}
+	return labels[:len(labels)-1] + fmt.Sprintf(",le=%q}", le)
+}
+
+// Handler returns an http.Handler serving the Prometheus exposition, for
+// mounting at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry with one series of every kind, with
+// fixed values, so the exposition is fully deterministic.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	c := r.Counter("trackfm_events_total", "Events observed.")
+	c.Add(7)
+	r.CounterFunc("trackfm_replica_failovers_total", "Reads that failed over.",
+		func() uint64 { return 2 }, L("replica", "r1"))
+	r.CounterFunc("trackfm_replica_failovers_total", "Reads that failed over.",
+		func() uint64 { return 9 }, L("replica", "r0"))
+	g := r.Gauge("trackfm_store_bytes", "Bytes resident on the node.")
+	g.Set(4096.5)
+	h := r.Histogram("trackfm_remote_fetch_cycles", "Remote fetch latency.",
+		[]uint64{100, 1000, 10000})
+	for _, v := range []uint64{50, 150, 150, 5000, 123456} {
+		h.Observe(v)
+	}
+	return r
+}
+
+// TestPrometheusGolden pins the exposition format byte for byte: families
+// sorted by name, series sorted by labels, cumulative histogram buckets
+// with a trailing +Inf, _sum and _count. Run with -update to regenerate.
+func TestPrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := goldenRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestPrometheusDeterministic asserts two renderings of one registry are
+// byte-identical (map iteration must not leak into the output).
+func TestPrometheusDeterministic(t *testing.T) {
+	r := goldenRegistry()
+	var a, b strings.Builder
+	if err := r.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("two renderings differ:\n%s\n---\n%s", a.String(), b.String())
+	}
+}

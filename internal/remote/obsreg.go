@@ -1,0 +1,21 @@
+package remote
+
+import "trackfm/internal/obs"
+
+// Register exposes the store's inventory gauges and integrity counters on
+// reg. Reads go through the store's lock, so a scrape observes a coherent
+// (blobs, bytes) pair per metric read.
+func (s *Store) Register(reg *obs.Registry, labels ...obs.Label) {
+	reg.GaugeFunc("trackfm_store_blobs",
+		"Blobs currently held by the remote node.",
+		func() float64 { return float64(s.Len()) }, labels...)
+	reg.GaugeFunc("trackfm_store_bytes",
+		"Total payload bytes currently held by the remote node.",
+		func() float64 { return float64(s.Bytes()) }, labels...)
+	reg.CounterFunc("trackfm_store_size_mismatches_total",
+		"Gets that found a stored blob shorter than the requested read.",
+		func() uint64 { return s.Stats().SizeMismatches }, labels...)
+	reg.CounterFunc("trackfm_store_checksum_fails_total",
+		"Gets that found a stored blob failing its CRC32-C.",
+		func() uint64 { return s.Stats().ChecksumFails }, labels...)
+}

@@ -13,6 +13,7 @@ package sim
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -21,35 +22,37 @@ import (
 const Frequency = 2_400_000_000
 
 // Clock accumulates simulated cycles. The zero value is a clock at cycle
-// zero, ready to use. Clock is not safe for concurrent use; the simulation
-// engine serializes all charging (see package aifm for how concurrency is
-// modelled).
+// zero, ready to use. All charging is serialized by the simulation engine
+// (see package aifm for how concurrency is modelled), but the accumulator
+// is maintained atomically so that observers — stats tickers, the metrics
+// registry, breaker deadlines read from probe goroutines — can sample it
+// concurrently without racing the mutator.
 type Clock struct {
-	cycles uint64
+	cycles uint64 // accessed atomically; plain uint64 keeps Clock copyable
 }
 
 // Advance charges n cycles to the clock.
-func (c *Clock) Advance(n uint64) { c.cycles += n }
+func (c *Clock) Advance(n uint64) { atomic.AddUint64(&c.cycles, n) }
 
 // Cycles reports the total cycles charged so far.
-func (c *Clock) Cycles() uint64 { return c.cycles }
+func (c *Clock) Cycles() uint64 { return atomic.LoadUint64(&c.cycles) }
 
 // Reset returns the clock to cycle zero.
-func (c *Clock) Reset() { c.cycles = 0 }
+func (c *Clock) Reset() { atomic.StoreUint64(&c.cycles, 0) }
 
 // Elapsed converts the charged cycles into simulated wall-clock time at the
 // configured CPU frequency.
 func (c *Clock) Elapsed() time.Duration {
-	return time.Duration(float64(c.cycles) / Frequency * float64(time.Second))
+	return time.Duration(float64(c.Cycles()) / Frequency * float64(time.Second))
 }
 
 // Seconds reports the elapsed simulated time in seconds as a float, which
 // is the unit most of the paper's figures use.
 func (c *Clock) Seconds() float64 {
-	return float64(c.cycles) / Frequency
+	return float64(c.Cycles()) / Frequency
 }
 
 // String implements fmt.Stringer.
 func (c *Clock) String() string {
-	return fmt.Sprintf("%d cycles (%.3fs @2.4GHz)", c.cycles, c.Seconds())
+	return fmt.Sprintf("%d cycles (%.3fs @2.4GHz)", c.Cycles(), c.Seconds())
 }

@@ -3,12 +3,19 @@ package sim
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 )
 
 // Counters tallies the runtime events the paper's evaluation reports:
 // guard executions by path, page faults by kind, bytes moved over the
 // interconnect, evacuations, and prefetch outcomes. The zero value is
 // ready to use.
+//
+// Concurrency contract: writers increment fields with Inc/Add (atomic);
+// concurrent observers (stats tickers, the obs registry, per-phase bench
+// reporting) read through Snapshot. The fields stay plain uint64 so the
+// struct remains copyable and the aggregate accessors below keep working
+// on quiescent copies — Snapshot returns exactly such a copy.
 type Counters struct {
 	// TrackFM guard events.
 	CustodyRejects  uint64 // pointer not TrackFM-managed; original access runs
@@ -48,8 +55,65 @@ type Counters struct {
 	EvictionStalls    uint64 // evictions aborted after push retries exhausted
 }
 
-// Reset zeroes all counters.
-func (c *Counters) Reset() { *c = Counters{} }
+// Inc atomically adds one to a counter field: sim.Inc(&env.Counters.X).
+func Inc(p *uint64) { atomic.AddUint64(p, 1) }
+
+// Add atomically adds n to a counter field.
+func Add(p *uint64, n uint64) { atomic.AddUint64(p, n) }
+
+// Load atomically reads a counter field.
+func Load(p *uint64) uint64 { return atomic.LoadUint64(p) }
+
+// Reset zeroes all counters. Like Snapshot it loads-and-stores each field
+// atomically, so it can run against concurrent writers without racing
+// (writers mid-increment may land on either side of the reset).
+func (c *Counters) Reset() {
+	for _, p := range c.fields() {
+		atomic.StoreUint64(p, 0)
+	}
+}
+
+// fields enumerates every counter field, in declaration order. Snapshot,
+// Reset, and the obs registration iterate this single list so a new field
+// only needs to be added here (and named in metricNames) once.
+func (c *Counters) fields() []*uint64 {
+	return []*uint64{
+		&c.CustodyRejects, &c.FastPathGuards, &c.SlowPathGuards,
+		&c.BoundaryChecks, &c.LocalityGuards, &c.ChunkInits,
+		&c.RemoteFetches, &c.CriticalFetches,
+		&c.MinorFaults, &c.MajorFaults,
+		&c.BytesFetched, &c.BytesEvicted, &c.Evacuations, &c.PageEvictions,
+		&c.PrefetchIssued, &c.PrefetchHits,
+		&c.Mallocs, &c.Frees,
+		&c.RemoteFetchFaults, &c.RemotePushFaults, &c.EvictionStalls,
+	}
+}
+
+// Snapshot returns a point-in-time copy of the counters, loading each
+// field atomically. The copy is quiescent plain data: all accessor methods
+// (Guards, Faults, String, ...) are safe on it, and Delta subtracts two of
+// them. This is the race-free read path for tickers running concurrently
+// with a pool or swap runtime.
+func (c *Counters) Snapshot() Counters {
+	var out Counters
+	src, dst := c.fields(), out.fields()
+	for i, p := range src {
+		*dst[i] = atomic.LoadUint64(p)
+	}
+	return out
+}
+
+// Delta returns the field-wise difference c - prev, for interval reporting
+// between two Snapshots.
+func (c Counters) Delta(prev Counters) Counters {
+	src, sub := c.fields(), prev.fields()
+	var out Counters
+	dst := out.fields()
+	for i := range src {
+		*dst[i] = *src[i] - *sub[i]
+	}
+	return out
+}
 
 // Guards reports the total guard checks executed (fast + slow), the count
 // the paper plots against Fastswap's fault count in Figs. 14b and 16b.
@@ -103,10 +167,15 @@ func (c *Counters) String() string {
 // Env bundles the pieces every backend needs: a clock to charge, counters
 // to tally, and the cost model to consult. A single Env is threaded through
 // one experiment run so that all components observe one logical timeline.
+// Metrics() and Lat() lazily attach an obs.Registry with every counter,
+// the clock, and the latency histograms pre-registered. Env must not be
+// copied once Metrics or Lat has been called.
 type Env struct {
 	Clock    Clock
 	Counters Counters
 	Costs    CostModel
+
+	obs obsState
 }
 
 // NewEnv returns an Env with the default paper-calibrated cost model.
@@ -114,8 +183,10 @@ func NewEnv() *Env {
 	return &Env{Costs: DefaultCosts()}
 }
 
-// Reset clears the clock and counters but keeps the cost model.
+// Reset clears the clock, counters, and latency histograms but keeps the
+// cost model and the registry (registered metrics simply read zero again).
 func (e *Env) Reset() {
 	e.Clock.Reset()
 	e.Counters.Reset()
+	e.resetObs()
 }
