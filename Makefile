@@ -3,12 +3,12 @@
 
 GO ?= go
 
-.PHONY: all build check vet test test-race test-soak fuzz-short smoke_test bench figs clean \
+.PHONY: all build check vet test test-race test-soak test-stress fuzz-short smoke_test bench figs clean \
         trackfm_table1 trackfm_table2 trackfm_table3 trackfm_table4 \
         trackfm_fig6 trackfm_fig7 trackfm_fig8 trackfm_fig9 trackfm_fig10 \
         trackfm_fig11 trackfm_fig12 trackfm_fig13 trackfm_fig14a trackfm_fig15 \
         trackfm_fig16a trackfm_fig17a trackfm_compile trackfm_ablation \
-        trackfm_autotune
+        trackfm_autotune trackfm_mt
 
 all: build test
 
@@ -27,21 +27,30 @@ vet:
 	$(GO) vet ./...
 	$(GO) test -run TestMetricNamesLint ./internal/obs
 
-# Everything a PR must pass: build, vet (incl. metrics lint), and the
-# tier-1 suite.
+# Everything a PR must pass: build, vet (incl. metrics lint), the
+# tier-1 suite, and the concurrency stress suite under the race detector.
 check: build
 	$(MAKE) vet
 	$(MAKE) test
+	$(MAKE) test-stress
 
-# Tier-1: the full suite, plus race mode over the concurrency-bearing
-# packages (the TCP fabric and the runtime that retries over it).
+# Tier-1: the full suite twice in shuffled order (catches inter-test
+# order dependence), plus race mode over the concurrency-bearing packages
+# (the TCP fabric and the far-memory pool).
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on -count=2 ./...
 	$(GO) test -race ./internal/fabric/... ./internal/aifm/...
 
 # The whole tree under the race detector.
 test-race:
 	$(GO) test -race ./...
+
+# The concurrency stress suite: the N-goroutine mixed read/write/
+# evacuate/prefetch workout, the concurrent-vs-serial-oracle differential
+# check, and the pinned-object barrier test, all under -race with the
+# short-mode reductions disabled.
+test-stress:
+	$(GO) test -race -run 'TestConcurrent' -count=2 ./internal/aifm
 
 # The replica-failover soak: 10k ops over three TCP replicas with seeded
 # drops and corruption on every link and one replica killed/restarted
@@ -55,6 +64,7 @@ test-soak:
 fuzz-short:
 	$(GO) test -run=^$$ -fuzz=FuzzWireProtocol -fuzztime=30s ./internal/fabric
 	$(GO) test -run=^$$ -fuzz=FuzzCRCFrame -fuzztime=30s ./internal/fabric
+	$(GO) test -race -run=^$$ -fuzz=FuzzConcurrentScopes -fuzztime=30s ./internal/aifm
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -81,6 +91,7 @@ trackfm_fig17a:   ; $(GO) run ./cmd/trackfm-bench -exp fig17
 trackfm_compile:  ; $(GO) run ./cmd/trackfm-bench -exp compile
 trackfm_ablation: ; $(GO) run ./cmd/trackfm-bench -exp ablation
 trackfm_autotune: ; $(GO) run ./cmd/trackfm-bench -exp autotune
+trackfm_mt:       ; $(GO) run ./cmd/trackfm-bench -exp mt
 
 clean:
 	$(GO) clean ./...

@@ -51,9 +51,18 @@ type Config struct {
 	// control plane (budgets, evacuation, transfer accounting) runs at
 	// full fidelity. For capacity planning with huge heaps.
 	Phantom bool
+	// BackgroundEvacuate runs a background evacuator goroutine that keeps
+	// a reserve of free local slots behind the out-of-scope barrier, so
+	// demand misses rarely pay for an eviction inline. Intended for
+	// multi-goroutine use; trades a strictly deterministic eviction
+	// schedule for latency.
+	BackgroundEvacuate bool
 }
 
-// Heap is a far-memory heap. Not safe for concurrent use.
+// Heap is a far-memory heap. Safe for concurrent use: accesses ride the
+// runtime's striped, pinning guard paths, and Stats/Snapshot read atomic
+// counter snapshots. Each Range iteration runs its own cursor, so separate
+// goroutines may Range concurrently over separate (or the same) slices.
 type Heap struct {
 	rt     *core.Runtime
 	env    *sim.Env
@@ -74,13 +83,14 @@ func New(cfg Config) (*Heap, error) {
 		replicas.ObserveFailovers(env.Lat().Failover)
 	}
 	rc := core.Config{
-		Env:           env,
-		ObjectSize:    cfg.ObjectBytes,
-		HeapSize:      cfg.HeapBytes,
-		LocalBudget:   cfg.LocalBytes,
-		NoPrefetch:    cfg.DisablePrefetch,
-		Transport:     transport,
-		RemoteRetries: cfg.RemoteRetries,
+		Env:                env,
+		ObjectSize:         cfg.ObjectBytes,
+		HeapSize:           cfg.HeapBytes,
+		LocalBudget:        cfg.LocalBytes,
+		NoPrefetch:         cfg.DisablePrefetch,
+		Transport:          transport,
+		RemoteRetries:      cfg.RemoteRetries,
+		BackgroundEvacuate: cfg.BackgroundEvacuate,
 	}
 	if cfg.Phantom {
 		rc.Backing = aifm.BackingPhantom
@@ -95,8 +105,10 @@ func New(cfg Config) (*Heap, error) {
 	return &Heap{rt: rt, env: env, closer: closer}, nil
 }
 
-// Close releases the heap's network connection, if any.
+// Close stops the background evacuator (if running) and releases the
+// heap's network connection, if any.
 func (h *Heap) Close() error {
+	h.rt.Pool().StopEvacuator()
 	if h.closer != nil {
 		return h.closer()
 	}
@@ -117,9 +129,10 @@ type Stats struct {
 	SimulatedSeconds float64
 }
 
-// Stats snapshots the heap's counters.
+// Stats snapshots the heap's counters (atomically, so it is safe to call
+// while worker goroutines run).
 func (h *Heap) Stats() Stats {
-	c := h.env.Counters
+	c := h.env.Counters.Snapshot()
 	return Stats{
 		FastGuards:       c.FastPathGuards,
 		SlowGuards:       c.SlowPathGuards,

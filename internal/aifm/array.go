@@ -114,8 +114,7 @@ func (it *Iterator) Next(dst []byte) bool {
 			a.pool.Unpin(it.curObj)
 		}
 		a.pool.env.Clock.Advance(a.pool.env.Costs.SmartPointerIndirection)
-		a.pool.Localize(id, false)
-		a.pool.Pin(id)
+		a.pool.LocalizePin(id, false)
 		it.curObj, it.pinned = id, true
 		for k := 1; k <= it.prefetch; k++ {
 			a.pool.Prefetch(id + ObjectID(k))

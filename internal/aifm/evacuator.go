@@ -1,0 +1,211 @@
+package aifm
+
+import (
+	"runtime"
+	"time"
+
+	"trackfm/internal/sim"
+)
+
+// evacuator is the pool's background reclaim goroutine, the concurrent
+// form of the paper's evacuator (§4.2-4.4). It keeps a low watermark of
+// free slots so demand misses rarely pay for an eviction inline:
+//
+//  1. mark: sweep the clock hand, tag cold unpinned residents with MetaE
+//     (the evacuation-candidate bit the guard fast path tests);
+//  2. barrier: wait for every live DerefScope to pass a deref boundary
+//     (epoch advance) or close — the out-of-scope barrier, bounded by a
+//     timeout because an idle long-lived scope already protects its
+//     objects with pins;
+//  3. finalize: re-check each candidate under its stripe lock and evict
+//     it, unless it was pinned or touched (went hot) since the mark — in
+//     which case the E bit is cleared and the abort counted.
+type evacuator struct {
+	p        *Pool
+	kick     chan struct{}
+	stop     chan struct{}
+	done     chan struct{}
+	lowWater int
+	batch    int
+}
+
+// scopeBarrierTimeout bounds the out-of-scope barrier wait. Scopes that
+// stay idle past it are skipped: their pins already protect their objects,
+// so the barrier is a progress heuristic, not a safety requirement.
+const scopeBarrierTimeout = 500 * time.Microsecond
+
+// StartEvacuator launches the background evacuator goroutine; it is a
+// no-op when one is already running. NewPool calls it for
+// Config.BackgroundEvacuate pools.
+func (p *Pool) StartEvacuator() {
+	e := &evacuator{
+		p:        p,
+		kick:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		lowWater: len(p.slotOwner)/8 + 1,
+		batch:    len(p.slotOwner)/8 + 1,
+	}
+	if !p.evac.CompareAndSwap(nil, e) {
+		return
+	}
+	go e.run()
+}
+
+// StopEvacuator stops the background evacuator and waits for it to exit;
+// no-op when none is running. Close calls it.
+func (p *Pool) StopEvacuator() {
+	e := p.evac.Load()
+	if e == nil || !p.evac.CompareAndSwap(e, nil) {
+		return
+	}
+	close(e.stop)
+	<-e.done
+}
+
+// kickEvacuator nudges the evacuator when the free-slot stack is running
+// low; called from the slot allocator's fast path.
+func (p *Pool) kickEvacuator() {
+	e := p.evac.Load()
+	if e == nil {
+		return
+	}
+	if p.freeCount() >= e.lowWater {
+		return
+	}
+	select {
+	case e.kick <- struct{}{}:
+	default:
+	}
+}
+
+func (e *evacuator) run() {
+	defer close(e.done)
+	tick := time.NewTicker(200 * time.Microsecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-e.kick:
+		case <-tick.C:
+		}
+		for e.p.freeCount() < e.lowWater {
+			select {
+			case <-e.stop:
+				return
+			default:
+			}
+			if !e.sweep() {
+				break // nothing evictable right now; wait for the next kick
+			}
+		}
+	}
+}
+
+// sweep runs one mark → barrier → finalize round and reports whether it
+// freed at least one slot.
+func (e *evacuator) sweep() bool {
+	p := e.p
+	type candidate struct {
+		slot uint32
+		id   ObjectID
+	}
+	var cands []candidate
+
+	// Mark: advance the clock hand, second-chancing hot objects and
+	// tagging cold unpinned residents as evacuation candidates.
+	nSlots := len(p.slotOwner)
+	for i := 0; i < 2*nSlots && len(cands) < e.batch; i++ {
+		slot := p.nextHand()
+		id := p.ownerAt(slot)
+		if id == noOwner {
+			continue
+		}
+		st := p.stripeFor(id)
+		if !st.mu.TryLock() {
+			continue // mutator working in this stripe: it is not cold
+		}
+		if p.ownerAt(slot) != id || st.pins[id] > 0 {
+			st.mu.Unlock()
+			continue
+		}
+		m := p.metaAt(id)
+		if !m.Present() {
+			st.mu.Unlock()
+			continue
+		}
+		if m.Hot() {
+			p.storeMeta(id, m&^MetaH)
+			st.mu.Unlock()
+			continue
+		}
+		p.storeMeta(id, m|MetaE)
+		cands = append(cands, candidate{uint32(slot), id})
+		st.mu.Unlock()
+	}
+	if len(cands) == 0 {
+		return false
+	}
+
+	// Barrier: every guard that consults the safety mask after this point
+	// sees E set and takes the slow path; scopes that were mid-deref at
+	// mark time are drained by waiting for an epoch advance (or close).
+	p.scopeBarrier()
+
+	// Finalize: evict survivors, abort candidates that were pinned or
+	// re-touched during the barrier window.
+	freed := 0
+	for _, c := range cands {
+		st := p.stripeFor(c.id)
+		p.lockStripe(st)
+		if p.ownerAt(int(c.slot)) != c.id {
+			st.mu.Unlock()
+			continue // freed or already evicted by a demand-miss evictor
+		}
+		m := p.metaAt(c.id)
+		if !m.Present() || m&MetaE == 0 {
+			st.mu.Unlock()
+			continue
+		}
+		if st.pins[c.id] > 0 || m.Hot() {
+			p.storeMeta(c.id, m&^MetaE)
+			sim.Inc(&p.env.Counters.EvacAborts)
+			st.mu.Unlock()
+			continue
+		}
+		if p.evictLocked(c.slot, c.id) {
+			p.giveSlot(c.slot)
+			freed++
+		} else {
+			// Write-back stalled: the object stays resident; clear E so
+			// mutators regain the fast path.
+			p.storeMeta(c.id, p.metaAt(c.id)&^MetaE)
+			sim.Inc(&p.env.Counters.EvacAborts)
+		}
+		st.mu.Unlock()
+	}
+	return freed > 0
+}
+
+// scopeBarrier waits until every scope live at entry has either advanced
+// its epoch (passed through a deref boundary, where it would observe the E
+// bits just published) or closed, bounded by scopeBarrierTimeout.
+func (p *Pool) scopeBarrier() {
+	waiting := p.scopeEpochs()
+	if len(waiting) == 0 {
+		return
+	}
+	deadline := time.Now().Add(scopeBarrierTimeout)
+	for {
+		for s, epoch := range waiting {
+			if s.epoch.Load() != epoch {
+				delete(waiting, s)
+			}
+		}
+		if len(waiting) == 0 || time.Now().After(deadline) {
+			return
+		}
+		runtime.Gosched()
+	}
+}

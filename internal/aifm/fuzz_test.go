@@ -1,6 +1,9 @@
 package aifm
 
-import "testing"
+import (
+	"sync"
+	"testing"
+)
 
 // FuzzMetaRoundTrip drives the Figure-3 metadata packing with arbitrary
 // field values; any packing that loses or cross-contaminates a field is a
@@ -74,6 +77,86 @@ func FuzzPoolAccessPattern(f *testing.F) {
 			if p.LocalBytes() > 256 {
 				t.Fatalf("budget exceeded: %d", p.LocalBytes())
 			}
+		}
+	})
+}
+
+// FuzzConcurrentScopes interprets the input as per-goroutine op scripts
+// (worker w executes bytes w, w+nWorkers, w+2*nWorkers, ...) against one
+// shared pool with the background evacuator running. Each worker owns a
+// private id range and shadows its own writes; invariants: private values
+// always read back as last written, pins always balance (Close never
+// panics), and the local budget holds. Run under -race via make fuzz-short.
+func FuzzConcurrentScopes(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(2))
+	f.Add([]byte{0, 255, 0, 255, 128, 64, 32, 16, 8, 4, 2, 1}, uint8(4))
+	f.Add([]byte{9, 9, 9, 9, 9, 9, 9, 9, 9, 9}, uint8(3))
+	f.Fuzz(func(t *testing.T, script []byte, nWorkers uint8) {
+		if len(script) > 512 {
+			script = script[:512]
+		}
+		workers := int(nWorkers)%4 + 1
+		const perWorker = 8
+		p, _, _ := newTestPool(t, 64, 1<<13, 1<<10, func(c *Config) {
+			c.BackgroundEvacuate = true
+		})
+		defer p.Close()
+		var wg sync.WaitGroup
+		fail := make([]string, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				lo := w * perWorker
+				shadow := make(map[ObjectID]byte)
+				for i := w; i < len(script); i += workers {
+					b := script[i]
+					id := ObjectID(lo + int(b)%perWorker)
+					switch b % 4 {
+					case 0:
+						sc := NewScope(p)
+						sc.Deref(id, true)
+						p.Write(id, 5, []byte{b})
+						sc.Close()
+						shadow[id] = b
+					case 1:
+						sc := NewScope(p)
+						sc.Deref(id, false)
+						var got [1]byte
+						p.Read(id, 5, got[:])
+						sc.Close()
+						if got[0] != shadow[id] {
+							fail[w] = "private value lost"
+							return
+						}
+					case 2:
+						p.Prefetch(id)
+					case 3:
+						p.Free(id)
+						delete(shadow, id)
+					}
+				}
+				for id, v := range shadow {
+					sc := NewScope(p)
+					sc.Deref(id, false)
+					var got [1]byte
+					p.Read(id, 5, got[:])
+					sc.Close()
+					if got[0] != v {
+						fail[w] = "final private value lost"
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for w, e := range fail {
+			if e != "" {
+				t.Fatalf("worker %d: %s", w, e)
+			}
+		}
+		if p.LocalBytes() > 1<<10 {
+			t.Fatalf("budget exceeded: %d", p.LocalBytes())
 		}
 	})
 }

@@ -55,19 +55,6 @@ func TestLocalMetaRoundTripProperty(t *testing.T) {
 	}
 }
 
-func TestRemoteMetaFieldLimits(t *testing.T) {
-	mustPanic := func(name string, f func()) {
-		defer func() {
-			if recover() == nil {
-				t.Errorf("%s did not panic", name)
-			}
-		}()
-		f()
-	}
-	mustPanic("oversized size", func() { RemoteMeta(1, 0x10000, 0) })
-	mustPanic("oversized id", func() { RemoteMeta(1<<38, 64, 0) })
-}
-
 func TestSafetyBits(t *testing.T) {
 	local := LocalMeta(0x1000, 0)
 	if !local.Safe() {

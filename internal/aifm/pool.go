@@ -3,6 +3,9 @@ package aifm
 import (
 	"fmt"
 	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"trackfm/internal/fabric"
 	"trackfm/internal/mem"
@@ -53,6 +56,35 @@ type Config struct {
 	AutoPrefetch bool
 	// PrefetchDepth is how many objects ahead to prefetch (default 8).
 	PrefetchDepth int
+	// Stripes overrides the lock-stripe count (rounded up to a power of
+	// two; default 64). Metadata, pin counts, and in-flight fetch state
+	// shard by ObjectID across stripes so goroutines touching different
+	// objects rarely contend.
+	Stripes int
+	// BackgroundEvacuate starts a background evacuator goroutine that
+	// reclaims cold slots behind the out-of-scope barrier (§4.2-4.4)
+	// whenever the free-slot count drops below a low watermark. The
+	// evacuator runs on wall time, so enabling it trades strict
+	// determinism of the eviction schedule for demand-miss latency that
+	// no longer pays for eviction inline. Stopped by Close.
+	BackgroundEvacuate bool
+}
+
+// stripe is one lock shard of the pool. All mutation of an object's
+// metadata word, pin count, and fetch in-flight state happens under its
+// stripe's mutex; the guard fast path reads the metadata word with a single
+// atomic load and never takes the lock.
+type stripe struct {
+	mu       sync.Mutex
+	pins     map[ObjectID]uint32
+	inflight map[ObjectID]*fetchWait
+}
+
+// fetchWait is the singleflight rendezvous for one in-flight fetch: the
+// leader closes done after installing (or abandoning) the object, and every
+// waiter re-checks the metadata word afterwards.
+type fetchWait struct {
+	done chan struct{}
 }
 
 // Pool is an AIFM-style far-memory object pool: a contiguous metadata table
@@ -60,8 +92,13 @@ type Config struct {
 // its object state table), a local arena divided into object-size slots, a
 // clock evacuator, and pin counts implementing the DerefScope barrier.
 //
-// Pool is not safe for concurrent use; the simulation engine serializes
-// accesses onto one logical timeline.
+// Pool is safe for concurrent use. State shards into lock stripes by
+// ObjectID; metadata words are read with single atomic loads on the guard
+// fast path and written only under the owning stripe's lock; concurrent
+// demand fetches of the same object collapse into one fabric round-trip
+// (singleflight). Object data returned by the localize family is only
+// stable while the object is pinned — concurrent callers must use
+// LocalizePin or a DerefScope rather than bare Localize.
 type Pool struct {
 	env       *sim.Env
 	lat       *sim.Latencies
@@ -75,25 +112,39 @@ type Pool struct {
 
 	table []Meta // object state table, indexed by ObjectID
 
-	arena     mem.Store
-	slotOwner []ObjectID // per-slot owner; freeSlot sentinel when empty
-	freeSlots []uint32
-	hand      int // clock hand over slots
+	stripes    []stripe
+	stripeMask uint64
 
-	pins map[ObjectID]uint32
+	arena     mem.Store
+	slotOwner []ObjectID // per-slot owner (atomic); noOwner when empty
+
+	freeMu    sync.Mutex
+	freeSlots []uint32
+
+	hand atomic.Uint64 // clock hand over slots
 
 	// Stride-prefetch state.
 	autoPrefetch  bool
 	prefetchDepth int
+	strideMu      sync.Mutex
 	lastMiss      ObjectID
 	missStreak    int
 
-	// Evacuations counts objects this pool evacuated, mirrored into the
-	// shared counters as well.
+	// Live DerefScopes, for the evacuator's out-of-scope barrier.
+	scopesMu sync.Mutex
+	scopes   map[*DerefScope]struct{}
+
+	evac atomic.Pointer[evacuator]
+
+	// Evacuations counts objects this pool evacuated (atomic), mirrored
+	// into the shared counters as well.
 	Evacuations uint64
 }
 
-const noOwner = ObjectID(^uint64(0))
+const (
+	noOwner        = ObjectID(^uint64(0))
+	defaultStripes = 64
+)
 
 // NewPool validates cfg and builds a pool.
 func NewPool(cfg Config) (*Pool, error) {
@@ -133,6 +184,13 @@ func NewPool(cfg Config) (*Pool, error) {
 			depth = 1
 		}
 	}
+	nStripes := cfg.Stripes
+	if nStripes <= 0 {
+		nStripes = defaultStripes
+	}
+	if bits.OnesCount(uint(nStripes)) != 1 {
+		nStripes = 1 << bits.Len(uint(nStripes))
+	}
 	transport, replicas, closer, err := cfg.Connect(&cfg.Env.Clock)
 	if err != nil {
 		return nil, fmt.Errorf("aifm: %w", err)
@@ -154,17 +212,26 @@ func NewPool(cfg Config) (*Pool, error) {
 		shift:         uint(bits.TrailingZeros(uint(cfg.ObjectSize))),
 		dsID:          cfg.DSID,
 		table:         make([]Meta, nObjects),
+		stripes:       make([]stripe, nStripes),
+		stripeMask:    uint64(nStripes - 1),
 		arena:         arena,
 		slotOwner:     make([]ObjectID, nSlots),
 		freeSlots:     make([]uint32, 0, nSlots),
-		pins:          make(map[ObjectID]uint32),
 		autoPrefetch:  cfg.AutoPrefetch,
 		prefetchDepth: depth,
 		lastMiss:      noOwner,
+		scopes:        make(map[*DerefScope]struct{}),
+	}
+	for i := range p.stripes {
+		p.stripes[i].pins = make(map[ObjectID]uint32)
+		p.stripes[i].inflight = make(map[ObjectID]*fetchWait)
 	}
 	for i := range p.slotOwner {
 		p.slotOwner[i] = noOwner
 		p.freeSlots = append(p.freeSlots, uint32(i))
+	}
+	if cfg.BackgroundEvacuate {
+		p.StartEvacuator()
 	}
 	return p, nil
 }
@@ -183,10 +250,12 @@ func (p *Pool) NumSlots() int { return len(p.slotOwner) }
 // Use it to read replica health and integrity counters.
 func (p *Pool) ReplicaSet() *fabric.ReplicaSet { return p.replicas }
 
-// Close releases any connection the pool itself opened (the
-// Config.RemoteAddr path). Pools over caller-provided transports close
-// nothing — the caller owns the transport's lifetime.
+// Close stops the background evacuator (if running) and releases any
+// connection the pool itself opened (the Config.RemoteAddr path). Pools
+// over caller-provided transports close nothing further — the caller owns
+// the transport's lifetime.
 func (p *Pool) Close() error {
+	p.StopEvacuator()
 	if p.closer == nil {
 		return nil
 	}
@@ -197,15 +266,60 @@ func (p *Pool) Close() error {
 // this slice as its object state table; because it is the same storage,
 // the table is coherent with pool state by construction (the paper
 // modified AIFM to keep its table coherent — sharing storage achieves the
-// same contract).
+// same contract). Concurrent readers must load entries through MetaAt.
 func (p *Pool) Table() []Meta { return p.table }
 
-// Meta returns the metadata word for id.
-func (p *Pool) Meta(id ObjectID) Meta { return p.table[id] }
+// MetaAt atomically loads entry id of a metadata table returned by Table.
+// This is the guard's single-load OST lookup, made race-free: the pool
+// publishes every metadata transition with an atomic store, so a bare
+// atomic load is all a concurrent fast-path check needs.
+func MetaAt(table []Meta, id ObjectID) Meta {
+	return Meta(atomic.LoadUint64((*uint64)(&table[id])))
+}
+
+// Meta returns the metadata word for id (atomic load).
+func (p *Pool) Meta(id ObjectID) Meta { return MetaAt(p.table, id) }
+
+func (p *Pool) metaAt(id ObjectID) Meta {
+	return Meta(atomic.LoadUint64((*uint64)(&p.table[id])))
+}
+
+func (p *Pool) storeMeta(id ObjectID, m Meta) {
+	atomic.StoreUint64((*uint64)(&p.table[id]), uint64(m))
+}
+
+func (p *Pool) ownerAt(slot int) ObjectID {
+	return ObjectID(atomic.LoadUint64((*uint64)(&p.slotOwner[slot])))
+}
+
+func (p *Pool) setOwner(slot int, id ObjectID) {
+	atomic.StoreUint64((*uint64)(&p.slotOwner[slot]), uint64(id))
+}
+
+func (p *Pool) stripeFor(id ObjectID) *stripe {
+	return &p.stripes[uint64(id)&p.stripeMask]
+}
+
+// lockStripe acquires a stripe lock, counting and timing the wait when the
+// lock is contended. The wait is wall time converted to cycles at the
+// simulated frequency — real contention on the host, not simulated time,
+// so it is zero in any single-goroutine run.
+func (p *Pool) lockStripe(st *stripe) {
+	if st.mu.TryLock() {
+		return
+	}
+	t0 := time.Now()
+	st.mu.Lock()
+	sim.Inc(&p.env.Counters.StripeContention)
+	p.lat.LockWait.Observe(uint64(float64(time.Since(t0).Nanoseconds()) * sim.Frequency / 1e9))
+}
 
 // LocalBytes reports bytes of object data currently resident locally.
 func (p *Pool) LocalBytes() uint64 {
-	return uint64(len(p.slotOwner)-len(p.freeSlots)) * uint64(p.objSize)
+	p.freeMu.Lock()
+	free := len(p.freeSlots)
+	p.freeMu.Unlock()
+	return uint64(len(p.slotOwner)-free) * uint64(p.objSize)
 }
 
 // transportKey namespaces object keys by pool so multiple pools can share
@@ -223,9 +337,11 @@ func (p *Pool) transportKey(id ObjectID) uint64 {
 // SimLink a remote fetch cannot fail, and over an error-aware transport a
 // persistent failure (after the pool's retry budget) panics with the typed
 // transport error rather than handing the mutator zeroed memory. Callers
-// running over a real network should prefer TryLocalize.
+// running over a real network should prefer TryLocalize; concurrent
+// callers should prefer LocalizePin (or a DerefScope), since an unpinned
+// object's returned offset can be invalidated by a concurrent eviction.
 func (p *Pool) Localize(id ObjectID, forWrite bool) (uint64, bool) {
-	addr, missed, err := p.TryLocalize(id, forWrite)
+	addr, missed, err := p.tryLocalize(id, forWrite, false)
 	if err != nil {
 		panic(fmt.Sprintf("aifm: unrecoverable remote fetch for object %d: %v", id, err))
 	}
@@ -238,22 +354,88 @@ func (p *Pool) Localize(id ObjectID, forWrite bool) (uint64, bool) {
 // metadata is left untouched (still remote), and the typed fabric error is
 // returned — the caller never observes a zero-filled ghost of its data.
 func (p *Pool) TryLocalize(id ObjectID, forWrite bool) (uint64, bool, error) {
-	m := p.table[id]
-	if m.Present() {
-		nm := m | MetaH
-		if forWrite {
-			nm |= MetaD
-		}
-		if m.Prefetched() {
-			nm &^= MetaPF
-			sim.Inc(&p.env.Counters.PrefetchHits)
-		}
-		if nm != m {
-			p.table[id] = nm
-		}
-		return m.DataAddr(), false, nil
+	return p.tryLocalize(id, forWrite, false)
+}
+
+// LocalizePin atomically localizes id and pins it in one stripe-lock
+// critical section, so no concurrent evictor can slip between residency
+// and the pin. This is the localize entry point for concurrent callers;
+// pair it with Unpin. Like Localize, it panics on an unrecoverable
+// transport failure.
+func (p *Pool) LocalizePin(id ObjectID, forWrite bool) (uint64, bool) {
+	addr, missed, err := p.tryLocalize(id, forWrite, true)
+	if err != nil {
+		panic(fmt.Sprintf("aifm: unrecoverable remote fetch for object %d: %v", id, err))
 	}
-	slot := p.takeSlot()
+	return addr, missed
+}
+
+// TryLocalizePin is LocalizePin with remote-fetch failures surfaced. On
+// error the object is not pinned.
+func (p *Pool) TryLocalizePin(id ObjectID, forWrite bool) (uint64, bool, error) {
+	return p.tryLocalize(id, forWrite, true)
+}
+
+// tryLocalize is the shared localize path. Residency checks, metadata
+// updates, and pinning happen under the object's stripe lock; the fetch
+// itself (slot claim + fabric round-trip) runs outside any lock, with an
+// inflight entry collapsing concurrent fetches of the same object into one
+// round-trip that all callers share.
+func (p *Pool) tryLocalize(id ObjectID, forWrite, pin bool) (uint64, bool, error) {
+	st := p.stripeFor(id)
+	p.lockStripe(st)
+	for {
+		m := p.metaAt(id)
+		if m.Present() {
+			nm := m | MetaH
+			if forWrite {
+				nm |= MetaD
+			}
+			if m.Prefetched() {
+				nm &^= MetaPF
+				sim.Inc(&p.env.Counters.PrefetchHits)
+			}
+			if nm != m {
+				p.storeMeta(id, nm)
+			}
+			if pin {
+				st.pins[id]++
+			}
+			st.mu.Unlock()
+			return m.DataAddr(), false, nil
+		}
+		if w, ok := st.inflight[id]; ok {
+			// Another goroutine is already fetching this object: wait for
+			// it and re-check. If the leader failed, the loop elects this
+			// caller the next leader.
+			st.mu.Unlock()
+			<-w.done
+			sim.Inc(&p.env.Counters.SingleflightShared)
+			p.lockStripe(st)
+			continue
+		}
+		w := &fetchWait{done: make(chan struct{})}
+		st.inflight[id] = w
+		st.mu.Unlock()
+		return p.fetchAndInstall(st, id, m, forWrite, pin, w)
+	}
+}
+
+// fetchAndInstall runs the singleflight leader's side of a demand miss:
+// claim a slot (evicting if needed), move the bytes, then re-take the
+// stripe lock to publish the object and wake the waiters.
+func (p *Pool) fetchAndInstall(st *stripe, id ObjectID, m Meta, forWrite, pin bool, w *fetchWait) (uint64, bool, error) {
+	abandon := func() {
+		p.lockStripe(st)
+		delete(st.inflight, id)
+		close(w.done)
+		st.mu.Unlock()
+	}
+	slot, ok := p.tryTakeSlot()
+	if !ok {
+		abandon()
+		panic("aifm: local memory exhausted: every resident object is pinned")
+	}
 	base := uint64(slot) * uint64(p.objSize)
 	fresh := m == 0 // never touched: materialize a zeroed object locally
 	if fresh {
@@ -261,16 +443,24 @@ func (p *Pool) TryLocalize(id ObjectID, forWrite bool) (uint64, bool, error) {
 	} else {
 		// Demand miss on an evacuated object: blocking remote fetch.
 		if err := p.fetchInto(id, base, false); err != nil {
-			p.freeSlots = append(p.freeSlots, slot)
+			p.giveSlot(slot)
+			abandon()
 			return 0, true, err
 		}
 	}
-	p.slotOwner[slot] = id
 	nm := LocalMeta(base, p.dsID) | MetaH
 	if forWrite {
 		nm |= MetaD
 	}
-	p.table[id] = nm
+	p.lockStripe(st)
+	p.setOwner(int(slot), id)
+	p.storeMeta(id, nm)
+	if pin {
+		st.pins[id]++
+	}
+	delete(st.inflight, id)
+	close(w.done)
+	st.mu.Unlock()
 	if fresh {
 		return base, false, nil
 	}
@@ -290,15 +480,33 @@ func (p *Pool) Prefetch(id ObjectID) {
 	if id >= ObjectID(len(p.table)) {
 		return
 	}
-	if p.table[id].Present() {
+	st := p.stripeFor(id)
+	p.lockStripe(st)
+	m := p.metaAt(id)
+	if m.Present() {
+		st.mu.Unlock()
 		return
+	}
+	if _, busy := st.inflight[id]; busy {
+		st.mu.Unlock()
+		return // a demand fetch or another prefetch already owns it
+	}
+	w := &fetchWait{done: make(chan struct{})}
+	st.inflight[id] = w
+	st.mu.Unlock()
+	abandon := func() {
+		p.lockStripe(st)
+		delete(st.inflight, id)
+		close(w.done)
+		st.mu.Unlock()
 	}
 	slot, ok := p.tryTakeSlotGentle()
 	if !ok {
+		abandon()
 		return // nothing cold to displace; skip rather than pollute
 	}
 	base := uint64(slot) * uint64(p.objSize)
-	if p.table[id] == 0 {
+	if m == 0 {
 		// Never-touched object: materialize zeros without network.
 		p.arena.WriteAt(base, make([]byte, p.objSize))
 	} else {
@@ -306,14 +514,19 @@ func (p *Pool) Prefetch(id ObjectID) {
 			// Prefetch is speculation: on persistent failure, give the
 			// slot back and leave the object remote rather than
 			// installing a zero-filled ghost.
-			p.freeSlots = append(p.freeSlots, slot)
+			p.giveSlot(slot)
+			abandon()
 			return
 		}
 		sim.Inc(&p.env.Counters.PrefetchIssued)
 		sim.Inc(&p.env.Counters.RemoteFetches)
 	}
-	p.slotOwner[slot] = id
-	p.table[id] = LocalMeta(base, p.dsID) | MetaPF
+	p.lockStripe(st)
+	p.setOwner(int(slot), id)
+	p.storeMeta(id, LocalMeta(base, p.dsID)|MetaPF)
+	delete(st.inflight, id)
+	close(w.done)
+	st.mu.Unlock()
 }
 
 // fetchInto pulls object id into the arena at base, retrying transport
@@ -365,13 +578,16 @@ func (p *Pool) maybeStridePrefetch(id ObjectID) {
 	if !p.autoPrefetch {
 		return
 	}
+	p.strideMu.Lock()
 	if p.lastMiss != noOwner && id == p.lastMiss+1 {
 		p.missStreak++
 	} else {
 		p.missStreak = 0
 	}
 	p.lastMiss = id
-	if p.missStreak >= 2 {
+	issue := p.missStreak >= 2
+	p.strideMu.Unlock()
+	if issue {
 		for k := 1; k <= p.prefetchDepth; k++ {
 			p.Prefetch(id + ObjectID(k))
 		}
@@ -379,75 +595,123 @@ func (p *Pool) maybeStridePrefetch(id ObjectID) {
 }
 
 // Pin increments id's pin count, preventing evacuation. This is the
-// DerefScope / out-of-scope barrier: while any application thread holds an
-// object in scope, the evacuator cannot converge on it.
-func (p *Pool) Pin(id ObjectID) { p.pins[id]++ }
+// DerefScope / out-of-scope barrier: while any application goroutine holds
+// an object in scope, the evacuator cannot converge on it.
+func (p *Pool) Pin(id ObjectID) {
+	st := p.stripeFor(id)
+	p.lockStripe(st)
+	st.pins[id]++
+	st.mu.Unlock()
+}
 
 // Unpin decrements id's pin count. Unpinning an unpinned object panics:
 // it indicates a scope bookkeeping bug.
 func (p *Pool) Unpin(id ObjectID) {
-	n, ok := p.pins[id]
-	if !ok {
+	st := p.stripeFor(id)
+	p.lockStripe(st)
+	n, ok := st.pins[id]
+	switch {
+	case !ok:
+		st.mu.Unlock()
 		panic("aifm: Unpin of unpinned object")
+	case n == 1:
+		delete(st.pins, id)
+	default:
+		st.pins[id] = n - 1
 	}
-	if n == 1 {
-		delete(p.pins, id)
-	} else {
-		p.pins[id] = n - 1
-	}
+	st.mu.Unlock()
 }
 
 // Pinned reports whether id is currently pinned.
-func (p *Pool) Pinned(id ObjectID) bool { return p.pins[id] > 0 }
+func (p *Pool) Pinned(id ObjectID) bool {
+	st := p.stripeFor(id)
+	p.lockStripe(st)
+	pinned := st.pins[id] > 0
+	st.mu.Unlock()
+	return pinned
+}
 
-// takeSlot returns a free slot, evicting if necessary. It panics if every
-// resident object is pinned, which mirrors AIFM aborting when local memory
-// is exhausted by in-scope objects.
-func (p *Pool) takeSlot() uint32 {
-	if slot, ok := p.tryTakeSlot(); ok {
-		return slot
+// popFree pops the most recently freed slot (LIFO, preserving the
+// single-goroutine allocation order tests pin down).
+func (p *Pool) popFree() (uint32, bool) {
+	p.freeMu.Lock()
+	n := len(p.freeSlots)
+	if n == 0 {
+		p.freeMu.Unlock()
+		return 0, false
 	}
-	panic("aifm: local memory exhausted: every resident object is pinned")
+	slot := p.freeSlots[n-1]
+	p.freeSlots = p.freeSlots[:n-1]
+	p.freeMu.Unlock()
+	return slot, true
+}
+
+// giveSlot returns a slot to the free stack.
+func (p *Pool) giveSlot(slot uint32) {
+	p.freeMu.Lock()
+	p.freeSlots = append(p.freeSlots, slot)
+	p.freeMu.Unlock()
+}
+
+func (p *Pool) freeCount() int {
+	p.freeMu.Lock()
+	n := len(p.freeSlots)
+	p.freeMu.Unlock()
+	return n
+}
+
+func (p *Pool) nextHand() int {
+	return int((p.hand.Add(1) - 1) % uint64(len(p.slotOwner)))
 }
 
 // tryTakeSlotGentle returns a free slot, or evicts a cold (H-clear,
 // unpinned) object without clearing anyone's hotness bit. Used by the
 // prefetcher so speculation cannot displace demand-loaded data.
 func (p *Pool) tryTakeSlotGentle() (uint32, bool) {
-	if n := len(p.freeSlots); n > 0 {
-		slot := p.freeSlots[n-1]
-		p.freeSlots = p.freeSlots[:n-1]
+	if slot, ok := p.popFree(); ok {
 		return slot, true
 	}
 	nSlots := len(p.slotOwner)
 	for i := 0; i < nSlots; i++ {
-		slot := p.hand
-		p.hand = (p.hand + 1) % nSlots
-		id := p.slotOwner[slot]
-		if id == noOwner || p.pins[id] > 0 {
+		slot := p.nextHand()
+		id := p.ownerAt(slot)
+		if id == noOwner {
 			continue
 		}
-		m := p.table[id]
+		st := p.stripeFor(id)
+		if !st.mu.TryLock() {
+			continue // busy stripe: a prefetch never waits on a lock
+		}
+		if p.ownerAt(slot) != id || st.pins[id] > 0 {
+			st.mu.Unlock()
+			continue
+		}
+		m := p.metaAt(id)
 		// Never displace hot data, and never displace another not-yet-
 		// consumed prefetch — otherwise a deep prefetch window churns
 		// its own speculative fetches into double work.
-		if m.Hot() || m.Prefetched() {
+		if !m.Present() || m.Hot() || m.Prefetched() {
+			st.mu.Unlock()
 			continue
 		}
-		if !p.evictSlot(uint32(slot), id) {
-			continue // write-back stalled; try another victim
+		ok := p.evictLocked(uint32(slot), id)
+		st.mu.Unlock()
+		if ok {
+			return uint32(slot), true
 		}
-		return uint32(slot), true
 	}
 	return 0, false
 }
 
 // tryTakeSlot returns a free slot if one exists or can be made by evicting
-// an unpinned object (clock with one hotness second chance).
+// an unpinned object (clock with one hotness second chance). Victims in
+// other stripes are taken with TryLock — an evictor never blocks on a
+// stripe someone else is working in, it just moves the clock hand on —
+// which also rules out lock-order deadlocks: no goroutine ever waits for a
+// second stripe while holding one.
 func (p *Pool) tryTakeSlot() (uint32, bool) {
-	if n := len(p.freeSlots); n > 0 {
-		slot := p.freeSlots[n-1]
-		p.freeSlots = p.freeSlots[:n-1]
+	if slot, ok := p.popFree(); ok {
+		p.kickEvacuator()
 		return slot, true
 	}
 	nSlots := len(p.slotOwner)
@@ -455,40 +719,52 @@ func (p *Pool) tryTakeSlot() (uint32, bool) {
 	// unpinned object regardless of hotness.
 	for pass := 0; pass < 2; pass++ {
 		for i := 0; i < nSlots; i++ {
-			slot := p.hand
-			p.hand = (p.hand + 1) % nSlots
-			id := p.slotOwner[slot]
+			slot := p.nextHand()
+			id := p.ownerAt(slot)
 			if id == noOwner {
 				continue
 			}
-			if p.pins[id] > 0 {
+			st := p.stripeFor(id)
+			if !st.mu.TryLock() {
 				continue
 			}
-			m := p.table[id]
+			if p.ownerAt(slot) != id || st.pins[id] > 0 {
+				st.mu.Unlock()
+				continue
+			}
+			m := p.metaAt(id)
+			if !m.Present() {
+				st.mu.Unlock()
+				continue
+			}
 			if pass == 0 && m.Hot() {
-				p.table[id] = m &^ MetaH
+				p.storeMeta(id, m&^MetaH)
+				st.mu.Unlock()
 				continue
 			}
-			if !p.evictSlot(uint32(slot), id) {
-				continue // write-back stalled; try another victim
+			ok := p.evictLocked(uint32(slot), id)
+			st.mu.Unlock()
+			if ok {
+				return uint32(slot), true
 			}
-			return uint32(slot), true
 		}
 	}
 	return 0, false
 }
 
-// evictSlot evacuates the object owning slot to the remote node. It
-// reports whether the eviction completed: when a dirty object's write-back
-// fails past the retry budget, the object stays resident and dirty (it is
-// the only copy of the data — dropping it would be silent corruption), the
-// stall is counted, and the caller moves on to another victim. This is the
-// "pin and degrade" path: under a persistent remote outage every dirty
-// object effectively pins itself until the fabric heals.
-func (p *Pool) evictSlot(slot uint32, id ObjectID) bool {
+// evictLocked evacuates the object owning slot to the remote node. The
+// caller holds id's stripe lock and has verified ownership and a zero pin
+// count. It reports whether the eviction completed: when a dirty object's
+// write-back fails past the retry budget, the object stays resident and
+// dirty (it is the only copy of the data — dropping it would be silent
+// corruption), the stall is counted, and the caller moves on to another
+// victim. This is the "pin and degrade" path: under a persistent remote
+// outage every dirty object effectively pins itself until the fabric
+// heals.
+func (p *Pool) evictLocked(slot uint32, id ObjectID) bool {
 	start := p.env.Clock.Cycles()
 	defer func() { p.lat.Evacuation.Observe(p.env.Clock.Cycles() - start) }()
-	m := p.table[id]
+	m := p.metaAt(id)
 	base := uint64(slot) * uint64(p.objSize)
 	p.env.Clock.Advance(p.env.Costs.EvacuateObject)
 	if m.Dirty() {
@@ -499,31 +775,39 @@ func (p *Pool) evictSlot(slot uint32, id ObjectID) bool {
 			return false
 		}
 	}
-	p.table[id] = RemoteMeta(id, uint32(p.objSize), p.dsID)
-	p.slotOwner[slot] = noOwner
+	p.storeMeta(id, RemoteMeta(id, uint32(p.objSize), p.dsID))
+	p.setOwner(int(slot), noOwner)
 	sim.Inc(&p.env.Counters.Evacuations)
-	p.Evacuations++
+	atomic.AddUint64(&p.Evacuations, 1)
 	return true
 }
 
 // EvacuateAll force-evacuates every unpinned resident object; tests and
 // experiment setup use it to start measurement phases fully cold.
 func (p *Pool) EvacuateAll() {
-	for slot, id := range p.slotOwner {
-		if id == noOwner || p.pins[id] > 0 {
+	for slot := range p.slotOwner {
+		id := p.ownerAt(slot)
+		if id == noOwner {
 			continue
 		}
-		if p.evictSlot(uint32(slot), id) {
-			p.freeSlots = append(p.freeSlots, uint32(slot))
+		st := p.stripeFor(id)
+		p.lockStripe(st)
+		if p.ownerAt(slot) != id || st.pins[id] > 0 || !p.metaAt(id).Present() {
+			st.mu.Unlock()
+			continue
 		}
+		if p.evictLocked(uint32(slot), id) {
+			p.giveSlot(uint32(slot))
+		}
+		st.mu.Unlock()
 	}
 }
 
 // Read copies object bytes [off, off+len(dst)) into dst. The object must
-// be resident (call Localize first); the TrackFM guard layer guarantees
-// this ordering.
+// be resident (call Localize first) and, under concurrency, pinned for the
+// duration of the copy; the TrackFM guard layer guarantees both.
 func (p *Pool) Read(id ObjectID, off uint64, dst []byte) {
-	m := p.table[id]
+	m := p.metaAt(id)
 	if !m.Present() {
 		panic("aifm: Read of non-resident object (guard ordering bug)")
 	}
@@ -531,27 +815,30 @@ func (p *Pool) Read(id ObjectID, off uint64, dst []byte) {
 }
 
 // Write copies src into object bytes starting at off and marks the object
-// dirty. The object must be resident.
+// dirty. The object must be resident and, under concurrency, pinned.
 func (p *Pool) Write(id ObjectID, off uint64, src []byte) {
-	m := p.table[id]
+	m := p.metaAt(id)
 	if !m.Present() {
 		panic("aifm: Write of non-resident object (guard ordering bug)")
 	}
 	p.arena.WriteAt(m.DataAddr()+off, src)
-	p.table[id] = m | MetaD
+	atomic.OrUint64((*uint64)(&p.table[id]), uint64(MetaD))
 }
 
 // Free releases id: drops the local copy, deletes the remote copy, and
 // resets metadata. Freeing a pinned object panics.
 func (p *Pool) Free(id ObjectID) {
-	if p.pins[id] > 0 {
+	st := p.stripeFor(id)
+	p.lockStripe(st)
+	if st.pins[id] > 0 {
+		st.mu.Unlock()
 		panic("aifm: Free of pinned object")
 	}
-	m := p.table[id]
+	m := p.metaAt(id)
 	if m.Present() {
 		slot := uint32(m.DataAddr() / uint64(p.objSize))
-		p.slotOwner[slot] = noOwner
-		p.freeSlots = append(p.freeSlots, slot)
+		p.setOwner(int(slot), noOwner)
+		p.giveSlot(slot)
 	}
 	// Deletes are idempotent and harmless to lose: a leaked remote blob
 	// is unreachable once the metadata word resets (a reused id is
@@ -563,5 +850,31 @@ func (p *Pool) Free(id ObjectID) {
 		}
 		sim.Inc(&p.env.Counters.RemotePushFaults)
 	}
-	p.table[id] = 0
+	p.storeMeta(id, 0)
+	st.mu.Unlock()
+}
+
+// registerScope and unregisterScope maintain the live-scope set the
+// background evacuator's out-of-scope barrier snapshots.
+func (p *Pool) registerScope(s *DerefScope) {
+	p.scopesMu.Lock()
+	p.scopes[s] = struct{}{}
+	p.scopesMu.Unlock()
+}
+
+func (p *Pool) unregisterScope(s *DerefScope) {
+	p.scopesMu.Lock()
+	delete(p.scopes, s)
+	p.scopesMu.Unlock()
+}
+
+// scopeEpochs snapshots every live scope's epoch counter.
+func (p *Pool) scopeEpochs() map[*DerefScope]uint64 {
+	p.scopesMu.Lock()
+	snap := make(map[*DerefScope]uint64, len(p.scopes))
+	for s := range p.scopes {
+		snap[s] = s.epoch.Load()
+	}
+	p.scopesMu.Unlock()
+	return snap
 }

@@ -1,5 +1,7 @@
 package aifm
 
+import "sync/atomic"
+
 // DerefScope pins objects for the duration of a dereference, reproducing
 // AIFM's scope API (Listing 1 in the paper): while a scope holds an object,
 // the evacuator's out-of-scope barrier cannot converge and the object stays
@@ -8,38 +10,61 @@ package aifm
 // The TrackFM slow-path guard opens a transient scope around each guarded
 // access; library-mode code (and the paper's AIFM comparator) opens one per
 // loop body, exactly as in Listing 1.
+//
+// A scope is owned by one goroutine — its pin list is deliberately
+// unsynchronized so pinning stays uncontended — but any number of
+// goroutines may each hold their own scope against the same pool. The pool
+// keeps a registry of live scopes; the background evacuator's out-of-scope
+// barrier waits for each one to pass a deref boundary (tracked by an
+// atomic epoch the scope bumps on every Deref and on Close) before
+// finalizing evictions.
 type DerefScope struct {
 	pool   *Pool
 	pinned []ObjectID
 	closed bool
+	epoch  atomic.Uint64
 }
 
-// NewScope opens a scope against pool and charges the scope-entry cost.
+// NewScope opens a scope against pool, registers it with the evacuator's
+// barrier, and charges the scope-entry cost.
 func NewScope(pool *Pool) *DerefScope {
 	pool.env.Clock.Advance(pool.env.Costs.DerefScopeCost)
-	return &DerefScope{pool: pool}
+	s := &DerefScope{pool: pool}
+	pool.registerScope(s)
+	return s
 }
 
 // Deref localizes id, pins it for the scope's lifetime, and returns the
 // arena offset of the object's first byte.
 func (s *DerefScope) Deref(id ObjectID, forWrite bool) uint64 {
-	if s.closed {
-		panic("aifm: Deref on closed scope")
-	}
-	base, _ := s.pool.Localize(id, forWrite)
-	s.pool.Pin(id)
-	s.pinned = append(s.pinned, id)
+	base, _ := s.DerefMiss(id, forWrite)
 	return base
 }
 
-// Close releases all pins. Closing twice is a no-op.
+// DerefMiss is Deref, additionally reporting whether the access blocked on
+// a remote fetch (a critical fetch). Benchmarks use it to charge modeled
+// per-access costs without re-deriving residency.
+func (s *DerefScope) DerefMiss(id ObjectID, forWrite bool) (uint64, bool) {
+	if s.closed {
+		panic("aifm: Deref on closed scope")
+	}
+	base, missed := s.pool.LocalizePin(id, forWrite)
+	s.pinned = append(s.pinned, id)
+	s.epoch.Add(1)
+	return base, missed
+}
+
+// Close releases all pins and deregisters the scope. Closing twice is a
+// no-op.
 func (s *DerefScope) Close() {
 	if s.closed {
 		return
 	}
 	s.closed = true
+	s.pool.unregisterScope(s)
 	for _, id := range s.pinned {
 		s.pool.Unpin(id)
 	}
 	s.pinned = nil
+	s.epoch.Add(1)
 }

@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestMTScanSpeedup asserts the PR's acceptance gate: on the disjoint
+// sequential-scan phase, 8 workers deliver at least 3x the single-worker
+// ops/sec (on the virtual per-worker clocks; striping should make it close
+// to 8x, since disjoint scans share no stripes and no objects).
+func TestMTScanSpeedup(t *testing.T) {
+	tb := mtScan(Scale{Factor: 0.5})
+	rates := map[string]float64{} // "phase/workers" -> Mops/s
+	for _, row := range tb.Rows {
+		rate, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatalf("bad Mops/s cell %q: %v", row[3], err)
+		}
+		if rate <= 0 {
+			t.Errorf("phase %s workers %s: non-positive throughput", row[0], row[1])
+		}
+		rates[row[0]+"/"+row[1]] = rate
+	}
+	base, ok := rates["disjoint/1"]
+	if !ok || base <= 0 {
+		t.Fatalf("missing single-worker disjoint baseline: %v", rates)
+	}
+	if speedup := rates["disjoint/8"] / base; speedup < 3 {
+		t.Errorf("8-worker disjoint scan speedup = %.2fx, want >= 3x", speedup)
+	}
+	if rates["disjoint/2"] < base {
+		t.Errorf("2 workers slower than 1: %v", rates)
+	}
+	if rates["shared/8"] <= 0 {
+		t.Errorf("shared phase produced no throughput")
+	}
+}

@@ -42,6 +42,7 @@ func Experiments() []Experiment {
 		{"ablation", "design ablations (extension)", Ablation},
 		{"autotune", "object-size autotuning (extension)", Autotune},
 		{"nasx", "NAS incl. EP/LU (extension)", NASExtended},
+		{"mt", "multi-goroutine scaling (extension)", MTScan},
 	}
 }
 

@@ -62,19 +62,19 @@ func (c *Cursor) ensure(off uint64, write bool) aifm.ObjectID {
 	sim.Inc(&r.env.Counters.BoundaryChecks)
 	id := aifm.ObjectID(off >> r.shift)
 	if c.pinned && id == c.obj {
-		if write && !r.ost[id].Dirty() {
-			r.pool.Localize(id, true) // set the dirty bit once
+		if write && !aifm.MetaAt(r.ost, id).Dirty() {
+			r.pool.Localize(id, true) // set the dirty bit once; still pinned
 		}
 		return id
 	}
-	// Object boundary crossed: locality-invariant guard.
+	// Object boundary crossed: locality-invariant guard. Localize and pin
+	// are one critical section so a concurrent evacuator cannot interleave.
 	if c.pinned {
 		r.pool.Unpin(c.obj)
 	}
 	r.env.Clock.Advance(r.env.Costs.LocalityInvariantPin)
 	sim.Inc(&r.env.Counters.LocalityGuards)
-	r.pool.Localize(id, write)
-	r.pool.Pin(id)
+	r.pool.LocalizePin(id, write)
 	c.obj, c.pinned = id, true
 	if c.prefetch {
 		for k := 1; k <= r.prefetchDepth; k++ {

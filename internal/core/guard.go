@@ -14,9 +14,12 @@ import (
 // runtime (slow path), which localizes the object — possibly with a remote
 // fetch. Costs follow Table 1; the cached/uncached split is decided by the
 // OST warm-line model.
+// It returns with the object pinned; the caller unpins after the data
+// access, closing the race window a concurrent evacuator could otherwise
+// slip into between the residency check and the access.
 func (r *Runtime) guardObject(id aifm.ObjectID, write bool) {
 	warm := r.cache.touch(uint64(id))
-	m := r.ost[id]
+	m := aifm.MetaAt(r.ost, id)
 	costs := &r.env.Costs
 	if r.noOST {
 		// Ablation: without the contiguous object state table the guard
@@ -41,9 +44,10 @@ func (r *Runtime) guardObject(id aifm.ObjectID, write bool) {
 			r.env.Clock.Advance(costs.FastGuardReadUncached)
 		}
 		// Between the safety check and the access the evacuator cannot
-		// delocalize the object (out-of-scope barrier, §3.3); Localize
-		// on a resident object only refreshes hot/dirty bits.
-		r.pool.Localize(id, write)
+		// delocalize the object (out-of-scope barrier, §3.3): the object
+		// is localized and pinned in one critical section, and stays
+		// pinned until the access completes.
+		r.pool.LocalizePin(id, write)
 		return
 	}
 	// Slow path: runtime call adhering to AIFM's DerefScope API. The
@@ -61,7 +65,7 @@ func (r *Runtime) guardObject(id aifm.ObjectID, write bool) {
 	default:
 		r.env.Clock.Advance(costs.SlowGuardReadUncached)
 	}
-	r.pool.Localize(id, write) // charges the remote fetch when absent
+	r.pool.LocalizePin(id, write) // charges the remote fetch when absent
 	r.lat.GuardSlow.Observe(r.env.Clock.Cycles() - slowStart)
 	r.collectPoint()
 }
@@ -148,6 +152,7 @@ func (r *Runtime) access(p Ptr, buf []byte, write bool, op string) {
 		} else {
 			r.pool.Read(id, inObj, buf[done:done+n])
 		}
+		r.pool.Unpin(id)
 		done += n
 	}
 }

@@ -1,5 +1,7 @@
 package core
 
+import "sync"
+
 // ostCache models which object-state-table cache lines are warm in the
 // CPU cache. A guard whose OST entry is warm pays the "cached" cost of
 // Table 1; a first touch (or a touch after capacity eviction) pays the
@@ -9,7 +11,11 @@ package core
 // The model is a FIFO-replacement set of line tags: precise enough to
 // reproduce the cached/uncached split without simulating a full cache
 // hierarchy.
+// The cache is shared by every goroutine running guards, so its map and
+// ring are guarded by a mutex; the warm/cold verdict under concurrency is
+// a property of the interleaving, exactly as a real shared cache's is.
 type ostCache struct {
+	mu       sync.Mutex
 	resident map[uint64]struct{}
 	order    []uint64 // FIFO ring of resident tags
 	head     int
@@ -34,6 +40,8 @@ func newOSTCache(capacityLines int) *ostCache {
 // whether its line was already warm.
 func (c *ostCache) touch(id uint64) bool {
 	line := id / objectsPerLine
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, ok := c.resident[line]; ok {
 		return true
 	}
@@ -51,6 +59,8 @@ func (c *ostCache) touch(id uint64) bool {
 
 // flush empties the cache; Table 1's "uncached" rows are measured this way.
 func (c *ostCache) flush() {
+	c.mu.Lock()
 	c.resident = make(map[uint64]struct{}, c.capacity)
 	c.head = 0
+	c.mu.Unlock()
 }

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math/bits"
+	"sync"
+	"sync/atomic"
 
 	"trackfm/internal/aifm"
 	"trackfm/internal/fabric"
@@ -50,13 +52,22 @@ type Config struct {
 	// pays AIFM's second, indirect metadata reference instead of the
 	// single table-indexed load (§3.2).
 	NoOST bool
+	// BackgroundEvacuate runs the pool's background evacuator goroutine
+	// (see aifm.Config.BackgroundEvacuate).
+	BackgroundEvacuate bool
 }
 
 // Runtime is the TrackFM runtime attached to one transformed application.
 // It owns the unified object pool (the paper's abstract data structure
 // holding every remotable allocation), the object state table, and the
-// allocator. Not safe for concurrent use; the simulation serializes one
-// logical timeline.
+// allocator.
+//
+// Runtime is safe for concurrent use: guarded accesses (Load/Store and
+// friends) ride the pool's lock striping and pin objects across the data
+// copy, the allocator serializes under its own mutex, and OST reads on the
+// guard fast path are single atomic loads. A Cursor remains a
+// single-goroutine object (one per worker, like a DerefScope). The
+// simulated clock stays one logical timeline shared by all goroutines.
 type Runtime struct {
 	env   *sim.Env
 	lat   *sim.Latencies
@@ -68,6 +79,7 @@ type Runtime struct {
 	shift   uint
 
 	heapSize uint64
+	allocMu  sync.Mutex
 	brk      uint64          // bump pointer, heap offset of next free byte
 	allocs   map[Ptr]uint64  // live allocation sizes, for free/realloc
 	link     *fabric.SimLink // nil when an external transport is used
@@ -76,7 +88,7 @@ type Runtime struct {
 	noPrefetch    bool
 
 	collectEvery int
-	sinceCollect int
+	sinceCollect atomic.Int64
 
 	noOST bool
 }
@@ -109,8 +121,9 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		HeapSize:      cfg.HeapSize,
 		LocalBudget:   cfg.LocalBudget,
 		Backing:       cfg.Backing,
-		AutoPrefetch:  false, // TrackFM prefetch is compiler-directed
-		PrefetchDepth: cfg.PrefetchDepth,
+		AutoPrefetch:       false, // TrackFM prefetch is compiler-directed
+		PrefetchDepth:      cfg.PrefetchDepth,
+		BackgroundEvacuate: cfg.BackgroundEvacuate,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -163,6 +176,8 @@ func (r *Runtime) ObjectSize() int { return r.objSize }
 // HeapBytesInUse reports bytes of far heap handed out by Malloc and not
 // yet freed.
 func (r *Runtime) HeapBytesInUse() uint64 {
+	r.allocMu.Lock()
+	defer r.allocMu.Unlock()
 	var n uint64
 	for _, sz := range r.allocs {
 		n += sz
@@ -182,6 +197,8 @@ func (r *Runtime) Malloc(n uint64) (Ptr, error) {
 	r.env.Clock.Advance(r.env.Costs.MallocCost)
 	sim.Inc(&r.env.Counters.Mallocs)
 
+	r.allocMu.Lock()
+	defer r.allocMu.Unlock()
 	const align = 16
 	start := (r.brk + align - 1) &^ (align - 1)
 	if n <= uint64(r.objSize) {
@@ -216,13 +233,16 @@ func (r *Runtime) MustMalloc(n uint64) Ptr {
 // unknown pointer panics, mirroring heap corruption aborting a real
 // allocator.
 func (r *Runtime) Free(p Ptr) {
+	r.allocMu.Lock()
 	n, ok := r.allocs[p]
 	if !ok {
+		r.allocMu.Unlock()
 		panic(fmt.Sprintf("core: Free of unknown pointer %#x", uint64(p)))
 	}
+	delete(r.allocs, p)
+	r.allocMu.Unlock()
 	r.env.Clock.Advance(r.env.Costs.FreeCost)
 	sim.Inc(&r.env.Counters.Frees)
-	delete(r.allocs, p)
 
 	start := p.HeapOffset()
 	end := start + n
@@ -236,7 +256,9 @@ func (r *Runtime) Free(p Ptr) {
 // Realloc grows or shrinks an allocation, copying min(old,new) bytes
 // through guarded accesses exactly as the transformed libc realloc does.
 func (r *Runtime) Realloc(p Ptr, n uint64) (Ptr, error) {
+	r.allocMu.Lock()
 	old, ok := r.allocs[p]
+	r.allocMu.Unlock()
 	if !ok {
 		return 0, fmt.Errorf("core: Realloc of unknown pointer %#x", uint64(p))
 	}
@@ -268,11 +290,10 @@ func (r *Runtime) Realloc(p Ptr, n uint64) (Ptr, error) {
 // happens on demand; the collection point only decays hotness so cold
 // objects become eviction candidates sooner.
 func (r *Runtime) collectPoint() {
-	r.sinceCollect++
-	if r.sinceCollect < r.collectEvery {
+	if r.sinceCollect.Add(1) < int64(r.collectEvery) {
 		return
 	}
-	r.sinceCollect = 0
+	r.sinceCollect.Store(0)
 }
 
 // FlushOSTCache empties the warm-line model so subsequent guards pay

@@ -9,7 +9,11 @@
 // calibrated benchmarks.
 package fabric
 
-import "trackfm/internal/sim"
+import (
+	"sync"
+
+	"trackfm/internal/sim"
+)
 
 // Backend identifies which network backend's cost profile a SimLink uses.
 // The paper's two systems use different backends: Fastswap rides one-sided
@@ -148,10 +152,13 @@ func (d Degrading) Delete(key uint64) {
 
 // SimLink is the deterministic in-process transport. It stores pushed blobs
 // in a map and charges the calibrated fixed+bandwidth cycle cost of its
-// backend for every operation.
+// backend for every operation. It is safe for concurrent use: the blob map
+// sits behind a mutex (clock and counters are already atomic), modelling
+// the remote node serving independent requests.
 type SimLink struct {
 	env     *sim.Env
 	backend Backend
+	mu      sync.Mutex
 	store   map[uint64][]byte
 	// ChargePush controls whether Push charges the clock. Evacuation
 	// write-back is charged by default; tests can disable it to isolate
@@ -175,14 +182,18 @@ func (l *SimLink) fetchCost(n int) uint64 {
 func (l *SimLink) Fetch(key uint64, dst []byte) bool {
 	l.env.Clock.Advance(l.fetchCost(len(dst)))
 	sim.Add(&l.env.Counters.BytesFetched, uint64(len(dst)))
+	l.mu.Lock()
 	blob, ok := l.store[key]
+	if ok {
+		copy(dst, blob)
+	}
+	l.mu.Unlock()
 	if !ok {
 		for i := range dst {
 			dst[i] = 0
 		}
 		return false
 	}
-	copy(dst, blob)
 	return true
 }
 
@@ -198,14 +209,18 @@ func (l *SimLink) FetchAsync(key uint64, dst []byte) bool {
 	}
 	l.env.Clock.Advance(charge)
 	sim.Add(&l.env.Counters.BytesFetched, uint64(len(dst)))
+	l.mu.Lock()
 	blob, ok := l.store[key]
+	if ok {
+		copy(dst, blob)
+	}
+	l.mu.Unlock()
 	if !ok {
 		for i := range dst {
 			dst[i] = 0
 		}
 		return false
 	}
-	copy(dst, blob)
 	return true
 }
 
@@ -219,12 +234,16 @@ func (l *SimLink) Push(key uint64, src []byte) {
 	sim.Add(&l.env.Counters.BytesEvicted, uint64(len(src)))
 	blob := make([]byte, len(src))
 	copy(blob, src)
+	l.mu.Lock()
 	l.store[key] = blob
+	l.mu.Unlock()
 }
 
 // Delete implements Transport.
 func (l *SimLink) Delete(key uint64) {
+	l.mu.Lock()
 	delete(l.store, key)
+	l.mu.Unlock()
 }
 
 // TryFetch implements ErrorTransport; the in-process link cannot fail, so
@@ -253,6 +272,8 @@ func (l *SimLink) TryDelete(key uint64) error {
 // RemoteBytes reports the total bytes currently resident on the simulated
 // remote node, for budget assertions in tests.
 func (l *SimLink) RemoteBytes() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	var n uint64
 	for _, b := range l.store {
 		n += uint64(len(b))
@@ -261,4 +282,8 @@ func (l *SimLink) RemoteBytes() uint64 {
 }
 
 // RemoteKeys reports how many distinct keys the remote node holds.
-func (l *SimLink) RemoteKeys() int { return len(l.store) }
+func (l *SimLink) RemoteKeys() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.store)
+}

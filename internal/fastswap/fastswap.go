@@ -20,6 +20,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"trackfm/internal/fabric"
 	"trackfm/internal/mem"
@@ -85,8 +86,15 @@ const (
 )
 
 // Swap is a Fastswap-style kernel swap system for one application.
-// Like the other runtimes it is single-timeline and not concurrency-safe.
+//
+// Swap is safe for concurrent use, but deliberately coarse about it: one
+// mutex serializes every fault, access, and reclaim — the moral equivalent
+// of the kernel's mmap_lock, which is exactly the serialization Fastswap
+// inherits and the paper's object runtime avoids with striping. The
+// contrast is part of the model: under many goroutines the TrackFM pool
+// scales while the swap baseline queues.
 type Swap struct {
+	mu       sync.Mutex
 	env      *sim.Env
 	lat      *sim.Latencies
 	link     fabric.ErrorTransport
@@ -204,6 +212,8 @@ func (s *Swap) Close() error {
 
 // ResidentBytes reports bytes of resident pages (cgroup usage).
 func (s *Swap) ResidentBytes() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return uint64(len(s.frameOwner)-len(s.freeFrames)) * uint64(s.pageSize)
 }
 
@@ -214,6 +224,8 @@ func (s *Swap) Malloc(n uint64) (uint64, error) {
 	if n == 0 {
 		n = 1
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	const align = 16
 	start := (s.brk + align - 1) &^ (align - 1)
 	if start+n > s.heapSize {
@@ -414,6 +426,8 @@ func (s *Swap) pushPage(pg uint64, buf []byte) error {
 
 // EvacuateAll reclaims every resident page, starting measurement cold.
 func (s *Swap) EvacuateAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for f, pg := range s.frameOwner {
 		if pg == noPage {
 			continue
@@ -425,10 +439,13 @@ func (s *Swap) EvacuateAll() {
 }
 
 // access moves len(buf) bytes at heap offset off, faulting as needed.
+// The whole access, fault included, runs under the mmap_lock-like mutex.
 func (s *Swap) access(off uint64, buf []byte, write bool) {
 	if off+uint64(len(buf)) > s.heapSize {
 		panic(fmt.Sprintf("fastswap: access at %#x+%d beyond heap end", off, len(buf)))
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	done, total := uint64(0), uint64(len(buf))
 	for done < total {
 		pg := (off + done) >> s.shift

@@ -53,6 +53,12 @@ type Counters struct {
 	RemoteFetchFaults uint64 // failed fetch attempts observed by a runtime
 	RemotePushFaults  uint64 // failed push/delete attempts observed by a runtime
 	EvictionStalls    uint64 // evictions aborted after push retries exhausted
+
+	// Concurrency events (multi-goroutine runtimes only; all zero in a
+	// single-goroutine run).
+	StripeContention   uint64 // pool stripe-lock acquisitions that had to wait
+	SingleflightShared uint64 // localize calls served by another caller's in-flight fetch
+	EvacAborts         uint64 // background-evacuation candidates aborted (pinned or re-touched)
 }
 
 // Inc atomically adds one to a counter field: sim.Inc(&env.Counters.X).
@@ -86,6 +92,7 @@ func (c *Counters) fields() []*uint64 {
 		&c.PrefetchIssued, &c.PrefetchHits,
 		&c.Mallocs, &c.Frees,
 		&c.RemoteFetchFaults, &c.RemotePushFaults, &c.EvictionStalls,
+		&c.StripeContention, &c.SingleflightShared, &c.EvacAborts,
 	}
 }
 
@@ -161,6 +168,9 @@ func (c *Counters) String() string {
 	add("fetchFault", c.RemoteFetchFaults)
 	add("pushFault", c.RemotePushFaults)
 	add("evictStall", c.EvictionStalls)
+	add("lockWait", c.StripeContention)
+	add("sfShared", c.SingleflightShared)
+	add("evacAbort", c.EvacAborts)
 	return strings.TrimSpace(b.String())
 }
 

@@ -17,6 +17,7 @@ type Latencies struct {
 	Evacuation  *obs.Histogram // full evacuation of one slot (push + bookkeeping)
 	GuardSlow   *obs.Histogram // guard slow path end-to-end (localize incl. fetch)
 	Failover    *obs.Histogram // replicated fetch that needed >=1 failover
+	LockWait    *obs.Histogram // contended pool stripe-lock waits (wall time converted to cycles)
 }
 
 // metricDefs names each Counters field for the obs registry, in the same
@@ -43,6 +44,9 @@ var metricDefs = []struct{ name, help string }{
 	{"trackfm_remote_fetch_faults_total", "Failed remote fetch attempts observed by a runtime."},
 	{"trackfm_remote_push_faults_total", "Failed remote push/delete attempts observed by a runtime."},
 	{"trackfm_eviction_stalls_total", "Evictions aborted after push retries were exhausted."},
+	{"trackfm_stripe_contention_total", "Pool stripe-lock acquisitions that had to wait."},
+	{"trackfm_singleflight_shared_total", "Localize calls served by another caller's in-flight fetch."},
+	{"trackfm_evac_aborts_total", "Background-evacuation candidates aborted (pinned or re-touched)."},
 }
 
 // obsState holds the lazily built registry wiring so Env itself stays a
@@ -74,6 +78,8 @@ func (e *Env) initObs() {
 				"Guard slow-path latency in simulated cycles.", nil),
 			Failover: reg.Histogram("trackfm_replica_failover_cycles",
 				"Latency of replicated fetches that needed at least one failover, in clock cycles of the replica set's clock.", nil),
+			LockWait: reg.Histogram("trackfm_lock_wait_cycles",
+				"Contended stripe-lock wait time, wall nanoseconds converted to cycles at the simulated frequency.", nil),
 		}
 		e.obs.registry = reg
 		e.obs.lat = lat
@@ -107,6 +113,7 @@ func (e *Env) resetObs() {
 	for _, h := range []*obs.Histogram{
 		e.obs.lat.RemoteFetch, e.obs.lat.RemotePush,
 		e.obs.lat.Evacuation, e.obs.lat.GuardSlow, e.obs.lat.Failover,
+		e.obs.lat.LockWait,
 	} {
 		h.Reset()
 	}
