@@ -3,12 +3,12 @@
 
 GO ?= go
 
-.PHONY: all build check vet test test-race test-soak test-stress fuzz-short smoke_test bench figs clean \
+.PHONY: all build check vet test test-race test-soak test-stress test-overload fuzz-short smoke_test bench figs clean \
         trackfm_table1 trackfm_table2 trackfm_table3 trackfm_table4 \
         trackfm_fig6 trackfm_fig7 trackfm_fig8 trackfm_fig9 trackfm_fig10 \
         trackfm_fig11 trackfm_fig12 trackfm_fig13 trackfm_fig14a trackfm_fig15 \
         trackfm_fig16a trackfm_fig17a trackfm_compile trackfm_ablation \
-        trackfm_autotune trackfm_mt
+        trackfm_autotune trackfm_mt trackfm_overload
 
 all: build test
 
@@ -33,6 +33,7 @@ check: build
 	$(MAKE) vet
 	$(MAKE) test
 	$(MAKE) test-stress
+	$(MAKE) test-overload
 
 # Tier-1: the full suite twice in shuffled order (catches inter-test
 # order dependence), plus race mode over the concurrency-bearing packages
@@ -52,6 +53,13 @@ test-race:
 test-stress:
 	$(GO) test -race -run 'TestConcurrent' -count=2 ./internal/aifm
 
+# The overload acceptance gates: the deterministic 4x-capacity soak
+# (bounded queue sheds, p99 of admitted ops within 2x uncontended, goodput
+# >= 60% of capacity, no silent late completions) and the retry-budget
+# brownout amplification bound, plus the end-to-end TCP overload test.
+test-overload:
+	$(GO) test -run 'TestOverload|TestAdmission|TestRetryBudget|TestDeadline' ./internal/bench ./internal/fabric
+
 # The replica-failover soak: 10k ops over three TCP replicas with seeded
 # drops and corruption on every link and one replica killed/restarted
 # (empty) mid-run, under the race detector.
@@ -64,6 +72,7 @@ test-soak:
 fuzz-short:
 	$(GO) test -run=^$$ -fuzz=FuzzWireProtocol -fuzztime=30s ./internal/fabric
 	$(GO) test -run=^$$ -fuzz=FuzzCRCFrame -fuzztime=30s ./internal/fabric
+	$(GO) test -run=^$$ -fuzz=FuzzDeadlineFrame -fuzztime=30s ./internal/fabric
 	$(GO) test -race -run=^$$ -fuzz=FuzzConcurrentScopes -fuzztime=30s ./internal/aifm
 
 bench:
@@ -92,6 +101,7 @@ trackfm_compile:  ; $(GO) run ./cmd/trackfm-bench -exp compile
 trackfm_ablation: ; $(GO) run ./cmd/trackfm-bench -exp ablation
 trackfm_autotune: ; $(GO) run ./cmd/trackfm-bench -exp autotune
 trackfm_mt:       ; $(GO) run ./cmd/trackfm-bench -exp mt
+trackfm_overload: ; $(GO) run ./cmd/trackfm-bench -exp overload -json > BENCH_overload.json
 
 clean:
 	$(GO) clean ./...

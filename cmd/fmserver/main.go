@@ -63,6 +63,9 @@ func main() {
 	stats := flag.Duration("stats", 10*time.Second, "stats reporting interval (0 disables)")
 	replica := flag.String("replica", "", "replica label for log lines when running as a replica-set member")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics over HTTP at this address under /metrics (empty disables)")
+	maxQueue := flag.Int("max-queue", 256, "admission control: max requests in flight before shedding (0 disables admission control)")
+	codelTarget := flag.Duration("codel-target", 5*time.Millisecond, "admission control: queue-delay target; sustained delay above it sheds")
+	codelInterval := flag.Duration("codel-interval", 100*time.Millisecond, "admission control: how long delay must stay above target before shedding")
 	flag.Parse()
 
 	tag := "fmserver"
@@ -72,6 +75,15 @@ func main() {
 
 	store := remote.NewStore()
 	srv := fabric.NewServer(store)
+	var adm *fabric.Admission
+	if *maxQueue > 0 {
+		// Wall-clock admission (no Clock): Target/Interval are nanoseconds.
+		adm = srv.EnableAdmission(fabric.AdmissionConfig{
+			MaxQueue: *maxQueue,
+			Target:   uint64(codelTarget.Nanoseconds()),
+			Interval: uint64(codelInterval.Nanoseconds()),
+		})
+	}
 	bound, err := srv.ListenAndServe(*addr)
 	if err != nil {
 		log.Fatal(err)
@@ -88,6 +100,9 @@ func main() {
 		}
 		srv.Stats().Register(reg, labels...)
 		store.Register(reg, labels...)
+		if adm != nil {
+			adm.Stats().Register(reg, labels...)
+		}
 		ln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
 			log.Fatal(err)
@@ -106,8 +121,12 @@ func main() {
 		go func() {
 			for range time.Tick(*stats) {
 				ss := store.Stats()
-				fmt.Printf("%s: %d objects, %d bytes resident | %s | store sizeMismatches=%d checksumFails=%d\n",
+				line := fmt.Sprintf("%s: %d objects, %d bytes resident | %s | store sizeMismatches=%d checksumFails=%d",
 					tag, store.Len(), store.Bytes(), srv.Stats(), ss.SizeMismatches, ss.ChecksumFails)
+				if adm != nil {
+					line += " | adm " + adm.Stats().String()
+				}
+				fmt.Println(line)
 			}
 		}()
 	}

@@ -1,6 +1,7 @@
 package aifm
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 	"sync"
@@ -9,8 +10,17 @@ import (
 
 	"trackfm/internal/fabric"
 	"trackfm/internal/mem"
+	"trackfm/internal/obs"
 	"trackfm/internal/sim"
 )
+
+// ErrDegraded is returned by the Try* localize family while the pool is in
+// degraded mode: repeated deadline misses have convinced the pool the
+// fabric cannot currently answer within budget, so remote fetches fail
+// fast instead of queueing behind a deadline they will miss. Resident
+// objects keep serving normally; a trickle of probe fetches still reaches
+// the network and the first success lifts the degradation.
+var ErrDegraded = errors.New("aifm: pool degraded, remote fetch refused")
 
 // Backing selects the data plane for a pool's local arena.
 type Backing int
@@ -61,6 +71,14 @@ type Config struct {
 	// shard by ObjectID across stripes so goroutines touching different
 	// objects rarely contend.
 	Stripes int
+	// DegradeAfter is how many consecutive deadline-missing remote
+	// operations flip the pool into degraded mode (meaningful only with a
+	// positive OpDeadline). Zero selects the default of 8; a negative
+	// value disables degradation entirely. While degraded, remote fetches
+	// fail fast with ErrDegraded (except a 1-in-16 probe trickle), dirty
+	// evictions stall, and prefetching pauses; the first successful remote
+	// operation restores normal service.
+	DegradeAfter int
 	// BackgroundEvacuate starts a background evacuator goroutine that
 	// reclaims cold slots behind the out-of-scope barrier (§4.2-4.4)
 	// whenever the free-slot count drops below a low watermark. The
@@ -110,6 +128,13 @@ type Pool struct {
 	shift     uint // log2(objSize)
 	dsID      uint8
 
+	// Overload-control state (all idle when dlBudget is zero).
+	dlBudget     uint64 // per-op deadline in clock cycles; 0 = none
+	degradeAfter uint32 // consecutive misses before degrading; 0 = never
+	dlStreak     atomic.Uint32
+	degraded     atomic.Bool
+	probeTick    atomic.Uint64 // admits every Nth fetch while degraded
+
 	table []Meta // object state table, indexed by ObjectID
 
 	stripes    []stripe
@@ -144,6 +169,14 @@ type Pool struct {
 const (
 	noOwner        = ObjectID(^uint64(0))
 	defaultStripes = 64
+
+	// defaultDegradeAfter is the consecutive-deadline-miss streak that
+	// flips a deadline-bearing pool into degraded mode.
+	defaultDegradeAfter = 8
+	// degradedProbeEvery lets one in this many demand fetches through to
+	// the fabric while degraded, so recovery is observed without callers
+	// electing a prober explicitly.
+	degradedProbeEvery = 16
 )
 
 // NewPool validates cfg and builds a pool.
@@ -201,6 +234,15 @@ func NewPool(cfg Config) (*Pool, error) {
 	if replicas != nil {
 		replicas.ObserveFailovers(cfg.Env.Lat().Failover)
 	}
+	degradeAfter := uint32(0)
+	if cfg.OpDeadline > 0 {
+		switch {
+		case cfg.DegradeAfter == 0:
+			degradeAfter = defaultDegradeAfter
+		case cfg.DegradeAfter > 0:
+			degradeAfter = uint32(cfg.DegradeAfter)
+		}
+	}
 	p := &Pool{
 		env:           cfg.Env,
 		lat:           cfg.Env.Lat(),
@@ -208,6 +250,8 @@ func NewPool(cfg Config) (*Pool, error) {
 		replicas:      replicas,
 		closer:        closer,
 		retries:       cfg.Retries(),
+		dlBudget:      cfg.OpDeadline,
+		degradeAfter:  degradeAfter,
 		objSize:       cfg.ObjectSize,
 		shift:         uint(bits.TrailingZeros(uint(cfg.ObjectSize))),
 		dsID:          cfg.DSID,
@@ -480,6 +524,9 @@ func (p *Pool) Prefetch(id ObjectID) {
 	if id >= ObjectID(len(p.table)) {
 		return
 	}
+	if p.degraded.Load() {
+		return // no speculation against a fabric that is missing deadlines
+	}
 	st := p.stripeFor(id)
 	p.lockStripe(st)
 	m := p.metaAt(id)
@@ -529,46 +576,128 @@ func (p *Pool) Prefetch(id ObjectID) {
 	st.mu.Unlock()
 }
 
+// Degraded reports whether the pool is currently in degraded mode:
+// serving resident objects only, with remote fetches failing fast
+// (modulo the probe trickle) after repeated deadline misses.
+func (p *Pool) Degraded() bool { return p.degraded.Load() }
+
+// RegisterObs exposes pool-level health on reg: the degraded-mode flag and
+// the current deadline-miss streak. The Env-wide counters (deadline
+// misses, overload rejects, degraded entries) are already on Env.Metrics.
+func (p *Pool) RegisterObs(reg *obs.Registry, labels ...obs.Label) {
+	reg.GaugeFunc("trackfm_pool_degraded",
+		"1 while the pool is degraded (residents serve, remote fetches fail fast).",
+		func() float64 {
+			if p.degraded.Load() {
+				return 1
+			}
+			return 0
+		}, labels...)
+	reg.GaugeFunc("trackfm_pool_deadline_miss_streak",
+		"Consecutive deadline-missing remote operations (resets on any success).",
+		func() float64 { return float64(p.dlStreak.Load()) }, labels...)
+}
+
+// opDeadline starts a fresh per-op deadline, or the zero Deadline when the
+// pool runs without a budget.
+func (p *Pool) opDeadline() fabric.Deadline {
+	if p.dlBudget == 0 {
+		return fabric.Deadline{}
+	}
+	return fabric.DeadlineAfter(&p.env.Clock, p.dlBudget)
+}
+
+// noteRemoteOK records a successful remote operation: the miss streak
+// resets and any degradation lifts (a probe got through).
+func (p *Pool) noteRemoteOK() {
+	if p.dlBudget == 0 {
+		return
+	}
+	p.dlStreak.Store(0)
+	p.degraded.CompareAndSwap(true, false)
+}
+
+// noteRemoteErr classifies a failed remote operation that started at
+// cycle start: overload rejects and deadline misses are tallied, a miss
+// extends the streak, and a long-enough streak flips the pool into
+// degraded mode. Reports whether err was a deadline miss.
+func (p *Pool) noteRemoteErr(err error, start uint64) bool {
+	if errors.Is(err, fabric.ErrOverloaded) {
+		sim.Inc(&p.env.Counters.OverloadRejects)
+	}
+	if !errors.Is(err, fabric.ErrDeadlineExceeded) {
+		return false
+	}
+	sim.Inc(&p.env.Counters.DeadlineMisses)
+	if elapsed := p.env.Clock.Cycles() - start; elapsed > p.dlBudget {
+		p.lat.DeadlineMiss.Observe(elapsed - p.dlBudget)
+	}
+	if p.degradeAfter > 0 &&
+		p.dlStreak.Add(1) >= p.degradeAfter &&
+		p.degraded.CompareAndSwap(false, true) {
+		sim.Inc(&p.env.Counters.DegradedEntries)
+	}
+	return true
+}
+
 // fetchInto pulls object id into the arena at base, retrying transport
 // failures up to the pool's budget. Every failed attempt is tallied in
 // Counters.RemoteFetchFaults, so injected fault counts reconcile exactly
-// with what the runtime observed.
+// with what the runtime observed. With an OpDeadline configured the
+// deadline bounds the whole retry loop, and while the pool is degraded
+// all but a probe trickle of fetches fail fast with ErrDegraded.
 func (p *Pool) fetchInto(id ObjectID, base uint64, async bool) error {
 	start := p.env.Clock.Cycles()
 	defer func() { p.lat.RemoteFetch.Observe(p.env.Clock.Cycles() - start) }()
+	if p.degraded.Load() && p.probeTick.Add(1)%degradedProbeEvery != 0 {
+		return fmt.Errorf("aifm: fetch object %d: %w", id, ErrDegraded)
+	}
 	buf := make([]byte, p.objSize)
 	key := p.transportKey(id)
+	dl := p.opDeadline()
 	var last error
+	attempts := 0
 	for attempt := 1; attempt <= p.retries; attempt++ {
+		attempts = attempt
 		var err error
 		if async {
 			_, err = p.transport.TryFetchAsync(key, buf)
 		} else {
-			_, err = p.transport.TryFetch(key, buf)
+			_, err = fabric.FetchUntil(p.transport, key, buf, dl)
 		}
 		if err == nil {
 			p.arena.WriteAt(base, buf)
+			p.noteRemoteOK()
 			return nil
 		}
 		last = err
 		sim.Inc(&p.env.Counters.RemoteFetchFaults)
+		if p.noteRemoteErr(err, start) {
+			break // the deadline bounds the whole retry loop
+		}
 	}
-	return fmt.Errorf("aifm: fetch object %d after %d attempts: %w", id, p.retries, last)
+	return fmt.Errorf("aifm: fetch object %d after %d attempts: %w", id, attempts, last)
 }
 
 // pushWithRetry evacuates a dirty object's bytes, retrying transport
 // failures up to the pool's budget; failed attempts are tallied in
-// Counters.RemotePushFaults.
+// Counters.RemotePushFaults. Like fetchInto, an OpDeadline bounds the
+// whole loop.
 func (p *Pool) pushWithRetry(key uint64, buf []byte) error {
 	start := p.env.Clock.Cycles()
 	defer func() { p.lat.RemotePush.Observe(p.env.Clock.Cycles() - start) }()
+	dl := p.opDeadline()
 	var last error
 	for attempt := 1; attempt <= p.retries; attempt++ {
-		if err := p.transport.TryPush(key, buf); err == nil {
+		if err := fabric.PushUntil(p.transport, key, buf, dl); err == nil {
+			p.noteRemoteOK()
 			return nil
 		} else {
 			last = err
 			sim.Inc(&p.env.Counters.RemotePushFaults)
+			if p.noteRemoteErr(err, start) {
+				break
+			}
 		}
 	}
 	return last
@@ -768,6 +897,13 @@ func (p *Pool) evictLocked(slot uint32, id ObjectID) bool {
 	base := uint64(slot) * uint64(p.objSize)
 	p.env.Clock.Advance(p.env.Costs.EvacuateObject)
 	if m.Dirty() {
+		if p.degraded.Load() {
+			// Degraded mode: don't queue write-backs behind a fabric that
+			// is missing deadlines. The dirty object stays resident (it is
+			// the only copy); clean evictions still make room.
+			sim.Inc(&p.env.Counters.EvictionStalls)
+			return false
+		}
 		buf := make([]byte, p.objSize)
 		p.arena.ReadAt(base, buf)
 		if err := p.pushWithRetry(p.transportKey(id), buf); err != nil {

@@ -43,6 +43,7 @@ func Experiments() []Experiment {
 		{"autotune", "object-size autotuning (extension)", Autotune},
 		{"nasx", "NAS incl. EP/LU (extension)", NASExtended},
 		{"mt", "multi-goroutine scaling (extension)", MTScan},
+		{"overload", "overload soak: admission control (extension)", Overload},
 	}
 }
 

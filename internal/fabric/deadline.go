@@ -1,0 +1,162 @@
+package fabric
+
+import (
+	"fmt"
+	"time"
+
+	"trackfm/internal/sim"
+)
+
+// Deadline is an absolute per-operation deadline. Like the breaker timing
+// in ReplicaSet it is clock-dual: when built over a sim.Clock it is a
+// cycle count on the deterministic timeline (experiments replay
+// bit-identically); when built over the wall clock it is a UnixNano
+// instant. The zero Deadline means "no deadline" and is accepted
+// everywhere a Deadline is.
+//
+// Deadlines propagate end to end: the runtime (aifm.Pool, fastswap.Swap)
+// stamps one per remote operation, the ReplicaSet fits failover and
+// hedging inside the remaining budget, the TCPTransport bounds each
+// attempt's socket deadline and backoff by it and carries the remaining
+// budget to the server in the v3 frame header, and the server's admission
+// control sheds requests it cannot finish in time.
+type Deadline struct {
+	at  uint64     // absolute expiry in clock units; meaningless when !set
+	clk *sim.Clock // nil = wall clock (at is UnixNano)
+	set bool
+}
+
+// DeadlineAfter returns a deadline budget clock-units from now: simulated
+// cycles when clk is non-nil, nanoseconds of wall time otherwise.
+func DeadlineAfter(clk *sim.Clock, budget uint64) Deadline {
+	d := Deadline{clk: clk, set: true}
+	d.at = d.now() + budget
+	return d
+}
+
+// WallDeadlineAfter returns a wall-clock deadline budget from now.
+func WallDeadlineAfter(budget time.Duration) Deadline {
+	return DeadlineAfter(nil, uint64(budget.Nanoseconds()))
+}
+
+// IsZero reports whether d is the no-deadline zero value.
+func (d Deadline) IsZero() bool { return !d.set }
+
+func (d Deadline) now() uint64 {
+	if d.clk != nil {
+		return d.clk.Cycles()
+	}
+	return uint64(time.Now().UnixNano())
+}
+
+// Expired reports whether the deadline has passed. A zero Deadline never
+// expires.
+func (d Deadline) Expired() bool {
+	return d.set && d.now() >= d.at
+}
+
+// Remaining reports the budget left in the deadline's own clock units
+// (cycles or nanoseconds), or 0 when expired. A zero Deadline reports 0;
+// check IsZero first.
+func (d Deadline) Remaining() uint64 {
+	if !d.set {
+		return 0
+	}
+	now := d.now()
+	if now >= d.at {
+		return 0
+	}
+	return d.at - now
+}
+
+// RemainingNanos reports the budget left in nanoseconds regardless of the
+// underlying clock (cycles are converted at the simulated frequency).
+// This is the unit the v3 wire header and net.Conn socket deadlines use.
+// Returns 0 when expired or when the Deadline is zero.
+func (d Deadline) RemainingNanos() uint64 {
+	rem := d.Remaining()
+	if rem == 0 {
+		return 0
+	}
+	if d.clk != nil {
+		return uint64(float64(rem) / sim.Frequency * 1e9)
+	}
+	return rem
+}
+
+// errDeadline wraps ErrDeadlineExceeded with a phase tag for diagnostics.
+func errDeadline(phase string) error {
+	return fmt.Errorf("%w: %s", ErrDeadlineExceeded, phase)
+}
+
+// DeadlineTransport is implemented by transports that enforce a
+// per-operation deadline natively (TCPTransport, ReplicaSet). Plain
+// ErrorTransports are adapted by FetchUntil/PushUntil/DeleteUntil, which
+// bolt a completion-time check on top.
+type DeadlineTransport interface {
+	ErrorTransport
+
+	// TryFetchUntil is TryFetch bounded by dl: the operation fails with
+	// ErrDeadlineExceeded once the budget runs out, and a result that
+	// arrives late is discarded rather than returned.
+	TryFetchUntil(key uint64, dst []byte, dl Deadline) (bool, error)
+
+	// TryPushUntil is TryPush bounded by dl.
+	TryPushUntil(key uint64, src []byte, dl Deadline) error
+
+	// TryDeleteUntil is TryDelete bounded by dl.
+	TryDeleteUntil(key uint64, dl Deadline) error
+}
+
+// FetchUntil fetches key with the deadline enforced: natively when t is a
+// DeadlineTransport, otherwise by refusing to start an expired operation
+// and by reporting ErrDeadlineExceeded for one that completes late (the
+// fetched bytes are not handed to the caller — a result past its budget
+// is a miss, not a slow hit). The fallback is what gives SimLink and the
+// fault injectors deadline semantics without reimplementing them.
+func FetchUntil(t ErrorTransport, key uint64, dst []byte, dl Deadline) (bool, error) {
+	if dt, ok := t.(DeadlineTransport); ok {
+		return dt.TryFetchUntil(key, dst, dl)
+	}
+	if dl.Expired() {
+		return false, errDeadline("fetch not started")
+	}
+	found, err := t.TryFetch(key, dst)
+	if err == nil && dl.Expired() {
+		return false, errDeadline("fetch completed past deadline")
+	}
+	return found, err
+}
+
+// PushUntil pushes src with the deadline enforced (see FetchUntil). A
+// push that completes late did reach the remote node — pushes are
+// last-writer-wins and idempotent — but the caller is told the budget was
+// missed so backpressure propagates.
+func PushUntil(t ErrorTransport, key uint64, src []byte, dl Deadline) error {
+	if dt, ok := t.(DeadlineTransport); ok {
+		return dt.TryPushUntil(key, src, dl)
+	}
+	if dl.Expired() {
+		return errDeadline("push not started")
+	}
+	err := t.TryPush(key, src)
+	if err == nil && dl.Expired() {
+		return errDeadline("push completed past deadline")
+	}
+	return err
+}
+
+// DeleteUntil deletes key with the deadline enforced (see PushUntil).
+func DeleteUntil(t ErrorTransport, key uint64, dl Deadline) error {
+	if dt, ok := t.(DeadlineTransport); ok {
+		return dt.TryDeleteUntil(key, dl)
+	}
+	if dl.Expired() {
+		return errDeadline("delete not started")
+	}
+	err := t.TryDelete(key)
+	if err == nil && dl.Expired() {
+		return errDeadline("delete completed past deadline")
+	}
+	return err
+}

@@ -45,6 +45,25 @@ var (
 	// does not (the server answers it as a permanent error frame and a
 	// ReplicaSet repairs from another replica instead).
 	ErrIntegrity = errors.New("fabric: integrity check failed")
+
+	// ErrDeadlineExceeded is a per-operation deadline expiry: the caller's
+	// end-to-end budget (carried in the v3 frame header and enforced at
+	// every layer — transport attempts, replica failover, runtime retry
+	// loops) ran out before the operation produced a usable result. It is
+	// distinct from ErrTimeout, which is one attempt's socket deadline:
+	// a timed-out attempt may be retried, a deadline-exceeded operation
+	// may not. An operation whose result arrives after the deadline is
+	// also reported as ErrDeadlineExceeded — callers never consume a
+	// result that missed its budget.
+	ErrDeadlineExceeded = errors.New("fabric: operation deadline exceeded")
+
+	// ErrOverloaded is the server's admission-control reject: the request
+	// was shed before service (bounded queue full, queue delay past the
+	// CoDel target, or infeasible within the carried deadline). It is
+	// backpressure, not failure — the connection stays healthy, the retry
+	// budget is not charged, and circuit breakers must not count it
+	// toward quarantine.
+	ErrOverloaded = errors.New("fabric: server overloaded, request shed")
 )
 
 // permanentError marks an error the retry loop must not retry (protocol
@@ -62,9 +81,11 @@ func isPermanent(err error) bool {
 	return errors.As(err, &p)
 }
 
-func isTimeout(err error) bool   { return errors.Is(err, ErrTimeout) }
-func isShortRead(err error) bool { return errors.Is(err, ErrShortRead) }
-func isIntegrity(err error) bool { return errors.Is(err, ErrIntegrity) }
+func isTimeout(err error) bool    { return errors.Is(err, ErrTimeout) }
+func isShortRead(err error) bool  { return errors.Is(err, ErrShortRead) }
+func isIntegrity(err error) bool  { return errors.Is(err, ErrIntegrity) }
+func isOverloaded(err error) bool { return errors.Is(err, ErrOverloaded) }
+func isDeadline(err error) bool   { return errors.Is(err, ErrDeadlineExceeded) }
 
 // classify maps a raw network error onto the typed taxonomy, preserving the
 // original error in the wrap chain for diagnostics.
@@ -73,6 +94,12 @@ func classify(err error) error {
 		return nil
 	}
 	if isPermanent(err) {
+		return err
+	}
+	if isOverloaded(err) || isDeadline(err) {
+		// Already typed by the overload-control layer; re-wrapping as
+		// ErrRemoteUnavailable would hide the class the retry loop and
+		// breakers branch on.
 		return err
 	}
 	var ne net.Error

@@ -48,6 +48,12 @@ type breaker struct {
 	// HalfOpen, or at which a Closed breaker with missed writes is next
 	// allowed a background resync attempt.
 	deadline uint64
+	// probing is set while one caller runs this replica's half-open probe
+	// (or background resync) with the set's mutex released. Concurrent
+	// callers that find it set skip the work instead of queueing behind
+	// the probe I/O: exactly one probe is in flight per replica, and the
+	// losers fail over fast.
+	probing bool
 }
 
 // ReplicaHealth is a point-in-time view of one replica's breaker, for

@@ -30,6 +30,22 @@ func (s *Stats) Register(reg *obs.Registry, labels ...obs.Label) {
 		"Integrity failures detected (wire CRC, corrupt server blob, replica mismatch).", s.ChecksumFaults, labels...)
 	reg.CounterFunc("trackfm_fabric_protocol_downgrades_total",
 		"Connections negotiated down to the CRC-less v1 protocol.", s.ProtocolDowngrades, labels...)
+	reg.CounterFunc("trackfm_fabric_overloads_total",
+		"Overload rejects received from server-side admission control (backpressure).", s.Overloads, labels...)
+	reg.CounterFunc("trackfm_fabric_deadline_misses_total",
+		"Operations that failed with ErrDeadlineExceeded (budget exhausted or late result discarded).", s.DeadlineMisses, labels...)
+	reg.CounterFunc("trackfm_fabric_budget_exhausted_total",
+		"Retries denied because the retry budget had no token.", s.BudgetExhausted, labels...)
+}
+
+// Register exposes the retry-budget token balance and denial count on
+// reg, alongside the Stats counters.
+func (b *RetryBudget) Register(reg *obs.Registry, labels ...obs.Label) {
+	reg.GaugeFunc("trackfm_retry_budget_tokens",
+		"Current retry-budget token balance (a retry costs 1; requests earn the configured ratio).",
+		b.Balance, labels...)
+	reg.CounterFunc("trackfm_retry_budget_denied_total",
+		"Retries denied for lack of retry-budget tokens.", b.Exhausted, labels...)
 }
 
 // Register exposes the server-side protocol counters on reg.
@@ -50,6 +66,8 @@ func (s *ServerStats) Register(reg *obs.Registry, labels ...obs.Label) {
 		"Fetches of a checksum-failing blob answered with an integrity error frame.", s.CorruptBlobs, labels...)
 	reg.CounterFunc("trackfm_server_wire_rejects_total",
 		"v2 pushes whose CRC trailer failed verification (payload discarded).", s.WireRejects, labels...)
+	reg.CounterFunc("trackfm_server_sheds_total",
+		"Requests rejected by admission control with an overload frame.", s.Sheds, labels...)
 }
 
 // Register exposes the replication-level counters on reg.

@@ -1,0 +1,659 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"trackfm/internal/remote"
+	"trackfm/internal/sim"
+)
+
+// recordingLink is a minimal ErrorTransport (NOT a DeadlineTransport) whose
+// operations advance a sim clock by a configurable cost, for exercising the
+// FetchUntil/PushUntil/DeleteUntil adapter fallback.
+type recordingLink struct {
+	clk   *sim.Clock
+	cost  uint64
+	calls int
+}
+
+func (r *recordingLink) op() {
+	r.calls++
+	if r.cost > 0 {
+		r.clk.Advance(r.cost)
+	}
+}
+
+func (r *recordingLink) TryFetch(key uint64, dst []byte) (bool, error) {
+	r.op()
+	return true, nil
+}
+func (r *recordingLink) TryFetchAsync(key uint64, dst []byte) (bool, error) {
+	return r.TryFetch(key, dst)
+}
+func (r *recordingLink) TryPush(key uint64, src []byte) error { r.op(); return nil }
+func (r *recordingLink) TryDelete(key uint64) error           { r.op(); return nil }
+func (r *recordingLink) Fetch(key uint64, dst []byte) bool    { f, _ := r.TryFetch(key, dst); return f }
+func (r *recordingLink) FetchAsync(key uint64, dst []byte) bool {
+	return r.Fetch(key, dst)
+}
+func (r *recordingLink) Push(key uint64, src []byte) { _ = r.TryPush(key, src) }
+func (r *recordingLink) Delete(key uint64)           { _ = r.TryDelete(key) }
+
+func TestDeadlineClockDual(t *testing.T) {
+	var zero Deadline
+	if !zero.IsZero() || zero.Expired() {
+		t.Fatalf("zero Deadline: IsZero=%v Expired=%v, want true,false", zero.IsZero(), zero.Expired())
+	}
+	if zero.Remaining() != 0 || zero.RemainingNanos() != 0 {
+		t.Fatalf("zero Deadline reports a remaining budget")
+	}
+
+	var clk sim.Clock
+	d := DeadlineAfter(&clk, 100)
+	if d.IsZero() || d.Expired() {
+		t.Fatalf("fresh sim deadline: IsZero=%v Expired=%v", d.IsZero(), d.Expired())
+	}
+	if got := d.Remaining(); got != 100 {
+		t.Fatalf("Remaining = %d, want 100", got)
+	}
+	cycles := float64(d.Remaining())
+	if want := uint64(cycles / sim.Frequency * 1e9); d.RemainingNanos() != want {
+		t.Fatalf("RemainingNanos = %d, want %d", d.RemainingNanos(), want)
+	}
+	clk.Advance(99)
+	if d.Expired() || d.Remaining() != 1 {
+		t.Fatalf("after 99 cycles: Expired=%v Remaining=%d, want false,1", d.Expired(), d.Remaining())
+	}
+	clk.Advance(1)
+	if !d.Expired() || d.Remaining() != 0 || d.RemainingNanos() != 0 {
+		t.Fatalf("at expiry: Expired=%v Remaining=%d nanos=%d", d.Expired(), d.Remaining(), d.RemainingNanos())
+	}
+
+	w := WallDeadlineAfter(time.Hour)
+	if w.Expired() {
+		t.Fatalf("hour-out wall deadline already expired")
+	}
+	if n := w.RemainingNanos(); n == 0 || n > uint64(time.Hour) {
+		t.Fatalf("wall RemainingNanos = %d, want in (0, 1h]", n)
+	}
+}
+
+func TestDeadlineAdapterFallback(t *testing.T) {
+	var clk sim.Clock
+	link := &recordingLink{clk: &clk, cost: 50}
+	dst := make([]byte, 4)
+
+	// Within budget: the result is handed through.
+	if found, err := FetchUntil(link, 1, dst, DeadlineAfter(&clk, 100)); !found || err != nil {
+		t.Fatalf("in-budget FetchUntil = %v, %v", found, err)
+	}
+
+	// Late completion: the underlying fetch succeeded, but the adapter
+	// reports a deadline miss and withholds the result.
+	link.cost = 200
+	calls := link.calls
+	found, err := FetchUntil(link, 1, dst, DeadlineAfter(&clk, 100))
+	if found || !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("late FetchUntil = %v, %v; want false, ErrDeadlineExceeded", found, err)
+	}
+	if link.calls != calls+1 {
+		t.Fatalf("late completion did not run the underlying fetch")
+	}
+
+	// Already expired: refused before the transport is touched.
+	calls = link.calls
+	if _, err := FetchUntil(link, 1, dst, DeadlineAfter(&clk, 0)); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("expired FetchUntil = %v, want ErrDeadlineExceeded", err)
+	}
+	if link.calls != calls {
+		t.Fatalf("expired FetchUntil still issued the fetch")
+	}
+
+	// The zero Deadline never interferes.
+	if found, err := FetchUntil(link, 1, dst, Deadline{}); !found || err != nil {
+		t.Fatalf("no-deadline FetchUntil = %v, %v", found, err)
+	}
+
+	// Push and delete get the same late-completion semantics.
+	if err := PushUntil(link, 1, dst, DeadlineAfter(&clk, 100)); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("late PushUntil = %v, want ErrDeadlineExceeded", err)
+	}
+	if err := DeleteUntil(link, 1, DeadlineAfter(&clk, 100)); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("late DeleteUntil = %v, want ErrDeadlineExceeded", err)
+	}
+	if err := PushUntil(link, 1, dst, Deadline{}); err != nil {
+		t.Fatalf("no-deadline PushUntil = %v", err)
+	}
+}
+
+func TestRetryBudgetTokenBucket(t *testing.T) {
+	rb := NewRetryBudget(4, 0.5)
+	if got := rb.Balance(); got != 4 {
+		t.Fatalf("fresh budget Balance = %v, want 4 (starts full)", got)
+	}
+	for i := 0; i < 4; i++ {
+		if !rb.TryRetry() {
+			t.Fatalf("retry %d denied with tokens available", i)
+		}
+	}
+	if rb.TryRetry() {
+		t.Fatalf("retry allowed from an empty bucket")
+	}
+	if got := rb.Exhausted(); got != 1 {
+		t.Fatalf("Exhausted = %d, want 1", got)
+	}
+	// Two first attempts earn one whole token back at ratio 0.5.
+	rb.OnRequest()
+	rb.OnRequest()
+	if got := rb.Balance(); got != 1 {
+		t.Fatalf("Balance after two deposits = %v, want 1", got)
+	}
+	if !rb.TryRetry() {
+		t.Fatalf("earned retry denied")
+	}
+	// Deposits clamp at capacity.
+	for i := 0; i < 100; i++ {
+		rb.OnRequest()
+	}
+	if got := rb.Balance(); got != 4 {
+		t.Fatalf("Balance after over-deposit = %v, want cap 4", got)
+	}
+	// Zero config selects the documented defaults.
+	if got := NewRetryBudget(0, 0).Balance(); got != 16 {
+		t.Fatalf("default budget Balance = %v, want 16", got)
+	}
+}
+
+func TestAdmissionQueueFull(t *testing.T) {
+	var clk sim.Clock
+	adm := NewAdmission(AdmissionConfig{MaxQueue: 2, Clock: &clk})
+	for i := 0; i < 2; i++ {
+		if v := adm.Offer(0, 0); v != Admit {
+			t.Fatalf("offer %d = %v, want admit", i, v)
+		}
+	}
+	if v := adm.Offer(0, 0); v != ShedQueueFull {
+		t.Fatalf("offer at capacity = %v, want shed-queue-full", v)
+	}
+	if !ShedQueueFull.Shed() || Admit.Shed() {
+		t.Fatalf("Verdict.Shed misclassifies")
+	}
+	adm.Done(10)
+	if v := adm.Offer(0, 0); v != Admit {
+		t.Fatalf("offer after Done = %v, want admit", v)
+	}
+	if adm.Inflight() != 2 {
+		t.Fatalf("Inflight = %d, want 2", adm.Inflight())
+	}
+	s := adm.Stats()
+	if s.Admitted() != 3 || s.ShedQueueFull() != 1 || s.Shed() != 1 {
+		t.Fatalf("stats = %s, want 3 admitted / 1 shed-queue-full", s)
+	}
+}
+
+func TestAdmissionDeadlineInfeasible(t *testing.T) {
+	var clk sim.Clock
+	adm := NewAdmission(AdmissionConfig{MaxQueue: 8, Clock: &clk})
+	// Even with no service estimate, a queue delay beyond the budget is
+	// infeasible on its own.
+	if v := adm.Offer(600, 500); v != ShedDeadline {
+		t.Fatalf("offer(qd=600, budget=500) = %v, want shed-deadline", v)
+	}
+	// Seed the service-time estimate.
+	if v := adm.Offer(0, 0); v != Admit {
+		t.Fatalf("seed offer = %v", v)
+	}
+	adm.Done(1000)
+	if got := adm.ServiceEstimate(); got != 1000 {
+		t.Fatalf("ServiceEstimate after first sample = %d, want 1000", got)
+	}
+	// Queue delay plus service time must fit inside the budget.
+	if v := adm.Offer(0, 500); v != ShedDeadline {
+		t.Fatalf("offer(budget=500, ewma=1000) = %v, want shed-deadline", v)
+	}
+	if v := adm.Offer(0, 2000); v != Admit {
+		t.Fatalf("offer(budget=2000) = %v, want admit", v)
+	}
+	// Budget 0 means no deadline: never shed on feasibility.
+	if v := adm.Offer(0, 0); v != Admit {
+		t.Fatalf("no-deadline offer = %v, want admit", v)
+	}
+	// OfferEstimate derives queue delay from the live queue: 2 inflight
+	// x ewma 1000 = 2000 estimated delay.
+	if v := adm.OfferEstimate(1500); v != ShedDeadline {
+		t.Fatalf("OfferEstimate(1500) = %v, want shed-deadline", v)
+	}
+	if v := adm.OfferEstimate(0); v != Admit {
+		t.Fatalf("OfferEstimate(no deadline) = %v, want admit", v)
+	}
+	if got := adm.Stats().ShedDeadline(); got != 3 {
+		t.Fatalf("ShedDeadline = %d, want 3", got)
+	}
+}
+
+func TestAdmissionCoDelSustainedDelay(t *testing.T) {
+	var clk sim.Clock
+	adm := NewAdmission(AdmissionConfig{MaxQueue: 1000, Target: 100, Interval: 1000, Clock: &clk})
+	// A burst above target admits: CoDel sheds standing queues, not spikes.
+	if v := adm.Offer(200, 0); v != Admit {
+		t.Fatalf("first above-target offer = %v, want admit", v)
+	}
+	clk.Advance(999)
+	if v := adm.Offer(200, 0); v != Admit {
+		t.Fatalf("offer inside interval = %v, want admit", v)
+	}
+	clk.Advance(1)
+	if v := adm.Offer(200, 0); v != ShedCoDel {
+		t.Fatalf("offer after sustained delay = %v, want shed-codel", v)
+	}
+	if v := adm.Offer(150, 0); v != ShedCoDel {
+		t.Fatalf("still-standing queue = %v, want shed-codel", v)
+	}
+	// Draining below target resets the controller.
+	if v := adm.Offer(50, 0); v != Admit {
+		t.Fatalf("below-target offer = %v, want admit", v)
+	}
+	clk.Advance(2000)
+	if v := adm.Offer(200, 0); v != Admit {
+		t.Fatalf("fresh excursion = %v, want admit (interval restarts)", v)
+	}
+	if got := adm.Stats().ShedCoDel(); got != 2 {
+		t.Fatalf("ShedCoDel = %d, want 2", got)
+	}
+}
+
+func TestAdmissionServiceEWMA(t *testing.T) {
+	adm := NewAdmission(AdmissionConfig{})
+	adm.Offer(0, 0)
+	adm.Done(800)
+	if got := adm.ServiceEstimate(); got != 800 {
+		t.Fatalf("first sample = %d, want 800 (taken directly)", got)
+	}
+	adm.Offer(0, 0)
+	adm.Done(0)
+	// Gain 1/8: 800 - 800/8 + 0/8 = 700.
+	if got := adm.ServiceEstimate(); got != 700 {
+		t.Fatalf("EWMA after zero sample = %d, want 700", got)
+	}
+}
+
+// TestOverloadShedBackpressureE2E drives the whole client/server overload
+// path over a real socket: the v3 handshake carries each operation's
+// deadline to the server, admission control sheds the infeasible request
+// with an overload reject, and the client treats the reject as
+// backpressure — typed ErrOverloaded, no reconnect, no retry-budget
+// charge — while deadline-free traffic on the same connection keeps
+// flowing.
+func TestOverloadShedBackpressureE2E(t *testing.T) {
+	srv := NewServer(remote.NewStore())
+	adm := srv.EnableAdmission(AdmissionConfig{MaxQueue: 64})
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ListenAndServe: %v", err)
+	}
+	defer srv.Close()
+
+	tr, err := DialWith(addr, DialOptions{
+		Retry: RetryPolicy{MaxAttempts: 3, BaseBackoff: 200 * time.Microsecond, MaxBackoff: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatalf("DialWith: %v", err)
+	}
+	defer tr.Close()
+
+	blob := []byte("overload e2e payload")
+	if err := tr.TryPush(7, blob); err != nil {
+		t.Fatalf("TryPush: %v", err)
+	}
+	if v := tr.WireVersionInUse(); v != protoV3 {
+		t.Fatalf("negotiated wire version %d, want %d", v, protoV3)
+	}
+	if adm.Stats().Admitted() == 0 {
+		t.Fatalf("admission control saw no traffic")
+	}
+	budgetBefore := tr.RetryBudget().Balance()
+
+	// Poison the service-time estimate: with an hour-long EWMA, any request
+	// carrying a deadline is infeasible and must be shed, while deadline-free
+	// requests (budget 0) pass. That the next fetch is shed at all proves the
+	// deadline rode the v3 frame header to the server.
+	adm.Offer(0, 0)
+	adm.Done(uint64(time.Hour.Nanoseconds()))
+
+	dst := make([]byte, len(blob))
+	found, err := tr.TryFetchUntil(7, dst, WallDeadlineAfter(250*time.Millisecond))
+	if found || !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("fetch under overload = %v, %v; want false, ErrOverloaded", found, err)
+	}
+	if got := srv.Stats().Sheds(); got == 0 {
+		t.Fatalf("server shed count = 0 after overload reject")
+	}
+	if got := adm.Stats().ShedDeadline(); got == 0 {
+		t.Fatalf("no shed-deadline verdicts recorded")
+	}
+	if got := tr.Stats().Overloads(); got == 0 {
+		t.Fatalf("client overload counter = 0")
+	}
+	// Backpressure, not failure: the connection was never torn down and the
+	// retry budget was not charged for the shed attempts.
+	if got := tr.Stats().Reconnects(); got != 0 {
+		t.Fatalf("Reconnects = %d after overload rejects, want 0", got)
+	}
+	if got := tr.RetryBudget().Balance(); got < budgetBefore {
+		t.Fatalf("retry budget fell from %v to %v on overload rejects", budgetBefore, got)
+	}
+
+	// A deadline-free fetch on the same connection is admitted and served.
+	found, err = tr.TryFetch(7, dst)
+	if err != nil || !found {
+		t.Fatalf("deadline-free fetch during overload = %v, %v", found, err)
+	}
+	if !bytes.Equal(dst, blob) {
+		t.Fatalf("payload corrupted across overload: %q", dst)
+	}
+
+	// Drain the poisoned estimate (gain 1/8 per sample) and the
+	// deadline-bearing path recovers too.
+	for i := 0; i < 400; i++ {
+		adm.Offer(0, 0)
+		adm.Done(0)
+	}
+	found, err = tr.TryFetchUntil(7, dst, WallDeadlineAfter(2*time.Second))
+	if err != nil || !found {
+		t.Fatalf("fetch after recovery = %v, %v", found, err)
+	}
+	if got := tr.Stats().Reconnects(); got != 0 {
+		t.Fatalf("Reconnects = %d at end, want 0 (backpressure kept the conn)", got)
+	}
+}
+
+// TestDeadlineExpiredFailsFastNoFrame pins the client-side fast path: an
+// operation whose deadline has already expired fails with
+// ErrDeadlineExceeded before any bytes reach the wire.
+func TestDeadlineExpiredFailsFastNoFrame(t *testing.T) {
+	srv := NewServer(remote.NewStore())
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ListenAndServe: %v", err)
+	}
+	defer srv.Close()
+
+	tr, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer tr.Close()
+	if err := tr.TryPush(1, []byte{0xAB}); err != nil {
+		t.Fatalf("TryPush: %v", err)
+	}
+
+	frames := srv.Stats().Frames()
+	var clk sim.Clock
+	clk.Advance(10)
+	dst := make([]byte, 1)
+	if _, err := tr.TryFetchUntil(1, dst, DeadlineAfter(&clk, 0)); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("expired fetch = %v, want ErrDeadlineExceeded", err)
+	}
+	if got := tr.Stats().DeadlineMisses(); got == 0 {
+		t.Fatalf("DeadlineMisses = 0 after expired op")
+	}
+	if got := srv.Stats().Frames(); got != frames {
+		t.Fatalf("server frames went %d -> %d; expired op must not hit the wire", frames, got)
+	}
+}
+
+// FuzzDeadlineFrame throws arbitrary bytes at the v3 frame decoder: every
+// input is prefixed with a hello negotiating protocol v3, so each
+// subsequent frame header grows the 8-byte deadline field and payloads
+// keep their v2 CRC trailers. The server must never panic, never hang on a
+// truncated deadline field, and never let an unverified payload reach the
+// store, whatever the deadline bytes say.
+func FuzzDeadlineFrame(f *testing.F) {
+	hello := make([]byte, 13)
+	hello[0] = opHello
+	binary.BigEndian.PutUint64(hello[1:9], helloMagic)
+	binary.BigEndian.PutUint32(hello[9:13], protoV3)
+
+	// v3 header: op(1) key(8) length(4) deadlineNs(8).
+	v3hdr := func(op byte, key uint64, length uint32, deadlineNs uint64) []byte {
+		h := make([]byte, 21)
+		h[0] = op
+		binary.BigEndian.PutUint64(h[1:9], key)
+		binary.BigEndian.PutUint32(h[9:13], length)
+		binary.BigEndian.PutUint64(h[13:21], deadlineNs)
+		return h
+	}
+
+	// A well-formed v3 push (deadline-free) with a correct CRC trailer.
+	payload := []byte{1, 2, 3, 4}
+	goodPush := v3hdr(opPush, 42, uint32(len(payload)), 0)
+	goodPush = append(goodPush, payload...)
+	goodPush = binary.BigEndian.AppendUint32(goodPush, payloadCRC(payload))
+	f.Add(goodPush)
+
+	// The same push carrying a large deadline, and one whose trailer is
+	// corrupt (must be rejected regardless of the deadline bytes).
+	urgent := v3hdr(opPush, 42, uint32(len(payload)), uint64(time.Hour.Nanoseconds()))
+	urgent = append(urgent, payload...)
+	urgent = binary.BigEndian.AppendUint32(urgent, payloadCRC(payload))
+	f.Add(urgent)
+	badPush := append([]byte{}, goodPush...)
+	badPush[len(badPush)-1] ^= 0xFF
+	f.Add(badPush)
+
+	// A v3 fetch with a deadline, a header truncated mid-deadline, an
+	// oversize length next to a huge deadline, and a hello mid-stream.
+	fetch := v3hdr(opFetch, 42, uint32(len(payload)), 12345)
+	f.Add(fetch)
+	f.Add(v3hdr(opFetch, 42, 4, 12345)[:17])
+	f.Add(v3hdr(opPush, 7, 0xFFFFFFFF, ^uint64(0)))
+	f.Add(append(append([]byte{}, fetch...), hello...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		store := remote.NewStore()
+		s := NewServer(store)
+		client, server := net.Pipe()
+		done := make(chan struct{})
+		go func() {
+			s.handle(server)
+			close(done)
+		}()
+		go io.Copy(io.Discard, client)
+		client.SetDeadline(time.Now().Add(2 * time.Second))
+		go func() {
+			// Negotiate v3, then deliver the fuzzed frames.
+			client.Write(hello)
+			client.Write(data)
+			client.Close()
+		}()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("server.handle did not return after client close")
+		}
+		// Whatever the fuzzer managed to store must verify on read-back.
+		buf := make([]byte, len(payload))
+		if _, err := store.Get(42, buf); errors.Is(err, remote.ErrChecksum) {
+			t.Fatalf("stored blob failed integrity on read-back: %v", err)
+		}
+	})
+}
+
+// blockLink is an ErrorTransport whose operations can be held on a gate
+// channel, for freezing a half-open probe mid-flight.
+type blockLink struct {
+	inner ErrorTransport
+
+	mu   sync.Mutex
+	down bool
+	gate chan struct{} // when non-nil, every op blocks until it is closed
+}
+
+func (b *blockLink) op() error {
+	b.mu.Lock()
+	gate := b.gate
+	down := b.down
+	b.mu.Unlock()
+	if gate != nil {
+		<-gate
+	}
+	if down {
+		return ErrRemoteUnavailable
+	}
+	return nil
+}
+
+func (b *blockLink) TryFetch(key uint64, dst []byte) (bool, error) {
+	if err := b.op(); err != nil {
+		return false, err
+	}
+	return b.inner.TryFetch(key, dst)
+}
+func (b *blockLink) TryFetchAsync(key uint64, dst []byte) (bool, error) {
+	return b.TryFetch(key, dst)
+}
+func (b *blockLink) TryPush(key uint64, src []byte) error {
+	if err := b.op(); err != nil {
+		return err
+	}
+	return b.inner.TryPush(key, src)
+}
+func (b *blockLink) TryDelete(key uint64) error {
+	if err := b.op(); err != nil {
+		return err
+	}
+	return b.inner.TryDelete(key)
+}
+func (b *blockLink) Fetch(key uint64, dst []byte) bool {
+	f, err := b.TryFetch(key, dst)
+	return err == nil && f
+}
+func (b *blockLink) FetchAsync(key uint64, dst []byte) bool { return b.Fetch(key, dst) }
+func (b *blockLink) Push(key uint64, src []byte)            { _ = b.TryPush(key, src) }
+func (b *blockLink) Delete(key uint64)                      { _ = b.TryDelete(key) }
+
+func (b *blockLink) set(down bool, gate chan struct{}) {
+	b.mu.Lock()
+	b.down, b.gate = down, gate
+	b.mu.Unlock()
+}
+
+// TestReplicaSetHalfOpenProbeSingleFlight pins the probe singleflight rule:
+// exactly one caller runs a due half-open probe, with the set's mutex
+// released around the probe I/O, while concurrent callers skip the claimed
+// probe and serve their reads from healthy replicas instead of queueing
+// behind it.
+func TestReplicaSetHalfOpenProbeSingleFlight(t *testing.T) {
+	env := sim.NewEnv()
+	m0 := &blockLink{inner: NewSimLink(env, BackendTCP)}
+	m1 := NewSimLink(env, BackendTCP)
+	var clk sim.Clock
+	rs, err := NewReplicaSet(ReplicaConfig{
+		Quorum:           1,
+		FailureThreshold: 1,
+		OpenTimeout:      1000,
+		Clock:            &clk,
+	}, m0, m1)
+	if err != nil {
+		t.Fatalf("NewReplicaSet: %v", err)
+	}
+	rstats := rs.ReplicaStats()
+
+	blob := []byte("probe singleflight payload")
+	if err := rs.TryPush(9, blob); err != nil {
+		t.Fatalf("TryPush: %v", err)
+	}
+
+	// Fail replica 0 once: threshold 1 opens its breaker.
+	m0.set(true, nil)
+	dst := make([]byte, len(blob))
+	if found, err := rs.TryFetch(9, dst); err != nil || !found {
+		t.Fatalf("fetch during outage = %v, %v", found, err)
+	}
+	if got := rstats.BreakerOpens(); got != 1 {
+		t.Fatalf("BreakerOpens = %d, want 1", got)
+	}
+
+	// Heal the replica but freeze its transport: the recovery probe will
+	// block in its liveness I/O until we release the gate.
+	gate := make(chan struct{})
+	m0.set(false, gate)
+	clk.Advance(1251) // past the jittered open timeout, worst case 5/4 x 1000
+
+	probeDone := make(chan error, 1)
+	go func() {
+		d := make([]byte, len(blob))
+		_, err := rs.TryFetch(9, d) // claims the due probe, blocks on the gate
+		probeDone <- err
+	}()
+	waitFor(t, "probe claimed", func() bool { return rstats.Probes() == 1 })
+
+	// Concurrent readers must not queue behind the in-flight probe: they
+	// see the probing flag, skip the claim, and serve from replica 1.
+	for i := 0; i < 3; i++ {
+		got := make([]byte, len(blob))
+		done := make(chan struct{})
+		go func() {
+			if found, err := rs.TryFetch(9, got); err != nil || !found {
+				t.Errorf("concurrent fetch during probe = %v, %v", found, err)
+			}
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(2 * time.Second):
+			t.Fatalf("concurrent fetch %d blocked behind the half-open probe", i)
+		}
+		if !bytes.Equal(got, blob) {
+			t.Fatalf("concurrent fetch %d payload = %q", i, got)
+		}
+	}
+	if got := rstats.Probes(); got != 1 {
+		t.Fatalf("Probes = %d while one probe is in flight, want 1 (singleflight)", got)
+	}
+	select {
+	case err := <-probeDone:
+		t.Fatalf("probing fetch returned (%v) before the gate opened", err)
+	default:
+	}
+
+	// Release the probe: it completes, the breaker closes, and replica 0
+	// rejoins without a second probe ever having started.
+	close(gate)
+	select {
+	case err := <-probeDone:
+		if err != nil {
+			t.Fatalf("probing fetch: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("probing fetch did not return after gate release")
+	}
+	if got := rstats.Probes(); got != 1 {
+		t.Fatalf("Probes = %d after recovery, want 1", got)
+	}
+	if got := rstats.ProbeFails(); got != 0 {
+		t.Fatalf("ProbeFails = %d, want 0", got)
+	}
+	if h := rs.Health(); h[0].State != BreakerClosed {
+		t.Fatalf("replica 0 state = %v after successful probe, want closed", h[0].State)
+	}
+}
+
+// waitFor polls cond until it holds or a wall-clock deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -39,6 +39,15 @@ type RemoteConfig struct {
 	// before the runtime gives up (default 4). The in-process SimLink
 	// never fails, so deterministic experiments are unaffected.
 	RemoteRetries int
+
+	// OpDeadline, when positive, is the end-to-end budget for each remote
+	// operation the runtime issues, in clock units (simulated cycles on
+	// the runtime's sim.Clock). The deadline bounds the whole retry loop,
+	// rides to the server in v3 frame headers, and surfaces as
+	// ErrDeadlineExceeded when missed; repeated misses flip an aifm.Pool
+	// into degraded mode. Zero means no deadline — exactly the previous
+	// behaviour.
+	OpDeadline uint64
 }
 
 // Retries returns the configured attempt budget, defaulting to 4.

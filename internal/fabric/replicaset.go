@@ -214,12 +214,13 @@ func (rs *ReplicaSet) now() uint64 {
 }
 
 // jitteredTimeout draws a deadline offset in [3/4, 5/4) of nominal from
-// the seeded RNG.
+// the seeded RNG (the shared jitterWindow helper, same rule as retry
+// backoff's [1/2, 1) window).
 func (rs *ReplicaSet) jitteredTimeout(nominal uint64) uint64 {
 	if nominal < 4 {
 		return nominal
 	}
-	return nominal*3/4 + rs.rng.Uint64()%(nominal/2)
+	return jitterWindow(nominal, 0.75, 1.25, rs.rng)
 }
 
 // Probe advances the health state machine: open breakers whose timeout
@@ -227,41 +228,67 @@ func (rs *ReplicaSet) jitteredTimeout(nominal uint64) uint64 {
 // replicas owing missed writes get a throttled background resync. It is
 // called implicitly at the start of every operation; a background ticker
 // (e.g. in a server-side stats loop) may also call it so recovery is not
-// gated on traffic.
+// gated on traffic. Probe work runs with the set's mutex released: the
+// caller that claims a due probe runs it synchronously, while concurrent
+// callers see the per-breaker probing flag and proceed straight to their
+// own operation — they fail over past the quarantined replica instead of
+// queueing behind its probe I/O.
 func (rs *ReplicaSet) Probe() {
-	rs.mu.Lock()
-	defer rs.mu.Unlock()
-	rs.advanceLocked()
+	rs.advance()
 }
 
-func (rs *ReplicaSet) advanceLocked() {
+// advance claims due probe/resync work under the mutex, then performs the
+// I/O unlocked. At most one prober per replica is ever in flight.
+func (rs *ReplicaSet) advance() {
+	rs.mu.Lock()
+	probes, resyncs := rs.claimDueLocked()
+	rs.mu.Unlock()
+	for _, i := range probes {
+		rs.runProbe(i)
+	}
+	for _, i := range resyncs {
+		rs.runResync(i)
+	}
+}
+
+// claimDueLocked scans the breakers for due work and claims it by setting
+// the probing flag: open breakers past their deadline become half-open
+// probe tasks, closed replicas owing missed writes past their resync
+// deadline become background-resync tasks. Replicas already being probed
+// are skipped.
+func (rs *ReplicaSet) claimDueLocked() (probes, resyncs []int) {
 	now := rs.now()
 	for i := range rs.members {
 		b := &rs.brk[i]
+		if b.probing {
+			continue
+		}
 		switch b.state {
 		case BreakerOpen:
 			if now >= b.deadline {
 				b.state = BreakerHalfOpen
-				rs.probeLocked(i, now)
+				b.probing = true
+				probes = append(probes, i)
 			}
 		case BreakerClosed:
 			if len(rs.missed[i]) > 0 && now >= b.deadline {
 				// Background repair of a replica that failed writes
 				// without tripping its breaker.
-				if !rs.resyncLocked(i) {
-					b.deadline = now + rs.jitteredTimeout(rs.cfg.ResyncInterval)
-				}
+				b.probing = true
+				resyncs = append(resyncs, i)
 			}
 		}
 	}
+	return probes, resyncs
 }
 
-// probeLocked runs the half-open probe for replica i: replay every missed
-// write, then verify liveness. Success closes the breaker; failure
-// re-opens it for another timeout.
-func (rs *ReplicaSet) probeLocked(i int, now uint64) {
+// runProbe runs the half-open probe for replica i with the mutex
+// released: replay every missed write, then verify liveness. Success
+// closes the breaker; failure re-opens it for another timeout. The caller
+// must have claimed the probe via claimDueLocked.
+func (rs *ReplicaSet) runProbe(i int) {
 	rs.rstats.probes.Add(1)
-	ok := rs.resyncLocked(i)
+	ok := rs.resync(i)
 	if ok {
 		// Liveness: the replica must answer a fetch before rejoining.
 		// probeKey is reserved, so "absent without error" is healthy.
@@ -272,16 +299,32 @@ func (rs *ReplicaSet) probeLocked(i int, now uint64) {
 		})
 		ok = err == nil
 	}
+	rs.mu.Lock()
 	b := &rs.brk[i]
+	b.probing = false
 	if ok {
 		b.state = BreakerClosed
 		b.consecFails = 0
 		b.deadline = 0
-		return
+	} else {
+		rs.rstats.probeFails.Add(1)
+		b.state = BreakerOpen
+		b.deadline = rs.now() + rs.jitteredTimeout(rs.cfg.OpenTimeout)
 	}
-	rs.rstats.probeFails.Add(1)
-	b.state = BreakerOpen
-	b.deadline = now + rs.jitteredTimeout(rs.cfg.OpenTimeout)
+	rs.mu.Unlock()
+}
+
+// runResync runs a claimed background resync for a closed replica with
+// the mutex released, rescheduling the next attempt if it did not drain.
+func (rs *ReplicaSet) runResync(i int) {
+	ok := rs.resync(i)
+	rs.mu.Lock()
+	b := &rs.brk[i]
+	b.probing = false
+	if !ok && b.state == BreakerClosed {
+		b.deadline = rs.now() + rs.jitteredTimeout(rs.cfg.ResyncInterval)
+	}
+	rs.mu.Unlock()
 }
 
 // resyncAttempts is the per-key retry budget resync and probe traffic get
@@ -302,21 +345,35 @@ func tryN(n int, op func() error) error {
 	return err
 }
 
-// resyncLocked replays replica i's missed writes from healthy peers:
-// deleted keys are deleted, live keys are fetched from a donor, verified
-// against the recorded CRC, and pushed. Keys that fail their retry budget
+// resync replays replica i's missed writes from healthy peers with the
+// mutex released around every network leg: deleted keys are deleted, live
+// keys are fetched from a donor, verified against the recorded CRC, and
+// pushed. The missed set and version records are snapshotted up front and
+// each key is finalized individually — and only if its version is still
+// the one that was replayed, so a write racing the resync (which re-marks
+// the key missed) is never clobbered. Keys that fail their retry budget
 // stay in the missed set for the next attempt — an isolated loss must not
 // restart the whole replay — but two keys failing every attempt in a row
 // means the replica is unreachable, and the resync bails out rather than
 // grind through the rest of the set against a dead node. Reports whether
 // the missed set drained completely.
-func (rs *ReplicaSet) resyncLocked(i int) bool {
-	hardFails := 0
+func (rs *ReplicaSet) resync(i int) bool {
+	rs.mu.Lock()
+	keys := make([]uint64, 0, len(rs.missed[i]))
+	snap := make(map[uint64]blobVer, len(rs.missed[i]))
 	for key := range rs.missed[i] {
+		keys = append(keys, key)
+		if e, live := rs.vers[key]; live {
+			snap[key] = e
+		}
+	}
+	rs.mu.Unlock()
+	hardFails := 0
+	for _, key := range keys {
 		if hardFails >= 2 {
 			return false
 		}
-		e, live := rs.vers[key]
+		e, live := snap[key]
 		if !live {
 			// The latest write was a delete: propagate the tombstone.
 			if err := tryN(resyncAttempts, func() error { return rs.members[i].TryDelete(key) }); err != nil {
@@ -324,7 +381,7 @@ func (rs *ReplicaSet) resyncLocked(i int) bool {
 				continue
 			}
 		} else {
-			buf, ok := rs.readVerifiedLocked(key, e, i)
+			buf, ok := rs.readVerified(key, e, i)
 			if !ok {
 				continue // no intact donor right now; retry next round
 			}
@@ -333,18 +390,30 @@ func (rs *ReplicaSet) resyncLocked(i int) bool {
 				continue
 			}
 		}
-		delete(rs.missed[i], key)
-		rs.rstats.resyncedKeys.Add(1)
+		rs.mu.Lock()
+		cur, liveNow := rs.vers[key]
+		if liveNow == live && (!live || cur.ver == e.ver) {
+			delete(rs.missed[i], key)
+			rs.rstats.resyncedKeys.Add(1)
+		}
+		rs.mu.Unlock()
 	}
-	return len(rs.missed[i]) == 0
+	rs.mu.Lock()
+	drained := len(rs.missed[i]) == 0
+	rs.mu.Unlock()
+	return drained
 }
 
-// readVerifiedLocked fetches key from the healthiest donor that is not
-// replica `exclude`, verifying the payload against the recorded version.
-// Donors serving corrupt bytes are counted and skipped (they will be
-// repaired by their own read path).
-func (rs *ReplicaSet) readVerifiedLocked(key uint64, e blobVer, exclude int) ([]byte, bool) {
-	for _, d := range rs.readOrderLocked(key, exclude) {
+// readVerified fetches key from the healthiest donor that is not replica
+// `exclude`, verifying the payload against the recorded version. Donors
+// serving corrupt bytes are counted and skipped (they will be repaired by
+// their own read path). The mutex is held only around breaker/missed-set
+// bookkeeping, never across the fetch itself.
+func (rs *ReplicaSet) readVerified(key uint64, e blobVer, exclude int) ([]byte, bool) {
+	rs.mu.Lock()
+	order := rs.readOrderLocked(key, exclude)
+	rs.mu.Unlock()
+	for _, d := range order {
 		buf := make([]byte, e.size)
 		var found bool
 		var err error
@@ -354,13 +423,15 @@ func (rs *ReplicaSet) readVerifiedLocked(key uint64, e blobVer, exclude int) ([]
 				break
 			}
 		}
+		rs.mu.Lock()
 		if err != nil {
 			if isIntegrity(err) {
 				rs.stats.checksum.Add(1)
 				rs.missed[d][key] = struct{}{}
-				continue
+			} else {
+				rs.failLocked(d)
 			}
-			rs.failLocked(d)
+			rs.mu.Unlock()
 			continue
 		}
 		rs.okLocked(d)
@@ -369,8 +440,10 @@ func (rs *ReplicaSet) readVerifiedLocked(key uint64, e blobVer, exclude int) ([]
 				rs.stats.checksum.Add(1)
 			}
 			rs.missed[d][key] = struct{}{}
+			rs.mu.Unlock()
 			continue
 		}
+		rs.mu.Unlock()
 		return buf, true
 	}
 	return nil, false
@@ -433,22 +506,48 @@ func (rs *ReplicaSet) okLocked(i int) {
 // corrupt, stale, or unexpectedly absent data are repaired from the
 // healthy copy before the (correct) result is returned.
 func (rs *ReplicaSet) TryFetch(key uint64, dst []byte) (bool, error) {
+	return rs.TryFetchUntil(key, dst, Deadline{})
+}
+
+// TryFetchUntil implements DeadlineTransport: TryFetch with failover and
+// hedging fitted inside the remaining budget. The deadline propagates to
+// every member leg; once it expires the failover walk stops with
+// ErrDeadlineExceeded instead of grinding down the candidate list, and a
+// hedge is only launched when the remaining budget can still cover it. An
+// overload reject from a member is backpressure, not failure: the read
+// fails over past that replica without charging its breaker.
+func (rs *ReplicaSet) TryFetchUntil(key uint64, dst []byte, dl Deadline) (bool, error) {
+	rs.advance()
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
 	start := rs.now()
-	rs.advanceLocked()
 	e, tracked := rs.vers[key]
 	verify := tracked && e.size == len(dst)
 	order := rs.readOrderLocked(key, -1)
 	var bad []int // replicas to repair from the healthy copy
 	var firstErr error
 	for n, i := range order {
+		if dl.Expired() {
+			err := errDeadline("replica failover budget exhausted")
+			rs.stats.record(err)
+			return false, err
+		}
 		if n > 0 {
 			rs.rstats.failovers.Add(1)
 		}
-		found, err := rs.fetchMaybeHedged(order[n:], key, dst)
+		found, err := rs.fetchMaybeHedged(order[n:], key, dst, dl)
 		if err != nil {
-			if isIntegrity(err) {
+			if isOverloaded(err) {
+				// Backpressure from this member's server: skip it
+				// without a breaker count — it is alive, just shedding.
+				rs.stats.overloads.Add(1)
+				if firstErr == nil {
+					firstErr = err
+				}
+			} else if isDeadline(err) {
+				rs.stats.record(err)
+				return false, err
+			} else if isIntegrity(err) {
 				// The node reports its blob corrupt/truncated (alive,
 				// so the breaker is untouched) — repair it below.
 				rs.stats.checksum.Add(1)
@@ -490,11 +589,16 @@ func (rs *ReplicaSet) TryFetch(key uint64, dst []byte) (bool, error) {
 
 // fetchMaybeHedged performs the fetch against candidates[0], optionally
 // hedging with candidates[1] after the configured delay. Only the winning
-// payload is copied into dst.
-func (rs *ReplicaSet) fetchMaybeHedged(candidates []int, key uint64, dst []byte) (bool, error) {
+// payload is copied into dst. A hedge is skipped when the remaining
+// deadline budget could not cover the hedge delay anyway.
+func (rs *ReplicaSet) fetchMaybeHedged(candidates []int, key uint64, dst []byte, dl Deadline) (bool, error) {
 	primary := rs.members[candidates[0]]
-	if rs.cfg.HedgeDelay <= 0 || len(candidates) < 2 {
-		return primary.TryFetch(key, dst)
+	hedgeable := rs.cfg.HedgeDelay > 0 && len(candidates) >= 2
+	if hedgeable && !dl.IsZero() && time.Duration(dl.RemainingNanos()) <= rs.cfg.HedgeDelay {
+		hedgeable = false
+	}
+	if !hedgeable {
+		return FetchUntil(primary, key, dst, dl)
 	}
 	type result struct {
 		found     bool
@@ -505,7 +609,7 @@ func (rs *ReplicaSet) fetchMaybeHedged(candidates []int, key uint64, dst []byte)
 	ch := make(chan result, 2)
 	launch := func(m ErrorTransport, secondary bool) {
 		buf := make([]byte, len(dst))
-		found, err := m.TryFetch(key, buf)
+		found, err := FetchUntil(m, key, buf, dl)
 		ch <- result{found: found, err: err, buf: buf, secondary: secondary}
 	}
 	go launch(primary, false)
@@ -574,23 +678,45 @@ func (rs *ReplicaSet) TryFetchAsync(key uint64, dst []byte) (bool, error) {
 // to every closed replica, mark the rest missed, and succeed when the ack
 // quorum is met.
 func (rs *ReplicaSet) TryPush(key uint64, src []byte) error {
+	return rs.TryPushUntil(key, src, Deadline{})
+}
+
+// TryPushUntil implements DeadlineTransport: TryPush with the write
+// fan-out bounded by dl. Once the budget expires, remaining members are
+// marked missed (resync replays the write later) instead of being pushed
+// past the deadline; a quorum shortfall caused by the deadline surfaces
+// as ErrDeadlineExceeded. An overload reject marks the member missed
+// without charging its breaker.
+func (rs *ReplicaSet) TryPushUntil(key uint64, src []byte, dl Deadline) error {
+	rs.advance()
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
-	rs.advanceLocked()
 	e := rs.vers[key]
 	e.ver++
 	e.crc = remote.Checksum(src)
 	e.size = len(src)
 	rs.vers[key] = e
 	acks := 0
+	expired := false
 	var firstErr error
 	for i, m := range rs.members {
 		if rs.brk[i].state != BreakerClosed {
 			rs.missed[i][key] = struct{}{}
 			continue
 		}
-		if err := m.TryPush(key, src); err != nil {
-			rs.failLocked(i)
+		if dl.Expired() {
+			expired = true
+			rs.missed[i][key] = struct{}{}
+			continue
+		}
+		if err := PushUntil(m, key, src, dl); err != nil {
+			if isOverloaded(err) {
+				rs.stats.overloads.Add(1)
+			} else if isDeadline(err) {
+				expired = true
+			} else {
+				rs.failLocked(i)
+			}
 			rs.missed[i][key] = struct{}{}
 			if firstErr == nil {
 				firstErr = err
@@ -605,6 +731,11 @@ func (rs *ReplicaSet) TryPush(key uint64, src []byte) error {
 		return nil
 	}
 	rs.rstats.quorumFails.Add(1)
+	if expired {
+		err := fmt.Errorf("%w: write quorum %d/%d", ErrDeadlineExceeded, acks, rs.cfg.Quorum)
+		rs.stats.record(err)
+		return err
+	}
 	if firstErr != nil {
 		return fmt.Errorf("%w: write quorum %d/%d (first failure: %v)", ErrRemoteUnavailable, acks, rs.cfg.Quorum, firstErr)
 	}
@@ -614,19 +745,36 @@ func (rs *ReplicaSet) TryPush(key uint64, src []byte) error {
 // TryDelete implements ErrorTransport: a delete is a write of a tombstone
 // — fan-out, quorum, and missed-key tracking all match TryPush.
 func (rs *ReplicaSet) TryDelete(key uint64) error {
+	return rs.TryDeleteUntil(key, Deadline{})
+}
+
+// TryDeleteUntil implements DeadlineTransport (see TryPushUntil).
+func (rs *ReplicaSet) TryDeleteUntil(key uint64, dl Deadline) error {
+	rs.advance()
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
-	rs.advanceLocked()
 	delete(rs.vers, key)
 	acks := 0
+	expired := false
 	var firstErr error
 	for i, m := range rs.members {
 		if rs.brk[i].state != BreakerClosed {
 			rs.missed[i][key] = struct{}{}
 			continue
 		}
-		if err := m.TryDelete(key); err != nil {
-			rs.failLocked(i)
+		if dl.Expired() {
+			expired = true
+			rs.missed[i][key] = struct{}{}
+			continue
+		}
+		if err := DeleteUntil(m, key, dl); err != nil {
+			if isOverloaded(err) {
+				rs.stats.overloads.Add(1)
+			} else if isDeadline(err) {
+				expired = true
+			} else {
+				rs.failLocked(i)
+			}
 			rs.missed[i][key] = struct{}{}
 			if firstErr == nil {
 				firstErr = err
@@ -641,6 +789,11 @@ func (rs *ReplicaSet) TryDelete(key uint64) error {
 		return nil
 	}
 	rs.rstats.quorumFails.Add(1)
+	if expired {
+		err := fmt.Errorf("%w: delete quorum %d/%d", ErrDeadlineExceeded, acks, rs.cfg.Quorum)
+		rs.stats.record(err)
+		return err
+	}
 	if firstErr != nil {
 		return fmt.Errorf("%w: delete quorum %d/%d (first failure: %v)", ErrRemoteUnavailable, acks, rs.cfg.Quorum, firstErr)
 	}
@@ -651,3 +804,4 @@ func (rs *ReplicaSet) TryDelete(key uint64) error {
 // callers that accept best-effort semantics wrap it in Degrading{rs}.
 
 var _ ErrorTransport = (*ReplicaSet)(nil)
+var _ DeadlineTransport = (*ReplicaSet)(nil)

@@ -36,22 +36,37 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	return p
 }
 
+// expClamp doubles base per completed retry, clamped at max. This is the
+// one exponential-growth rule shared by every backoff in the package.
+func expClamp(base, max time.Duration, retry int) time.Duration {
+	d := base
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if d >= max {
+			return max
+		}
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// jitterWindow scales nominal into [lo, hi) of itself using one draw from
+// rng. It is the single jitter rule for the package: retry backoff uses
+// the window [1/2, 1), the breaker's reopen timeout uses [3/4, 5/4).
+// Consuming exactly one rng value keeps every schedule deterministic for
+// a fixed seed.
+func jitterWindow(nominal uint64, lo, hi float64, rng *sim.RNG) uint64 {
+	return uint64(float64(nominal) * (lo + rng.Float64()*(hi-lo)))
+}
+
 // backoff returns the jittered sleep before retry number retry (1-based).
 // It consumes one value from rng, which makes the schedule deterministic
 // for a fixed seed.
 func (p RetryPolicy) backoff(retry int, rng *sim.RNG) time.Duration {
-	d := p.BaseBackoff
-	for i := 1; i < retry; i++ {
-		d *= 2
-		if d >= p.MaxBackoff {
-			d = p.MaxBackoff
-			break
-		}
-	}
-	if d > p.MaxBackoff {
-		d = p.MaxBackoff
-	}
+	d := expClamp(p.BaseBackoff, p.MaxBackoff, retry)
 	// Jitter into [d/2, d): decorrelates competing clients while staying
 	// deterministic per seed.
-	return d/2 + time.Duration(rng.Float64()*float64(d/2))
+	return time.Duration(jitterWindow(uint64(d), 0.5, 1.0, rng))
 }

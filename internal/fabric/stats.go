@@ -18,6 +18,10 @@ type Stats struct {
 	unavailable atomic.Uint64 // connection-level failures (refused/reset/dial)
 	checksum    atomic.Uint64 // integrity failures detected (wire CRC, server corrupt frame, replica blob mismatch)
 	downgrades  atomic.Uint64 // connections negotiated down to the CRC-less v1 protocol
+
+	overloads       atomic.Uint64 // overload rejects received (server shed the request)
+	deadlineMisses  atomic.Uint64 // operations that failed with ErrDeadlineExceeded
+	budgetExhausted atomic.Uint64 // retries denied by an empty retry budget
 }
 
 // Retries reports operation attempts beyond the first (each backoff-retry).
@@ -51,6 +55,21 @@ func (s *Stats) ChecksumFaults() uint64 { return s.checksum.Load() }
 // wire protocol because the peer did not answer the version handshake.
 func (s *Stats) ProtocolDowngrades() uint64 { return s.downgrades.Load() }
 
+// Overloads reports overload rejects received from the server's admission
+// control: attempts that were shed before service and retried as
+// backpressure (no retry-budget charge, no breaker count).
+func (s *Stats) Overloads() uint64 { return s.overloads.Load() }
+
+// DeadlineMisses reports operations that failed with ErrDeadlineExceeded:
+// the end-to-end budget ran out before a usable result, or the result
+// arrived late and was discarded.
+func (s *Stats) DeadlineMisses() uint64 { return s.deadlineMisses.Load() }
+
+// BudgetExhausted reports retries denied because the retry budget had no
+// token; each denial surfaced the operation's last error instead of
+// re-issuing it.
+func (s *Stats) BudgetExhausted() uint64 { return s.budgetExhausted.Load() }
+
 // StatsSnapshot is a plain-value copy of Stats for reporting.
 type StatsSnapshot struct {
 	Retries            uint64
@@ -61,6 +80,9 @@ type StatsSnapshot struct {
 	Unavailable        uint64
 	ChecksumFaults     uint64
 	ProtocolDowngrades uint64
+	Overloads          uint64
+	DeadlineMisses     uint64
+	BudgetExhausted    uint64
 }
 
 // Snapshot copies the current counter values.
@@ -74,6 +96,9 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		Unavailable:        s.Unavailable(),
 		ChecksumFaults:     s.ChecksumFaults(),
 		ProtocolDowngrades: s.ProtocolDowngrades(),
+		Overloads:          s.Overloads(),
+		DeadlineMisses:     s.DeadlineMisses(),
+		BudgetExhausted:    s.BudgetExhausted(),
 	}
 }
 
@@ -83,14 +108,18 @@ func (s *Stats) String() string { return s.Snapshot().String() }
 
 // String implements fmt.Stringer.
 func (s StatsSnapshot) String() string {
-	return fmt.Sprintf("retries=%d timeouts=%d reconnects=%d degraded=%d shortReads=%d unavailable=%d checksumFaults=%d protoDowngrades=%d",
-		s.Retries, s.Timeouts, s.Reconnects, s.DegradedFetches, s.ShortReads, s.Unavailable, s.ChecksumFaults, s.ProtocolDowngrades)
+	return fmt.Sprintf("retries=%d timeouts=%d reconnects=%d degraded=%d shortReads=%d unavailable=%d checksumFaults=%d protoDowngrades=%d overloads=%d deadlineMisses=%d budgetExhausted=%d",
+		s.Retries, s.Timeouts, s.Reconnects, s.DegradedFetches, s.ShortReads, s.Unavailable, s.ChecksumFaults, s.ProtocolDowngrades, s.Overloads, s.DeadlineMisses, s.BudgetExhausted)
 }
 
 // record classifies err (already mapped by classify) into the right bucket.
 func (s *Stats) record(err error) {
 	switch {
 	case err == nil:
+	case isOverloaded(err):
+		s.overloads.Add(1)
+	case isDeadline(err):
+		s.deadlineMisses.Add(1)
 	case isTimeout(err):
 		s.timeouts.Add(1)
 	case isShortRead(err):

@@ -38,6 +38,19 @@ import (
 // "flag payload crc". Connections that never send opHello speak version 1
 // unchanged, so old peers interoperate; a v2 client talking to a v1 server
 // detects the dropped handshake and falls back.
+//
+// Protocol version 3 keeps v2's CRC framing and appends a deadline field
+// to every request header except opHello: the 13-byte prefix is followed
+// by deadlineNs(8, big-endian), the operation's remaining budget in
+// nanoseconds (0 = no deadline). Hello frames stay 13 bytes in every
+// version so negotiation itself is version-independent. The deadline lets
+// the server shed requests it cannot finish in time: a v3 server with
+// admission control enabled may answer any request with the single byte
+// ackOverloaded (no payload follows, the stream stays in sync), which
+// clients treat as backpressure — retried after backoff, never charged to
+// the retry budget, never counted against circuit breakers. A v2 server
+// receiving a v3 offer answers v2 (it accepts any version >= 2), so new
+// clients interoperate with old servers and vice versa.
 const (
 	opFetch  = byte(1)
 	opPush   = byte(2)
@@ -64,9 +77,16 @@ const (
 	// (fetch), or a pushed payload's CRC trailer did not verify (push).
 	// It is only sent on v2 connections — v1 peers get ackErr.
 	ackCorrupt = byte(0xC7)
+	// ackOverloaded doubles as the fetch flag and the push/delete ack for
+	// a request shed by server-side admission control before service. No
+	// payload follows. Only sent on v3 connections — earlier protocols
+	// have no deadline field and their clients would not understand the
+	// byte, so admission control never sheds them.
+	ackOverloaded = byte(0xB7)
 
 	protoV1 = 1
 	protoV2 = 2
+	protoV3 = 3
 
 	// helloMagic guards the handshake opcode: "TFMFABR2" as a big-endian
 	// integer in the key field.
@@ -100,6 +120,7 @@ type ServerStats struct {
 	sizeErrs    atomic.Uint64 // fetches of a truncated blob answered with an integrity error frame
 	corrupt     atomic.Uint64 // fetches of a checksum-failing blob answered with an integrity error frame
 	wireRejects atomic.Uint64 // v2 pushes whose CRC trailer failed verification (not stored)
+	sheds       atomic.Uint64 // requests rejected by admission control with an overload frame
 }
 
 // Conns reports connections accepted over the server's lifetime.
@@ -131,18 +152,23 @@ func (s *ServerStats) CorruptBlobs() uint64 { return s.corrupt.Load() }
 // verification; the payload was discarded, never stored.
 func (s *ServerStats) WireRejects() uint64 { return s.wireRejects.Load() }
 
+// Sheds reports requests rejected by admission control with an overload
+// frame instead of being queued.
+func (s *ServerStats) Sheds() uint64 { return s.sheds.Load() }
+
 // String implements fmt.Stringer.
 func (s *ServerStats) String() string {
-	return fmt.Sprintf("conns=%d frames=%d badFrames=%d oversize=%d hellos=%d sizeMismatch=%d corruptBlobs=%d wireRejects=%d",
-		s.Conns(), s.Frames(), s.BadFrames(), s.OversizeRejects(), s.Hellos(), s.SizeMismatches(), s.CorruptBlobs(), s.WireRejects())
+	return fmt.Sprintf("conns=%d frames=%d badFrames=%d oversize=%d hellos=%d sizeMismatch=%d corruptBlobs=%d wireRejects=%d sheds=%d",
+		s.Conns(), s.Frames(), s.BadFrames(), s.OversizeRejects(), s.Hellos(), s.SizeMismatches(), s.CorruptBlobs(), s.WireRejects(), s.Sheds())
 }
 
 // Server serves a remote.Store over TCP. Create with NewServer, then call
 // Serve (blocking) or rely on the background goroutine started by ListenAndServe.
 type Server struct {
-	store *remote.Store
-	ln    net.Listener
-	stats ServerStats
+	store     *remote.Store
+	ln        net.Listener
+	stats     ServerStats
+	admission atomic.Pointer[Admission]
 
 	mu     sync.Mutex
 	closed bool
@@ -159,6 +185,20 @@ func (s *Server) Stats() *ServerStats { return &s.stats }
 
 // Store exposes the backing blob store (for stats reporters).
 func (s *Server) Store() *remote.Store { return s.store }
+
+// EnableAdmission installs an admission controller built from cfg and
+// returns it (for stats registration). Only requests on v3-negotiated
+// connections are subject to shedding — earlier protocols have no
+// overload frame — and with no controller installed the server accepts
+// everything, exactly as before.
+func (s *Server) EnableAdmission(cfg AdmissionConfig) *Admission {
+	a := NewAdmission(cfg)
+	s.admission.Store(a)
+	return a
+}
+
+// Admission reports the installed admission controller, nil if disabled.
+func (s *Server) Admission() *Admission { return s.admission.Load() }
 
 // ListenAndServe binds addr (e.g. "127.0.0.1:0") and serves in a background
 // goroutine. It returns the bound address so callers using port 0 can find
@@ -196,7 +236,17 @@ func (s *Server) serve() {
 }
 
 func (s *Server) handle(conn net.Conn) {
+	// admStart/admPending track a frame admitted but not yet finished, so
+	// a connection dying mid-service still releases its admission slot
+	// (a leaked slot would shrink the bounded queue forever).
+	var admStart time.Time
+	admPending := false
 	defer func() {
+		if admPending {
+			if adm := s.admission.Load(); adm != nil {
+				adm.Done(uint64(time.Since(admStart).Nanoseconds()))
+			}
+		}
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
@@ -213,6 +263,16 @@ func (s *Server) handle(conn net.Conn) {
 		op := hdr[0]
 		key := binary.BigEndian.Uint64(hdr[1:9])
 		length := binary.BigEndian.Uint32(hdr[9:13])
+		var deadlineNs uint64
+		if ver >= protoV3 && op != opHello {
+			// v3 request headers carry the remaining budget after the
+			// common 13-byte prefix; hello frames never do.
+			var dlb [8]byte
+			if _, err := io.ReadFull(r, dlb[:]); err != nil {
+				return
+			}
+			deadlineNs = binary.BigEndian.Uint64(dlb[:])
+		}
 		if op != opHello && length > maxPayload {
 			// Answer with an error frame rather than silently
 			// dropping the connection; the client sees a definite
@@ -229,6 +289,28 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			continue
 		}
+		if adm := s.admission.Load(); adm != nil && ver >= protoV3 && op != opHello {
+			if v := adm.OfferEstimate(deadlineNs); v.Shed() {
+				// A shed push's payload (and CRC trailer — v3 implies v2
+				// framing) is already on the wire; consume it so the
+				// stream stays in sync for the next request.
+				if op == opPush {
+					if _, err := io.CopyN(io.Discard, r, int64(length)+crcLen); err != nil {
+						return
+					}
+				}
+				s.stats.sheds.Add(1)
+				if err := w.WriteByte(ackOverloaded); err != nil {
+					return
+				}
+				if err := w.Flush(); err != nil {
+					return
+				}
+				continue
+			}
+			admPending = true
+			admStart = time.Now()
+		}
 		switch op {
 		case opHello:
 			if key != helloMagic {
@@ -238,7 +320,10 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 			agreed := protoV1
-			if length >= protoV2 {
+			switch {
+			case length >= protoV3:
+				agreed = protoV3
+			case length == protoV2:
 				agreed = protoV2
 			}
 			if err := w.WriteByte(ackHello); err != nil {
@@ -248,7 +333,7 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 			ver = agreed
-			if agreed == protoV2 {
+			if agreed >= protoV2 {
 				s.stats.hellos.Add(1)
 			}
 		case opFetch:
@@ -330,6 +415,12 @@ func (s *Server) handle(conn net.Conn) {
 		if err := w.Flush(); err != nil {
 			return
 		}
+		if admPending {
+			if adm := s.admission.Load(); adm != nil {
+				adm.Done(uint64(time.Since(admStart).Nanoseconds()))
+			}
+			admPending = false
+		}
 	}
 }
 
@@ -361,6 +452,11 @@ const (
 	// WireV2 requires CRC framing: a peer that cannot negotiate v2 is a
 	// permanent ErrProtocol. Use when integrity must not silently degrade.
 	WireV2
+	// WireV3 requires deadline framing: a peer that cannot negotiate v3 is
+	// a permanent ErrProtocol. Use when deadline propagation and overload
+	// shedding must not silently degrade; WireAuto clients still offer v3
+	// and use it whenever the server speaks it.
+	WireV3
 )
 
 // DialOptions tunes a TCPTransport's fault handling.
@@ -375,9 +471,15 @@ type DialOptions struct {
 	// zero seed selects sim.NewRNG's fixed default, so the schedule is
 	// reproducible even when unset.
 	Seed uint64
-	// Wire selects the payload framing (default WireAuto: negotiate v2
-	// CRC trailers, fall back to v1 against old servers).
+	// Wire selects the payload framing (default WireAuto: negotiate the
+	// highest version the server speaks — v3 deadline + CRC framing —
+	// falling back to v1 against old servers).
 	Wire WireVersion
+	// Budget bounds retries across all operations of the transport (see
+	// RetryBudget). Nil gives the transport a private default budget;
+	// pass a shared one to bound several transports' combined retry
+	// volume (e.g. the members of a ReplicaSet).
+	Budget *RetryBudget
 }
 
 // TCPTransport is a Transport backed by a real TCP connection to a Server.
@@ -395,14 +497,16 @@ type TCPTransport struct {
 	policy    RetryPolicy
 	opTimeout time.Duration
 	wire      WireVersion
+	budget    *RetryBudget
 	stats     Stats
 
 	mu     sync.Mutex
 	conn   net.Conn
 	r      *bufio.Reader
 	w      *bufio.Writer
-	ver    int  // negotiated protocol version of the live connection
-	legacy bool // sticky: peer dropped the handshake, speak v1 (WireAuto only)
+	ver    int      // negotiated protocol version of the live connection
+	legacy bool     // sticky: peer dropped the handshake, speak v1 (WireAuto only)
+	dl     Deadline // deadline of the operation currently holding mu (zero = none)
 	rng    *sim.RNG
 	closed bool
 }
@@ -423,7 +527,11 @@ func DialWith(addr string, opts DialOptions) (*TCPTransport, error) {
 		policy:    opts.Retry.withDefaults(),
 		opTimeout: opts.OpTimeout,
 		wire:      opts.Wire,
+		budget:    opts.Budget,
 		rng:       sim.NewRNG(opts.Seed),
+	}
+	if t.budget == nil {
+		t.budget = NewRetryBudget(0, 0)
 	}
 	if t.opTimeout <= 0 {
 		t.opTimeout = 2 * time.Second
@@ -441,6 +549,10 @@ func DialWith(addr string, opts DialOptions) (*TCPTransport, error) {
 
 // Stats exposes the transport's fault-handling counters.
 func (t *TCPTransport) Stats() *Stats { return &t.stats }
+
+// RetryBudget exposes the transport's retry budget (for gauges and for
+// sharing with sibling transports at construction time via DialOptions).
+func (t *TCPTransport) RetryBudget() *RetryBudget { return t.budget }
 
 // WireVersionInUse reports the protocol version of the live connection
 // (0 when disconnected). Mostly useful in tests and stats reporters.
@@ -509,7 +621,7 @@ func (t *TCPTransport) ensureHello() error {
 	var hdr [13]byte
 	hdr[0] = opHello
 	binary.BigEndian.PutUint64(hdr[1:9], helloMagic)
-	binary.BigEndian.PutUint32(hdr[9:13], protoV2)
+	binary.BigEndian.PutUint32(hdr[9:13], protoV3)
 	_, err := t.w.Write(hdr[:])
 	if err == nil {
 		err = t.w.Flush()
@@ -521,8 +633,8 @@ func (t *TCPTransport) ensureHello() error {
 	if err != nil {
 		t.markDead()
 		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-			if t.wire == WireV2 {
-				return permanent(fmt.Errorf("%w: peer does not speak CRC protocol v2", ErrProtocol))
+			if t.wire == WireV2 || t.wire == WireV3 {
+				return permanent(fmt.Errorf("%w: peer does not speak versioned protocol", ErrProtocol))
 			}
 			t.legacy = true
 			t.stats.downgrades.Add(1)
@@ -535,7 +647,7 @@ func (t *TCPTransport) ensureHello() error {
 		return permanent(fmt.Errorf("%w: hello ack %#x", ErrProtocol, resp[0]))
 	}
 	ver := int(resp[1])
-	if ver < protoV1 || ver > protoV2 {
+	if ver < protoV1 || ver > protoV3 {
 		t.markDead()
 		return permanent(fmt.Errorf("%w: hello version %d", ErrProtocol, ver))
 	}
@@ -543,25 +655,62 @@ func (t *TCPTransport) ensureHello() error {
 		t.markDead()
 		return permanent(fmt.Errorf("%w: peer negotiated v%d, need v2", ErrProtocol, ver))
 	}
+	if ver < protoV3 && t.wire == WireV3 {
+		t.markDead()
+		return permanent(fmt.Errorf("%w: peer negotiated v%d, need v3", ErrProtocol, ver))
+	}
 	t.ver = ver
 	return nil
 }
 
-// do runs one operation attempt loop under the retry policy. op executes a
+// do runs one operation attempt loop under the retry policy, bounded by
+// the operation deadline and the transport's retry budget. op executes a
 // full request/response exchange on the live connection; any error marks
 // the connection dead (forcing a clean reconnect) and is classified into
-// the typed taxonomy. Permanent errors stop the loop immediately.
-func (t *TCPTransport) do(op func() error) error {
+// the typed taxonomy. Permanent errors stop the loop immediately. Three
+// overload-control rules shape the loop:
+//
+//   - an expired deadline stops the loop with ErrDeadlineExceeded, and a
+//     result that arrives past the deadline is reported the same way (the
+//     caller never consumes it); each attempt's socket deadline and each
+//     backoff sleep are clamped to the remaining budget;
+//   - a retry (any attempt past the first, except after an overload
+//     reject) must withdraw a token from the retry budget — an empty
+//     bucket surfaces the last error instead of re-issuing, so a
+//     struggling server sees load shrink instead of multiply;
+//   - an overload reject (ackOverloaded) is backpressure, not failure:
+//     the connection stays up (the reject frame leaves the stream in
+//     sync), the budget is not charged, and the attempt is retried after
+//     the normal backoff.
+func (t *TCPTransport) do(dl Deadline, op func() error) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.closed {
 		return permanent(ErrClosed)
 	}
+	t.dl = dl
+	defer func() { t.dl = Deadline{} }()
+	deposited := false
 	var last error
 	for attempt := 1; attempt <= t.policy.MaxAttempts; attempt++ {
 		if attempt > 1 {
+			if !isOverloaded(last) && !t.budget.TryRetry() {
+				t.stats.budgetExhausted.Add(1)
+				break
+			}
 			t.stats.retries.Add(1)
-			time.Sleep(t.policy.backoff(attempt-1, t.rng))
+			d := t.policy.backoff(attempt-1, t.rng)
+			if !dl.IsZero() {
+				if rem := time.Duration(dl.RemainingNanos()); d > rem {
+					d = rem
+				}
+			}
+			time.Sleep(d)
+		}
+		if dl.Expired() {
+			last = errDeadline("budget exhausted before attempt")
+			t.stats.record(last)
+			break
 		}
 		err := t.ensureConn()
 		if err == nil {
@@ -575,13 +724,37 @@ func (t *TCPTransport) do(op func() error) error {
 			}
 			continue
 		}
-		t.conn.SetDeadline(time.Now().Add(t.opTimeout))
+		to := t.opTimeout
+		if !dl.IsZero() {
+			if rem := time.Duration(dl.RemainingNanos()); rem < to {
+				to = rem
+			}
+		}
+		t.conn.SetDeadline(time.Now().Add(to))
 		if err := op(); err == nil {
+			if !deposited {
+				t.budget.OnRequest()
+			}
+			if dl.Expired() {
+				// The exchange succeeded but past its budget: the result
+				// must not be consumed. The connection itself is healthy.
+				last = errDeadline("completed past deadline")
+				t.stats.record(last)
+				break
+			}
 			return nil
 		} else {
 			last = classify(err)
 			t.stats.record(last)
-			t.markDead()
+			if !deposited && !isOverloaded(last) {
+				// A serviced-and-failed exchange still earns budget; an
+				// overload reject is backpressure and earns nothing.
+				t.budget.OnRequest()
+				deposited = true
+			}
+			if !isOverloaded(last) {
+				t.markDead()
+			}
 			if isPermanent(err) {
 				break
 			}
@@ -591,21 +764,37 @@ func (t *TCPTransport) do(op func() error) error {
 }
 
 func (t *TCPTransport) writeHeader(op byte, key uint64, length uint32) error {
-	var hdr [13]byte
+	var hdr [21]byte
 	hdr[0] = op
 	binary.BigEndian.PutUint64(hdr[1:9], key)
 	binary.BigEndian.PutUint32(hdr[9:13], length)
-	_, err := t.w.Write(hdr[:])
+	n := 13
+	if t.ver >= protoV3 {
+		// v3 request headers carry the operation's remaining budget so
+		// the server can shed requests it cannot finish in time.
+		binary.BigEndian.PutUint64(hdr[13:21], t.dl.RemainingNanos())
+		n = 21
+	}
+	_, err := t.w.Write(hdr[:n])
 	return err
 }
 
 // TryFetch implements ErrorTransport.
 func (t *TCPTransport) TryFetch(key uint64, dst []byte) (bool, error) {
+	return t.TryFetchUntil(key, dst, Deadline{})
+}
+
+// TryFetchUntil implements DeadlineTransport: TryFetch bounded end to end
+// by dl. The remaining budget rides in each v3 request header, bounds each
+// attempt's socket deadline, and clamps retry backoff; an operation whose
+// budget runs out — or whose result arrives late — fails with
+// ErrDeadlineExceeded and the late result is discarded.
+func (t *TCPTransport) TryFetchUntil(key uint64, dst []byte, dl Deadline) (bool, error) {
 	if len(dst) > maxPayload {
 		return false, fmt.Errorf("%w: fetch of %d bytes", ErrPayloadTooLarge, len(dst))
 	}
 	var found bool
-	err := t.do(func() error {
+	err := t.do(dl, func() error {
 		if err := t.writeHeader(opFetch, key, uint32(len(dst))); err != nil {
 			return err
 		}
@@ -618,6 +807,11 @@ func (t *TCPTransport) TryFetch(key uint64, dst []byte) (bool, error) {
 		}
 		switch flag {
 		case flagAbsent, flagFound:
+		case ackOverloaded:
+			// Admission control shed the request before service: pure
+			// backpressure. No payload follows, the stream stays in
+			// sync, and do() retries without charging the budget.
+			return fmt.Errorf("%w: fetch shed", ErrOverloaded)
 		case ackErr:
 			return permanent(fmt.Errorf("%w: server rejected fetch", ErrProtocol))
 		case ackCorrupt:
@@ -664,10 +858,15 @@ func (t *TCPTransport) TryFetchAsync(key uint64, dst []byte) (bool, error) {
 
 // TryPush implements ErrorTransport.
 func (t *TCPTransport) TryPush(key uint64, src []byte) error {
+	return t.TryPushUntil(key, src, Deadline{})
+}
+
+// TryPushUntil implements DeadlineTransport (see TryFetchUntil).
+func (t *TCPTransport) TryPushUntil(key uint64, src []byte, dl Deadline) error {
 	if len(src) > maxPayload {
 		return fmt.Errorf("%w: push of %d bytes", ErrPayloadTooLarge, len(src))
 	}
-	return t.do(func() error {
+	return t.do(dl, func() error {
 		if err := t.writeHeader(opPush, key, uint32(len(src))); err != nil {
 			return err
 		}
@@ -690,7 +889,12 @@ func (t *TCPTransport) TryPush(key uint64, src []byte) error {
 
 // TryDelete implements ErrorTransport.
 func (t *TCPTransport) TryDelete(key uint64) error {
-	return t.do(func() error {
+	return t.TryDeleteUntil(key, Deadline{})
+}
+
+// TryDeleteUntil implements DeadlineTransport (see TryFetchUntil).
+func (t *TCPTransport) TryDeleteUntil(key uint64, dl Deadline) error {
+	return t.do(dl, func() error {
 		if err := t.writeHeader(opDelete, key, 0); err != nil {
 			return err
 		}
@@ -709,6 +913,11 @@ func (t *TCPTransport) readAck(op string) error {
 	switch ack {
 	case ackOK:
 		return nil
+	case ackOverloaded:
+		// Backpressure: the request was shed before service (a shed push
+		// was consumed and discarded, never stored). Retryable without a
+		// budget charge; see TryFetchUntil's flag handling.
+		return fmt.Errorf("%w: %s shed", ErrOverloaded, op)
 	case ackErr:
 		return permanent(fmt.Errorf("%w: server rejected %s", ErrProtocol, op))
 	case ackCorrupt:
@@ -744,3 +953,4 @@ var _ Transport = (*SimLink)(nil)
 var _ ErrorTransport = (*SimLink)(nil)
 var _ Transport = Degrading{}
 var _ ErrorTransport = (*TCPTransport)(nil)
+var _ DeadlineTransport = (*TCPTransport)(nil)

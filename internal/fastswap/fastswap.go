@@ -18,6 +18,7 @@ package fastswap
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math/bits"
 	"sync"
@@ -101,6 +102,7 @@ type Swap struct {
 	replicas *fabric.ReplicaSet // non-nil only when Config.Replicas was set
 	closer   func() error       // non-nil only when the swap dialed RemoteAddr
 	retries  int
+	dlBudget uint64 // per-op deadline in clock cycles; 0 = none
 	pageSize int
 	shift    uint
 
@@ -170,6 +172,7 @@ func New(cfg Config) (*Swap, error) {
 		replicas:   replicas,
 		closer:     closer,
 		retries:    cfg.Retries(),
+		dlBudget:   cfg.OpDeadline,
 		pageSize:   cfg.PageSize,
 		shift:      uint(bits.TrailingZeros(uint(cfg.PageSize))),
 		heapSize:   cfg.HeapSize,
@@ -281,21 +284,57 @@ func (s *Swap) fault(pg uint64, write bool) uint64 {
 	}
 }
 
+// opDeadline starts a fresh per-op deadline, or the zero Deadline when the
+// swap runs without a budget. Unlike the object pool there is no degraded
+// mode: the kernel analogue has no application-visible fallback, so a
+// missed deadline simply bounds the retry loop and surfaces (a SIGBUS
+// analogue for swap-in, a stalled reclaim for swap-out).
+func (s *Swap) opDeadline() fabric.Deadline {
+	if s.dlBudget == 0 {
+		return fabric.Deadline{}
+	}
+	return fabric.DeadlineAfter(&s.env.Clock, s.dlBudget)
+}
+
+// noteRemoteErr tallies overload rejects and deadline misses on a failed
+// remote operation that started at cycle start, reporting whether err was
+// a deadline miss (which ends the retry loop).
+func (s *Swap) noteRemoteErr(err error, start uint64) bool {
+	if errors.Is(err, fabric.ErrOverloaded) {
+		sim.Inc(&s.env.Counters.OverloadRejects)
+	}
+	if !errors.Is(err, fabric.ErrDeadlineExceeded) {
+		return false
+	}
+	sim.Inc(&s.env.Counters.DeadlineMisses)
+	if elapsed := s.env.Clock.Cycles() - start; elapsed > s.dlBudget {
+		s.lat.DeadlineMiss.Observe(elapsed - s.dlBudget)
+	}
+	return true
+}
+
 // fetchPage pulls a remote page with the swap system's retry budget,
-// tallying each failed attempt in Counters.RemoteFetchFaults.
+// tallying each failed attempt in Counters.RemoteFetchFaults. An
+// OpDeadline bounds the whole retry loop.
 func (s *Swap) fetchPage(pg uint64, buf []byte) error {
 	start := s.env.Clock.Cycles()
 	defer func() { s.lat.RemoteFetch.Observe(s.env.Clock.Cycles() - start) }()
+	dl := s.opDeadline()
 	var last error
+	attempts := 0
 	for attempt := 1; attempt <= s.retries; attempt++ {
-		if _, err := s.link.TryFetch(pg, buf); err == nil {
+		attempts = attempt
+		if _, err := fabric.FetchUntil(s.link, pg, buf, dl); err == nil {
 			return nil
 		} else {
 			last = err
 			sim.Inc(&s.env.Counters.RemoteFetchFaults)
+			if s.noteRemoteErr(err, start) {
+				break
+			}
 		}
 	}
-	return fmt.Errorf("fastswap: fetch page %d after %d attempts: %w", pg, s.retries, last)
+	return fmt.Errorf("fastswap: fetch page %d after %d attempts: %w", pg, attempts, last)
 }
 
 func (s *Swap) install(pg uint64, f uint32, write bool) {
@@ -408,17 +447,22 @@ func (s *Swap) evict(f uint32, pg uint64) bool {
 }
 
 // pushPage writes a page back with the swap system's retry budget,
-// tallying each failed attempt in Counters.RemotePushFaults.
+// tallying each failed attempt in Counters.RemotePushFaults. An
+// OpDeadline bounds the whole retry loop.
 func (s *Swap) pushPage(pg uint64, buf []byte) error {
 	start := s.env.Clock.Cycles()
 	defer func() { s.lat.RemotePush.Observe(s.env.Clock.Cycles() - start) }()
+	dl := s.opDeadline()
 	var last error
 	for attempt := 1; attempt <= s.retries; attempt++ {
-		if err := s.link.TryPush(pg, buf); err == nil {
+		if err := fabric.PushUntil(s.link, pg, buf, dl); err == nil {
 			return nil
 		} else {
 			last = err
 			sim.Inc(&s.env.Counters.RemotePushFaults)
+			if s.noteRemoteErr(err, start) {
+				break
+			}
 		}
 	}
 	return last

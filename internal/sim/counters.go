@@ -54,6 +54,12 @@ type Counters struct {
 	RemotePushFaults  uint64 // failed push/delete attempts observed by a runtime
 	EvictionStalls    uint64 // evictions aborted after push retries exhausted
 
+	// Overload control (deadline-bearing configs only; all zero without
+	// an OpDeadline).
+	DeadlineMisses  uint64 // remote ops that failed with ErrDeadlineExceeded
+	OverloadRejects uint64 // remote ops shed by server admission control
+	DegradedEntries uint64 // times a pool entered degraded mode
+
 	// Concurrency events (multi-goroutine runtimes only; all zero in a
 	// single-goroutine run).
 	StripeContention   uint64 // pool stripe-lock acquisitions that had to wait
@@ -92,6 +98,7 @@ func (c *Counters) fields() []*uint64 {
 		&c.PrefetchIssued, &c.PrefetchHits,
 		&c.Mallocs, &c.Frees,
 		&c.RemoteFetchFaults, &c.RemotePushFaults, &c.EvictionStalls,
+		&c.DeadlineMisses, &c.OverloadRejects, &c.DegradedEntries,
 		&c.StripeContention, &c.SingleflightShared, &c.EvacAborts,
 	}
 }
@@ -168,6 +175,9 @@ func (c *Counters) String() string {
 	add("fetchFault", c.RemoteFetchFaults)
 	add("pushFault", c.RemotePushFaults)
 	add("evictStall", c.EvictionStalls)
+	add("dlMiss", c.DeadlineMisses)
+	add("overload", c.OverloadRejects)
+	add("degraded", c.DegradedEntries)
 	add("lockWait", c.StripeContention)
 	add("sfShared", c.SingleflightShared)
 	add("evacAbort", c.EvacAborts)

@@ -16,8 +16,9 @@ type Latencies struct {
 	RemotePush  *obs.Histogram // push one object/page to the remote node
 	Evacuation  *obs.Histogram // full evacuation of one slot (push + bookkeeping)
 	GuardSlow   *obs.Histogram // guard slow path end-to-end (localize incl. fetch)
-	Failover    *obs.Histogram // replicated fetch that needed >=1 failover
-	LockWait    *obs.Histogram // contended pool stripe-lock waits (wall time converted to cycles)
+	Failover     *obs.Histogram // replicated fetch that needed >=1 failover
+	LockWait     *obs.Histogram // contended pool stripe-lock waits (wall time converted to cycles)
+	DeadlineMiss *obs.Histogram // how far past its budget a deadline-missing op finished
 }
 
 // metricDefs names each Counters field for the obs registry, in the same
@@ -44,6 +45,9 @@ var metricDefs = []struct{ name, help string }{
 	{"trackfm_remote_fetch_faults_total", "Failed remote fetch attempts observed by a runtime."},
 	{"trackfm_remote_push_faults_total", "Failed remote push/delete attempts observed by a runtime."},
 	{"trackfm_eviction_stalls_total", "Evictions aborted after push retries were exhausted."},
+	{"trackfm_deadline_misses_total", "Remote operations that failed with ErrDeadlineExceeded."},
+	{"trackfm_overload_rejects_total", "Remote operations shed by server-side admission control."},
+	{"trackfm_degraded_entries_total", "Times a pool entered degraded mode after repeated deadline misses."},
 	{"trackfm_stripe_contention_total", "Pool stripe-lock acquisitions that had to wait."},
 	{"trackfm_singleflight_shared_total", "Localize calls served by another caller's in-flight fetch."},
 	{"trackfm_evac_aborts_total", "Background-evacuation candidates aborted (pinned or re-touched)."},
@@ -80,6 +84,8 @@ func (e *Env) initObs() {
 				"Latency of replicated fetches that needed at least one failover, in clock cycles of the replica set's clock.", nil),
 			LockWait: reg.Histogram("trackfm_lock_wait_cycles",
 				"Contended stripe-lock wait time, wall nanoseconds converted to cycles at the simulated frequency.", nil),
+			DeadlineMiss: reg.Histogram("trackfm_deadline_miss_cycles",
+				"Overrun of deadline-missing remote operations, in simulated cycles past the budget.", nil),
 		}
 		e.obs.registry = reg
 		e.obs.lat = lat
@@ -113,7 +119,7 @@ func (e *Env) resetObs() {
 	for _, h := range []*obs.Histogram{
 		e.obs.lat.RemoteFetch, e.obs.lat.RemotePush,
 		e.obs.lat.Evacuation, e.obs.lat.GuardSlow, e.obs.lat.Failover,
-		e.obs.lat.LockWait,
+		e.obs.lat.LockWait, e.obs.lat.DeadlineMiss,
 	} {
 		h.Reset()
 	}
