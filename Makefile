@@ -3,12 +3,12 @@
 
 GO ?= go
 
-.PHONY: all build check vet test test-race test-soak test-stress test-overload fuzz-short smoke_test bench figs clean \
+.PHONY: all build check vet test test-race test-soak test-stress test-overload test-crash fuzz-short smoke_test bench figs clean \
         trackfm_table1 trackfm_table2 trackfm_table3 trackfm_table4 \
         trackfm_fig6 trackfm_fig7 trackfm_fig8 trackfm_fig9 trackfm_fig10 \
         trackfm_fig11 trackfm_fig12 trackfm_fig13 trackfm_fig14a trackfm_fig15 \
         trackfm_fig16a trackfm_fig17a trackfm_compile trackfm_ablation \
-        trackfm_autotune trackfm_mt trackfm_overload
+        trackfm_autotune trackfm_mt trackfm_overload trackfm_crash
 
 all: build test
 
@@ -34,6 +34,7 @@ check: build
 	$(MAKE) test
 	$(MAKE) test-stress
 	$(MAKE) test-overload
+	$(MAKE) test-crash
 
 # Tier-1: the full suite twice in shuffled order (catches inter-test
 # order dependence), plus race mode over the concurrency-bearing packages
@@ -60,6 +61,13 @@ test-stress:
 test-overload:
 	$(GO) test -run 'TestOverload|TestAdmission|TestRetryBudget|TestDeadline' ./internal/bench ./internal/fabric
 
+# The crash-consistency gates: the fixed-seed crash-injection soak (>= 100
+# kills at randomized WAL offsets, recovered state byte-identical to the
+# acked-write oracle, torn tails exercised, deterministic JSON) plus the
+# durability unit tests and the durable-replica rejoin tests.
+test-crash:
+	$(GO) test -run 'TestCrashSoak|TestDurable|TestWAL|TestReplayWAL|TestReplicaSetDurable|TestServerShutdown|TestHelloV4' ./internal/bench ./internal/remote ./internal/fabric
+
 # The replica-failover soak: 10k ops over three TCP replicas with seeded
 # drops and corruption on every link and one replica killed/restarted
 # (empty) mid-run, under the race detector.
@@ -74,6 +82,7 @@ fuzz-short:
 	$(GO) test -run=^$$ -fuzz=FuzzCRCFrame -fuzztime=30s ./internal/fabric
 	$(GO) test -run=^$$ -fuzz=FuzzDeadlineFrame -fuzztime=30s ./internal/fabric
 	$(GO) test -race -run=^$$ -fuzz=FuzzConcurrentScopes -fuzztime=30s ./internal/aifm
+	$(GO) test -run=^$$ -fuzz=FuzzWALRecord -fuzztime=30s ./internal/remote
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -102,6 +111,7 @@ trackfm_ablation: ; $(GO) run ./cmd/trackfm-bench -exp ablation
 trackfm_autotune: ; $(GO) run ./cmd/trackfm-bench -exp autotune
 trackfm_mt:       ; $(GO) run ./cmd/trackfm-bench -exp mt
 trackfm_overload: ; $(GO) run ./cmd/trackfm-bench -exp overload -json > BENCH_overload.json
+trackfm_crash:    ; $(GO) run ./cmd/trackfm-bench -exp crash -json > BENCH_crash.json
 
 clean:
 	$(GO) clean ./...

@@ -44,6 +44,7 @@ func Experiments() []Experiment {
 		{"nasx", "NAS incl. EP/LU (extension)", NASExtended},
 		{"mt", "multi-goroutine scaling (extension)", MTScan},
 		{"overload", "overload soak: admission control (extension)", Overload},
+		{"crash", "crash-consistency soak: WAL + recovery (extension)", Crash},
 	}
 }
 

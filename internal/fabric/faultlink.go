@@ -178,7 +178,19 @@ func (f *FaultLink) TryDelete(key uint64) error {
 	return f.inner.TryDelete(key)
 }
 
+// PeerIdentity delegates to the inner transport when it reports identity
+// (a wrapped TCPTransport does), so fault-injected replica-set members
+// still see restart generations. An inner transport without identity
+// reports (0, false), the same as "never advertised".
+func (f *FaultLink) PeerIdentity() (uint64, bool) {
+	if ir, ok := f.inner.(IdentityReporter); ok {
+		return ir.PeerIdentity()
+	}
+	return 0, false
+}
+
 // FaultLink intentionally has no infallible Fetch/Push/Delete methods:
 // callers that accept best-effort semantics wrap it in Degrading{f}.
 
 var _ ErrorTransport = (*FaultLink)(nil)
+var _ IdentityReporter = (*FaultLink)(nil)

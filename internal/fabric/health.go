@@ -85,6 +85,9 @@ type ReplicaSetStats struct {
 	hedgedReads  atomic.Uint64 // hedged second reads launched
 	hedgeWins    atomic.Uint64 // hedged reads whose secondary answered first
 	quorumFails  atomic.Uint64 // writes that could not reach the ack quorum
+	restarts     atomic.Uint64 // replica restarts detected via a changed hello generation
+	deltaRejoins atomic.Uint64 // restarts of a durable replica: repair only the writes it missed
+	fullResyncs  atomic.Uint64 // restarts of a non-durable replica: every tracked key re-marked missed
 }
 
 // BreakerOpens reports closed-to-open breaker transitions.
@@ -118,8 +121,20 @@ func (s *ReplicaSetStats) HedgeWins() uint64 { return s.hedgeWins.Load() }
 // quorum.
 func (s *ReplicaSetStats) QuorumFails() uint64 { return s.quorumFails.Load() }
 
+// Restarts reports replica restarts detected through a changed restart
+// generation in the hello exchange.
+func (s *ReplicaSetStats) Restarts() uint64 { return s.restarts.Load() }
+
+// DeltaRejoins reports restarts of durable replicas, rejoined by replaying
+// only the writes missed during their downtime.
+func (s *ReplicaSetStats) DeltaRejoins() uint64 { return s.deltaRejoins.Load() }
+
+// FullResyncs reports restarts of non-durable replicas (came back empty):
+// every tracked key was re-marked missed and replayed from peers.
+func (s *ReplicaSetStats) FullResyncs() uint64 { return s.fullResyncs.Load() }
+
 // String implements fmt.Stringer.
 func (s *ReplicaSetStats) String() string {
-	return fmt.Sprintf("breakerOpens=%d probes=%d probeFails=%d resynced=%d readRepairs=%d failovers=%d hedged=%d hedgeWins=%d quorumFails=%d",
-		s.BreakerOpens(), s.Probes(), s.ProbeFails(), s.ResyncedKeys(), s.ReadRepairs(), s.Failovers(), s.HedgedReads(), s.HedgeWins(), s.QuorumFails())
+	return fmt.Sprintf("breakerOpens=%d probes=%d probeFails=%d resynced=%d readRepairs=%d failovers=%d hedged=%d hedgeWins=%d quorumFails=%d restarts=%d deltaRejoins=%d fullResyncs=%d",
+		s.BreakerOpens(), s.Probes(), s.ProbeFails(), s.ResyncedKeys(), s.ReadRepairs(), s.Failovers(), s.HedgedReads(), s.HedgeWins(), s.QuorumFails(), s.Restarts(), s.DeltaRejoins(), s.FullResyncs())
 }

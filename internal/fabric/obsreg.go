@@ -68,6 +68,8 @@ func (s *ServerStats) Register(reg *obs.Registry, labels ...obs.Label) {
 		"v2 pushes whose CRC trailer failed verification (payload discarded).", s.WireRejects, labels...)
 	reg.CounterFunc("trackfm_server_sheds_total",
 		"Requests rejected by admission control with an overload frame.", s.Sheds, labels...)
+	reg.CounterFunc("trackfm_server_store_fails_total",
+		"Writes the backing store refused (e.g. WAL append failure); answered with an error frame, never acked.", s.StoreFails, labels...)
 }
 
 // Register exposes the replication-level counters on reg.
@@ -90,6 +92,12 @@ func (s *ReplicaSetStats) Register(reg *obs.Registry, labels ...obs.Label) {
 		"Hedged reads whose secondary answered first.", s.HedgeWins, labels...)
 	reg.CounterFunc("trackfm_replica_quorum_fails_total",
 		"Writes that could not gather the configured ack quorum.", s.QuorumFails, labels...)
+	reg.CounterFunc("trackfm_replica_restarts_total",
+		"Replica restarts detected via a changed hello restart generation.", s.Restarts, labels...)
+	reg.CounterFunc("trackfm_replica_delta_rejoins_total",
+		"Restarts of durable replicas rejoined by replaying only the writes missed during downtime.", s.DeltaRejoins, labels...)
+	reg.CounterFunc("trackfm_replica_full_resyncs_total",
+		"Restarts of non-durable (came back empty) replicas: all tracked keys re-marked missed.", s.FullResyncs, labels...)
 }
 
 // Register exposes the set's transport counters, replication counters, and a

@@ -122,11 +122,12 @@ type ReplicaSet struct {
 	stats   Stats
 	rstats  ReplicaSetStats
 
-	mu     sync.Mutex
-	vers   map[uint64]blobVer
-	brk    []breaker
-	missed []map[uint64]struct{} // per-replica keys whose latest write it has not acked
-	rng    *sim.RNG
+	mu      sync.Mutex
+	vers    map[uint64]blobVer
+	brk     []breaker
+	missed  []map[uint64]struct{} // per-replica keys whose latest write it has not acked
+	lastGen []uint64              // per-replica restart generation last seen in a hello (0 = none yet)
+	rng     *sim.RNG
 
 	// failoverHist, when set, observes the end-to-end latency (in the
 	// set's clock units) of every read that needed at least one failover.
@@ -155,11 +156,12 @@ func NewReplicaSet(cfg ReplicaConfig, members ...ErrorTransport) (*ReplicaSet, e
 		return nil, fmt.Errorf("fabric: quorum %d exceeds %d replicas", cfg.Quorum, len(members))
 	}
 	rs := &ReplicaSet{
-		cfg:    cfg,
-		vers:   make(map[uint64]blobVer),
-		brk:    make([]breaker, len(members)),
-		missed: make([]map[uint64]struct{}, len(members)),
-		rng:    sim.NewRNG(cfg.Seed),
+		cfg:     cfg,
+		vers:    make(map[uint64]blobVer),
+		brk:     make([]breaker, len(members)),
+		missed:  make([]map[uint64]struct{}, len(members)),
+		lastGen: make([]uint64, len(members)),
+		rng:     sim.NewRNG(cfg.Seed),
 	}
 	rs.members = append(rs.members, members...)
 	for i := range rs.missed {
@@ -240,6 +242,13 @@ func (rs *ReplicaSet) Probe() {
 // advance claims due probe/resync work under the mutex, then performs the
 // I/O unlocked. At most one prober per replica is ever in flight.
 func (rs *ReplicaSet) advance() {
+	// Refresh each member's advertised identity first: reading the
+	// transport's last-seen hello is two atomic-cheap loads, and doing it
+	// every cycle is what records a replica's pre-restart generation so a
+	// post-restart hello is recognizable as a change.
+	for i := range rs.members {
+		rs.noteIdentity(i)
+	}
 	rs.mu.Lock()
 	probes, resyncs := rs.claimDueLocked()
 	rs.mu.Unlock()
@@ -282,22 +291,68 @@ func (rs *ReplicaSet) claimDueLocked() (probes, resyncs []int) {
 	return probes, resyncs
 }
 
+// noteIdentity reads replica i's advertised restart generation (learned
+// from the most recent hello exchange, if the transport reports identity)
+// and reconciles the missed-write ledger with it. A changed generation
+// means the node restarted while quarantined:
+//
+//   - durable bit set: the node recovered its keyspace from local WAL +
+//     snapshot state, so the writes it missed during downtime — already in
+//     rs.missed[i] from the write path — are the only repair needed (a
+//     delta rejoin);
+//   - durable bit clear: the node came back empty, so every key the set
+//     tracks is re-marked missed and replayed from peers (a full resync).
+//
+// Called after a liveness exchange (which is what refreshes the hello on a
+// reconnect) and before the resync that replays the missed set.
+func (rs *ReplicaSet) noteIdentity(i int) {
+	ir, ok := rs.members[i].(IdentityReporter)
+	if !ok {
+		return
+	}
+	gen, durable := ir.PeerIdentity()
+	if gen == 0 {
+		return // peer does not advertise identity (pre-v4)
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	prev := rs.lastGen[i]
+	rs.lastGen[i] = gen
+	if prev == 0 || gen == prev {
+		return // first sighting, or no restart since last seen
+	}
+	rs.rstats.restarts.Add(1)
+	if durable {
+		rs.rstats.deltaRejoins.Add(1)
+		return
+	}
+	rs.rstats.fullResyncs.Add(1)
+	for key := range rs.vers {
+		rs.missed[i][key] = struct{}{}
+	}
+}
+
 // runProbe runs the half-open probe for replica i with the mutex
-// released: replay every missed write, then verify liveness. Success
+// released: verify liveness (which refreshes the hello — and with it the
+// peer's restart generation — on a reconnect), reconcile the missed-write
+// ledger against that identity, then replay every missed write. Success
 // closes the breaker; failure re-opens it for another timeout. The caller
 // must have claimed the probe via claimDueLocked.
 func (rs *ReplicaSet) runProbe(i int) {
 	rs.rstats.probes.Add(1)
-	ok := rs.resync(i)
+	// Liveness first: the replica must answer a fetch before rejoining.
+	// probeKey is reserved, so "absent without error" is healthy. The
+	// fetch also forces a reconnect + hello on a restarted peer, so the
+	// identity read below sees the post-restart generation.
+	var probeBuf [1]byte
+	err := tryN(resyncAttempts, func() error {
+		_, err := rs.members[i].TryFetch(probeKey, probeBuf[:])
+		return err
+	})
+	ok := err == nil
 	if ok {
-		// Liveness: the replica must answer a fetch before rejoining.
-		// probeKey is reserved, so "absent without error" is healthy.
-		var b [1]byte
-		err := tryN(resyncAttempts, func() error {
-			_, err := rs.members[i].TryFetch(probeKey, b[:])
-			return err
-		})
-		ok = err == nil
+		rs.noteIdentity(i)
+		ok = rs.resync(i)
 	}
 	rs.mu.Lock()
 	b := &rs.brk[i]
@@ -317,6 +372,7 @@ func (rs *ReplicaSet) runProbe(i int) {
 // runResync runs a claimed background resync for a closed replica with
 // the mutex released, rescheduling the next attempt if it did not drain.
 func (rs *ReplicaSet) runResync(i int) {
+	rs.noteIdentity(i)
 	ok := rs.resync(i)
 	rs.mu.Lock()
 	b := &rs.brk[i]

@@ -51,6 +51,19 @@ import (
 // the retry budget, never counted against circuit breakers. A v2 server
 // receiving a v3 offer answers v2 (it accepts any version >= 2), so new
 // clients interoperate with old servers and vice versa.
+//
+// Protocol version 4 keeps v3's request framing unchanged and extends only
+// the hello *response*: after the version byte the server appends
+// flags(1) + generation(8, big-endian), its restart generation — a value
+// that durably increases every time the node restarts (bit 0 of flags set
+// when the node recovered its store from local durable state, clear when
+// it came up empty or holds state in memory only). A client that sees a
+// replica's generation change across a reconnect knows the node restarted,
+// and the durability bit tells it whether the node kept its keyspace
+// (rejoin needs only the writes missed during downtime) or lost it (full
+// resync). Hello requests stay 13 bytes; servers answering v3 or below
+// send the old 2-byte response, so the exchange is length-unambiguous in
+// both directions.
 const (
 	opFetch  = byte(1)
 	opPush   = byte(2)
@@ -87,6 +100,11 @@ const (
 	protoV1 = 1
 	protoV2 = 2
 	protoV3 = 3
+	protoV4 = 4
+
+	// helloGenDurable is the hello-response flags bit advertising that the
+	// node's store survives restarts (WAL + snapshots).
+	helloGenDurable = byte(1)
 
 	// helloMagic guards the handshake opcode: "TFMFABR2" as a big-endian
 	// integer in the key field.
@@ -121,7 +139,13 @@ type ServerStats struct {
 	corrupt     atomic.Uint64 // fetches of a checksum-failing blob answered with an integrity error frame
 	wireRejects atomic.Uint64 // v2 pushes whose CRC trailer failed verification (not stored)
 	sheds       atomic.Uint64 // requests rejected by admission control with an overload frame
+	storeFails  atomic.Uint64 // writes the backing store refused (e.g. WAL append failure): answered with an error frame, never acked
 }
+
+// StoreFails reports writes the backing store refused — a durable store
+// whose WAL append failed, for example. Each was answered with an error
+// frame instead of an ack, so the client never counts it as stored.
+func (s *ServerStats) StoreFails() uint64 { return s.storeFails.Load() }
 
 // Conns reports connections accepted over the server's lifetime.
 func (s *ServerStats) Conns() uint64 { return s.conns.Load() }
@@ -158,17 +182,36 @@ func (s *ServerStats) Sheds() uint64 { return s.sheds.Load() }
 
 // String implements fmt.Stringer.
 func (s *ServerStats) String() string {
-	return fmt.Sprintf("conns=%d frames=%d badFrames=%d oversize=%d hellos=%d sizeMismatch=%d corruptBlobs=%d wireRejects=%d sheds=%d",
-		s.Conns(), s.Frames(), s.BadFrames(), s.OversizeRejects(), s.Hellos(), s.SizeMismatches(), s.CorruptBlobs(), s.WireRejects(), s.Sheds())
+	return fmt.Sprintf("conns=%d frames=%d badFrames=%d oversize=%d hellos=%d sizeMismatch=%d corruptBlobs=%d wireRejects=%d sheds=%d storeFails=%d",
+		s.Conns(), s.Frames(), s.BadFrames(), s.OversizeRejects(), s.Hellos(), s.SizeMismatches(), s.CorruptBlobs(), s.WireRejects(), s.Sheds(), s.StoreFails())
 }
 
-// Server serves a remote.Store over TCP. Create with NewServer, then call
+// BlobStore is what a Server needs from its backing store. *remote.Store
+// (in-memory) and *remote.DurableStore (WAL + snapshots) both satisfy it;
+// a store may refuse a write — a durable store whose log append failed
+// must not let the server ack — which the server answers with an error
+// frame.
+type BlobStore interface {
+	Put(key uint64, src []byte) error
+	Get(key uint64, dst []byte) (bool, error)
+	Delete(key uint64) error
+}
+
+// Server serves a BlobStore over TCP. Create with NewServer, then call
 // Serve (blocking) or rely on the background goroutine started by ListenAndServe.
 type Server struct {
-	store     *remote.Store
+	store     BlobStore
 	ln        net.Listener
 	stats     ServerStats
 	admission atomic.Pointer[Admission]
+
+	// gen/durable are what the v4 hello response advertises (see the
+	// protocol comment above); SetGeneration installs them before serving.
+	gen     atomic.Uint64
+	durable atomic.Bool
+
+	draining atomic.Bool    // Shutdown started: finish the current frame, then hang up
+	wg       sync.WaitGroup // live connection handlers
 
 	mu     sync.Mutex
 	closed bool
@@ -176,15 +219,25 @@ type Server struct {
 }
 
 // NewServer returns a server exposing store.
-func NewServer(store *remote.Store) *Server {
+func NewServer(store BlobStore) *Server {
 	return &Server{store: store, conns: make(map[net.Conn]struct{})}
+}
+
+// SetGeneration installs the restart generation the server advertises in
+// v4 hello responses, and whether the backing store is durable (recovered
+// from local WAL + snapshot state rather than starting empty). Call before
+// ListenAndServe; a generation of 0 means "not advertised" and clients
+// ignore it.
+func (s *Server) SetGeneration(gen uint64, durable bool) {
+	s.gen.Store(gen)
+	s.durable.Store(durable)
 }
 
 // Stats exposes the server's protocol-event counters.
 func (s *Server) Stats() *ServerStats { return &s.stats }
 
 // Store exposes the backing blob store (for stats reporters).
-func (s *Server) Store() *remote.Store { return s.store }
+func (s *Server) Store() BlobStore { return s.store }
 
 // EnableAdmission installs an admission controller built from cfg and
 // returns it (for stats registration). Only requests on v3-negotiated
@@ -231,7 +284,11 @@ func (s *Server) serve() {
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
 		s.stats.conns.Add(1)
-		go s.handle(conn)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
 	}
 }
 
@@ -321,7 +378,9 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			agreed := protoV1
 			switch {
-			case length >= protoV3:
+			case length >= protoV4:
+				agreed = protoV4
+			case length == protoV3:
 				agreed = protoV3
 			case length == protoV2:
 				agreed = protoV2
@@ -331,6 +390,19 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			if err := w.WriteByte(byte(agreed)); err != nil {
 				return
+			}
+			if agreed >= protoV4 {
+				// v4 hello responses carry identity: flags + restart
+				// generation, so a reconnecting client can tell whether
+				// the node restarted and whether it kept its keyspace.
+				var id [9]byte
+				if s.durable.Load() {
+					id[0] |= helloGenDurable
+				}
+				binary.BigEndian.PutUint64(id[1:9], s.gen.Load())
+				if _, err := w.Write(id[:]); err != nil {
+					return
+				}
 			}
 			ver = agreed
 			if agreed >= protoV2 {
@@ -398,13 +470,24 @@ func (s *Server) handle(conn net.Conn) {
 					break
 				}
 			}
-			s.store.Put(key, buf)
-			if err := w.WriteByte(ackOK); err != nil {
+			ack := ackOK
+			if err := s.store.Put(key, buf); err != nil {
+				// The store refused the write (e.g. a durable store whose
+				// WAL append failed). Never ack what was not made durable:
+				// the client sees a definite error and retries elsewhere.
+				s.stats.storeFails.Add(1)
+				ack = ackErr
+			}
+			if err := w.WriteByte(ack); err != nil {
 				return
 			}
 		case opDelete:
-			s.store.Delete(key)
-			if err := w.WriteByte(ackOK); err != nil {
+			ack := ackOK
+			if err := s.store.Delete(key); err != nil {
+				s.stats.storeFails.Add(1)
+				ack = ackErr
+			}
+			if err := w.WriteByte(ack); err != nil {
 				return
 			}
 		default:
@@ -421,6 +504,13 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			admPending = false
 		}
+		if s.draining.Load() {
+			// Shutdown in progress: the current frame was fully served and
+			// acked; hang up now instead of reading the next request. The
+			// client's retry machinery treats the close like any other
+			// connection loss.
+			return
+		}
 	}
 }
 
@@ -436,6 +526,69 @@ func (s *Server) Close() error {
 		return s.ln.Close()
 	}
 	return nil
+}
+
+// Shutdown drains the server gracefully: stop accepting new connections,
+// let every in-flight request finish and be acked, then hang up. Handlers
+// parked in a read for the next request are unblocked by a short read
+// deadline; grace bounds the whole drain — connections still busy when it
+// expires are closed hard (exactly what Close would have done). Returns
+// nil if the drain completed within grace, ErrClosed if the server was
+// already closed, and an error describing the forced close otherwise.
+func (s *Server) Shutdown(grace time.Duration) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.closed = true
+	s.draining.Store(true)
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	// Unblock handlers idling in ReadFull on the next header: a short read
+	// deadline turns the park into an error return. Half the grace leaves
+	// the second half for genuinely in-flight frames to finish writing.
+	wake := time.Now().Add(grace / 2)
+	if grace <= 0 {
+		wake = time.Now()
+	}
+	for c := range s.conns {
+		c.SetReadDeadline(wake)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var timeout <-chan time.Time
+	if grace > 0 {
+		tm := time.NewTimer(grace)
+		defer tm.Stop()
+		timeout = tm.C
+	} else {
+		ch := make(chan time.Time)
+		close(ch)
+		timeout = ch
+	}
+	select {
+	case <-done:
+		return nil
+	case <-timeout:
+		s.mu.Lock()
+		n := len(s.conns)
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		if n > 0 {
+			return fmt.Errorf("fabric: shutdown grace expired, closed %d connections hard", n)
+		}
+		return nil
+	}
 }
 
 // WireVersion selects how a TCPTransport frames payloads.
@@ -500,15 +653,38 @@ type TCPTransport struct {
 	budget    *RetryBudget
 	stats     Stats
 
-	mu     sync.Mutex
-	conn   net.Conn
-	r      *bufio.Reader
-	w      *bufio.Writer
-	ver    int      // negotiated protocol version of the live connection
-	legacy bool     // sticky: peer dropped the handshake, speak v1 (WireAuto only)
-	dl     Deadline // deadline of the operation currently holding mu (zero = none)
-	rng    *sim.RNG
-	closed bool
+	mu          sync.Mutex
+	conn        net.Conn
+	r           *bufio.Reader
+	w           *bufio.Writer
+	ver         int      // negotiated protocol version of the live connection
+	legacy      bool     // sticky: peer dropped the handshake, speak v1 (WireAuto only)
+	dl          Deadline // deadline of the operation currently holding mu (zero = none)
+	peerGen     uint64   // restart generation from the last v4 hello (0 = never seen)
+	peerDurable bool     // the peer advertised a durable (recovered) store
+	rng         *sim.RNG
+	closed      bool
+}
+
+// IdentityReporter is implemented by transports that learn the peer's
+// restart generation from the v4 hello exchange. A ReplicaSet uses it to
+// tell a restarted replica (generation changed) from a flaky link, and the
+// durable bit to choose between a delta rejoin (repair only the keys
+// written during its downtime) and a full resync.
+type IdentityReporter interface {
+	// PeerIdentity reports the restart generation the peer advertised in
+	// its last hello (0 when the peer never advertised one) and whether it
+	// declared its store durable.
+	PeerIdentity() (gen uint64, durable bool)
+}
+
+// PeerIdentity implements IdentityReporter. The values persist across
+// reconnects: they describe the peer as of the most recent completed
+// hello, not the current connection.
+func (t *TCPTransport) PeerIdentity() (uint64, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.peerGen, t.peerDurable
 }
 
 // Dial connects to a Server at addr with default fault-handling options.
@@ -621,7 +797,7 @@ func (t *TCPTransport) ensureHello() error {
 	var hdr [13]byte
 	hdr[0] = opHello
 	binary.BigEndian.PutUint64(hdr[1:9], helloMagic)
-	binary.BigEndian.PutUint32(hdr[9:13], protoV3)
+	binary.BigEndian.PutUint32(hdr[9:13], protoV4)
 	_, err := t.w.Write(hdr[:])
 	if err == nil {
 		err = t.w.Flush()
@@ -647,9 +823,19 @@ func (t *TCPTransport) ensureHello() error {
 		return permanent(fmt.Errorf("%w: hello ack %#x", ErrProtocol, resp[0]))
 	}
 	ver := int(resp[1])
-	if ver < protoV1 || ver > protoV3 {
+	if ver < protoV1 || ver > protoV4 {
 		t.markDead()
 		return permanent(fmt.Errorf("%w: hello version %d", ErrProtocol, ver))
+	}
+	if ver >= protoV4 {
+		// A v4 hello response carries identity: flags(1) + generation(8).
+		var id [9]byte
+		if _, err := io.ReadFull(t.r, id[:]); err != nil {
+			t.markDead()
+			return err
+		}
+		t.peerDurable = id[0]&helloGenDurable != 0
+		t.peerGen = binary.BigEndian.Uint64(id[1:9])
 	}
 	if ver < protoV2 && t.wire == WireV2 {
 		t.markDead()
@@ -954,3 +1140,6 @@ var _ ErrorTransport = (*SimLink)(nil)
 var _ Transport = Degrading{}
 var _ ErrorTransport = (*TCPTransport)(nil)
 var _ DeadlineTransport = (*TCPTransport)(nil)
+var _ IdentityReporter = (*TCPTransport)(nil)
+var _ BlobStore = (*remote.Store)(nil)
+var _ BlobStore = (*remote.DurableStore)(nil)

@@ -34,6 +34,15 @@ func TestMetricNamesLint(t *testing.T) {
 	srv := fabric.NewServer(store)
 	srv.Stats().Register(reg)
 	store.Register(reg)
+
+	// Remote durability: WAL, snapshot, and recovery counters. Labeled so
+	// the embedded store block does not collide with the plain store above.
+	ds, err := remote.OpenDurable(remote.DurableConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	ds.Register(reg, obs.L("node", "durable"))
 	env2 := sim.NewEnv()
 	rs, err := fabric.NewReplicaSet(fabric.ReplicaConfig{Clock: &env2.Clock},
 		fabric.NewSimLink(env2, fabric.BackendTCP),

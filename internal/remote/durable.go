@@ -1,0 +1,421 @@
+package remote
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"trackfm/internal/obs"
+)
+
+// DurableConfig parameterizes a DurableStore.
+type DurableConfig struct {
+	// Dir is the data directory holding the WAL and snapshots. Created if
+	// absent. Required.
+	Dir string
+
+	// Fsync selects when the WAL reaches stable storage (default
+	// FsyncAlways: an acknowledged write is durable before the ack).
+	Fsync FsyncPolicy
+
+	// FsyncEvery is the appends between syncs under FsyncInterval
+	// (default 32).
+	FsyncEvery int
+
+	// SnapshotEvery triggers a compacting snapshot once the WAL grows past
+	// this many bytes (default 4 MiB; negative disables automatic
+	// compaction — Compact and Close still snapshot on demand).
+	SnapshotEvery int64
+}
+
+func (c DurableConfig) withDefaults() DurableConfig {
+	if c.FsyncEvery <= 0 {
+		c.FsyncEvery = 32
+	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 4 << 20
+	}
+	return c
+}
+
+// RecoveryReport describes what OpenDurable found and rebuilt.
+type RecoveryReport struct {
+	SnapshotLoaded  bool   // a valid snapshot seeded the store
+	SnapshotCorrupt bool   // a snapshot existed but failed validation (recovery fell back to the WAL alone)
+	SnapshotBlobs   int    // blobs loaded from the snapshot
+	ReplayedRecords uint64 // valid WAL records replayed on top
+	ReplayedBytes   uint64 // WAL bytes those records occupied
+	TruncatedTail   uint64 // WAL tail bytes dropped at the first torn/corrupt record
+	TornTail        bool   // the dropped tail ended mid-record (crash signature)
+	CorruptTail     bool   // the dropped tail failed its CRC with all bytes present
+	Generation      uint64 // this boot's restart generation (monotonic per data dir)
+	DurationNs      uint64 // wall-clock recovery time
+}
+
+// String renders the report as one log line.
+func (r RecoveryReport) String() string {
+	return fmt.Sprintf("gen=%d snapshot=%v(blobs=%d,corrupt=%v) replayed=%d records/%d bytes truncatedTail=%d torn=%v in %.1fms",
+		r.Generation, r.SnapshotLoaded, r.SnapshotBlobs, r.SnapshotCorrupt,
+		r.ReplayedRecords, r.ReplayedBytes, r.TruncatedTail, r.TornTail,
+		float64(r.DurationNs)/1e6)
+}
+
+// DurableStats counts durability events; all fields are atomic so a stats
+// ticker or the obs registry can read them concurrently with writers.
+type DurableStats struct {
+	walAppends    atomic.Uint64 // records appended to the WAL
+	walBytes      atomic.Uint64 // bytes appended to the WAL
+	walFsyncs     atomic.Uint64 // fsync calls issued by the WAL
+	walAppendErrs atomic.Uint64 // appends that failed (op not acknowledged)
+	snapshots     atomic.Uint64 // compacting snapshots written
+	snapshotBytes atomic.Uint64 // bytes written across all snapshots
+	snapshotFails atomic.Uint64 // snapshot attempts that failed (WAL kept)
+}
+
+// WALAppends reports records appended to the WAL.
+func (s *DurableStats) WALAppends() uint64 { return s.walAppends.Load() }
+
+// WALBytes reports bytes appended to the WAL.
+func (s *DurableStats) WALBytes() uint64 { return s.walBytes.Load() }
+
+// WALFsyncs reports fsync calls issued by the WAL.
+func (s *DurableStats) WALFsyncs() uint64 { return s.walFsyncs.Load() }
+
+// WALAppendErrs reports appends that failed; each one surfaced as an
+// un-acknowledged operation.
+func (s *DurableStats) WALAppendErrs() uint64 { return s.walAppendErrs.Load() }
+
+// Snapshots reports compacting snapshots written.
+func (s *DurableStats) Snapshots() uint64 { return s.snapshots.Load() }
+
+// SnapshotBytes reports bytes written across all snapshots.
+func (s *DurableStats) SnapshotBytes() uint64 { return s.snapshotBytes.Load() }
+
+// SnapshotFails reports snapshot attempts that failed; the WAL is kept in
+// full after each, so no durability is lost.
+func (s *DurableStats) SnapshotFails() uint64 { return s.snapshotFails.Load() }
+
+// String implements fmt.Stringer.
+func (s *DurableStats) String() string {
+	return fmt.Sprintf("walAppends=%d walBytes=%d walFsyncs=%d walAppendErrs=%d snapshots=%d snapshotBytes=%d snapshotFails=%d",
+		s.WALAppends(), s.WALBytes(), s.WALFsyncs(), s.WALAppendErrs(),
+		s.Snapshots(), s.SnapshotBytes(), s.SnapshotFails())
+}
+
+// DurableStore is a Store whose mutations survive process crashes: every
+// Put, Delete, and Clear is appended to a CRC-framed write-ahead log before
+// it is applied and acknowledged, and the log is periodically compacted
+// into an atomically renamed snapshot. OpenDurable recovers the state from
+// disk — latest valid snapshot plus WAL replay, tolerating a torn or
+// corrupt tail — and bumps a restart generation the fabric layer advertises
+// to peers so replica sets can rejoin a recovered node with a delta resync
+// instead of a full-keyspace replay.
+//
+// Reads are served by the embedded Store exactly as before; mutations are
+// serialized by the durability mutex so WAL order always equals apply
+// order. The zero value is not ready; use OpenDurable.
+type DurableStore struct {
+	*Store
+
+	cfg DurableConfig
+	rec RecoveryReport
+
+	dmu     sync.Mutex // serializes WAL append + apply + compaction
+	wal     *wal
+	gen     uint64
+	crashed atomic.Bool
+	stats   DurableStats
+
+	// recoveryHist holds the single recovery-duration observation (wall
+	// nanoseconds) for the obs registry.
+	recoveryHist *obs.Histogram
+}
+
+// recoveryBounds buckets recovery durations from 100µs to 10s.
+var recoveryBounds = []uint64{
+	100_000, 1_000_000, 10_000_000, 100_000_000, 1_000_000_000, 10_000_000_000,
+}
+
+// OpenDurable opens (creating if needed) the durable store rooted at
+// cfg.Dir and recovers its state: load the latest valid snapshot, replay
+// the WAL on top of it, truncate any torn or corrupt tail, and durably
+// bump the restart generation. The report of what was recovered is
+// available via Recovery.
+func OpenDurable(cfg DurableConfig) (*DurableStore, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("remote: DurableConfig.Dir is required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("remote: create data dir: %w", err)
+	}
+	start := time.Now()
+	ds := &DurableStore{
+		Store:        NewStore(),
+		cfg:          cfg,
+		recoveryHist: obs.NewHistogram(recoveryBounds),
+	}
+
+	// Seed from the latest valid snapshot, if any.
+	recoveredGen := uint64(0)
+	blobs, snapGen, err := loadSnapshot(cfg.Dir)
+	switch {
+	case err == nil:
+		ds.rec.SnapshotLoaded = true
+		ds.rec.SnapshotBlobs = len(blobs)
+		recoveredGen = snapGen
+		ds.Store.install(blobs)
+	case os.IsNotExist(err):
+		// First boot: nothing to load.
+	default:
+		// A snapshot exists but is damaged. The WAL is replayed from
+		// empty; anything compacted out of it before the damage is gone,
+		// and the report says so instead of hiding it.
+		ds.rec.SnapshotCorrupt = true
+	}
+
+	// Replay the WAL on top, truncating at the first invalid record.
+	walPath := filepath.Join(cfg.Dir, walFile)
+	raw, err := os.ReadFile(walPath)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("remote: read WAL: %w", err)
+	}
+	rep := replayWAL(raw, func(op byte, key uint64, payload []byte) {
+		switch op {
+		case walOpPut:
+			ds.Store.Put(key, payload)
+		case walOpDelete:
+			ds.Store.Delete(key)
+		case walOpClear:
+			ds.Store.Clear()
+		case walOpGen:
+			if key > recoveredGen {
+				recoveredGen = key
+			}
+		}
+		// Unknown ops decode fine (their CRC verified) and are skipped:
+		// a newer writer's record must not wedge an older reader.
+	})
+	ds.rec.ReplayedRecords = rep.records
+	ds.rec.ReplayedBytes = rep.bytes
+	ds.rec.TruncatedTail = rep.dropped
+	ds.rec.TornTail = rep.torn
+	ds.rec.CorruptTail = rep.corrupt
+	if rep.dropped > 0 {
+		if err := os.Truncate(walPath, int64(rep.bytes)); err != nil {
+			return nil, fmt.Errorf("remote: truncate torn WAL tail: %w", err)
+		}
+	}
+
+	w, err := openWAL(walPath, cfg.Fsync, cfg.FsyncEvery)
+	if err != nil {
+		return nil, err
+	}
+	ds.wal = w
+
+	// Durably bump the restart generation: peers use it to tell "same
+	// node, recovered" from "fresh node" in the hello exchange. The bump
+	// record is always synced, whatever the policy — a generation that
+	// could repeat after a crash would defeat restart detection.
+	ds.gen = recoveredGen + 1
+	if err := w.append(walOpGen, ds.gen, nil); err != nil {
+		w.close()
+		return nil, err
+	}
+	if err := w.sync(); err != nil {
+		w.close()
+		return nil, err
+	}
+	ds.stats.walAppends.Add(1)
+	ds.stats.walFsyncs.Add(1)
+
+	ds.rec.Generation = ds.gen
+	ds.rec.DurationNs = uint64(time.Since(start).Nanoseconds())
+	ds.recoveryHist.Observe(ds.rec.DurationNs)
+	return ds, nil
+}
+
+// Recovery reports what OpenDurable found and rebuilt.
+func (ds *DurableStore) Recovery() RecoveryReport { return ds.rec }
+
+// Generation reports this boot's restart generation: monotonically
+// increasing per data directory, durably bumped on every open.
+func (ds *DurableStore) Generation() uint64 { return ds.gen }
+
+// DurableStats exposes the durability counters.
+func (ds *DurableStore) DurableStats() *DurableStats { return &ds.stats }
+
+// WALSize reports the current WAL file size in bytes.
+func (ds *DurableStore) WALSize() int64 {
+	ds.dmu.Lock()
+	defer ds.dmu.Unlock()
+	return ds.wal.size
+}
+
+// WALWritten reports lifetime bytes appended to the WAL (monotonic across
+// compactions); the crash-injection harness draws crash points against it.
+func (ds *DurableStore) WALWritten() int64 {
+	ds.dmu.Lock()
+	defer ds.dmu.Unlock()
+	return ds.wal.written
+}
+
+// append logs one record, tallying stats and latching the crash state.
+// Caller holds ds.dmu.
+func (ds *DurableStore) append(op byte, key uint64, payload []byte) error {
+	before := ds.wal.written
+	fsyncsBefore := ds.wal.sinceSync
+	err := ds.wal.append(op, key, payload)
+	ds.stats.walBytes.Add(uint64(ds.wal.written - before))
+	if err == nil {
+		ds.stats.walAppends.Add(1)
+		if ds.cfg.Fsync == FsyncAlways || (ds.cfg.Fsync == FsyncInterval && ds.wal.sinceSync <= fsyncsBefore) {
+			ds.stats.walFsyncs.Add(1)
+		}
+		return nil
+	}
+	if err == ErrCrashed {
+		ds.crashed.Store(true)
+		return err
+	}
+	ds.stats.walAppendErrs.Add(1)
+	return err
+}
+
+// Put logs then stores src under key. On error nothing was applied and the
+// write must not be acknowledged to any client.
+func (ds *DurableStore) Put(key uint64, src []byte) error {
+	if ds.crashed.Load() {
+		return ErrCrashed
+	}
+	ds.dmu.Lock()
+	defer ds.dmu.Unlock()
+	if err := ds.append(walOpPut, key, src); err != nil {
+		return err
+	}
+	ds.Store.Put(key, src)
+	ds.maybeCompactLocked()
+	return nil
+}
+
+// Delete logs then removes key.
+func (ds *DurableStore) Delete(key uint64) error {
+	if ds.crashed.Load() {
+		return ErrCrashed
+	}
+	ds.dmu.Lock()
+	defer ds.dmu.Unlock()
+	if err := ds.append(walOpDelete, key, nil); err != nil {
+		return err
+	}
+	ds.Store.Delete(key)
+	ds.maybeCompactLocked()
+	return nil
+}
+
+// Clear logs then drops every blob (and, via the embedded Store, resets
+// the integrity counters — see Store.Clear).
+func (ds *DurableStore) Clear() error {
+	if ds.crashed.Load() {
+		return ErrCrashed
+	}
+	ds.dmu.Lock()
+	defer ds.dmu.Unlock()
+	if err := ds.append(walOpClear, 0, nil); err != nil {
+		return err
+	}
+	ds.Store.Clear()
+	return nil
+}
+
+// Sync forces the WAL to stable storage, establishing a durable point
+// under the interval and never policies.
+func (ds *DurableStore) Sync() error {
+	ds.dmu.Lock()
+	defer ds.dmu.Unlock()
+	if err := ds.wal.sync(); err != nil {
+		return err
+	}
+	ds.stats.walFsyncs.Add(1)
+	return nil
+}
+
+// maybeCompactLocked snapshots and truncates the WAL once it outgrows the
+// configured bound. A failed snapshot keeps the WAL in full — durability
+// is never traded for compaction — and is only counted.
+func (ds *DurableStore) maybeCompactLocked() {
+	if ds.cfg.SnapshotEvery <= 0 || ds.wal.size < ds.cfg.SnapshotEvery {
+		return
+	}
+	if err := ds.compactLocked(); err != nil {
+		ds.stats.snapshotFails.Add(1)
+	}
+}
+
+// Compact writes a snapshot of the current state and truncates the WAL
+// behind it.
+func (ds *DurableStore) Compact() error {
+	if ds.crashed.Load() {
+		return ErrCrashed
+	}
+	ds.dmu.Lock()
+	defer ds.dmu.Unlock()
+	return ds.compactLocked()
+}
+
+// compactLocked does the snapshot + WAL reset under ds.dmu. Mutators all
+// hold ds.dmu, so the blob map is stable for the duration.
+func (ds *DurableStore) compactLocked() error {
+	n, err := writeSnapshot(ds.cfg.Dir, ds.gen, ds.Store.blobsRef())
+	if err != nil {
+		return err
+	}
+	ds.stats.snapshots.Add(1)
+	ds.stats.snapshotBytes.Add(uint64(n))
+	// The snapshot covers every applied record; the WAL restarts empty. A
+	// crash before the reset leaves stale records that replay harmlessly
+	// (log order ends at the snapshot state).
+	return ds.wal.reset()
+}
+
+// Close gracefully shuts the store down: final compacting snapshot, WAL
+// sync, file close. After Close every mutation fails.
+func (ds *DurableStore) Close() error {
+	if ds.crashed.Swap(true) {
+		return nil // crashed or already closed: nothing graceful left to do
+	}
+	ds.dmu.Lock()
+	defer ds.dmu.Unlock()
+	err := ds.compactLocked()
+	if serr := ds.wal.sync(); err == nil {
+		err = serr
+	}
+	if cerr := ds.wal.close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Crash abandons the store abruptly — no snapshot, no sync, files closed
+// mid-state — modelling a process kill. The crash-injection harness and
+// tests use it; production code calls Close.
+func (ds *DurableStore) Crash() {
+	if ds.crashed.Swap(true) {
+		return
+	}
+	ds.dmu.Lock()
+	defer ds.dmu.Unlock()
+	ds.wal.close()
+}
+
+// SetCrashPoint arms the injected crash: once lifetime WAL bytes reach n,
+// the in-flight append is torn mid-record and every later mutation fails
+// with ErrCrashed. A negative n disarms.
+func (ds *DurableStore) SetCrashPoint(n int64) {
+	ds.dmu.Lock()
+	defer ds.dmu.Unlock()
+	ds.wal.crashAfter = n
+}

@@ -47,10 +47,11 @@ type blob struct {
 // at the node instead of being served to a client. The zero value is not
 // ready; use NewStore.
 type Store struct {
-	mu    sync.RWMutex
-	blobs map[uint64]blob
-	bytes uint64
-	stats StoreStats
+	mu     sync.RWMutex
+	blobs  map[uint64]blob
+	bytes  uint64
+	stats  StoreStats
+	clears uint64 // lifetime Clear calls; deliberately NOT reset by Clear
 }
 
 // StoreStats counts integrity events observed by the store.
@@ -65,8 +66,10 @@ func NewStore() *Store {
 }
 
 // Put stores a copy of src under key, replacing any previous blob, and
-// records its CRC32-C.
-func (s *Store) Put(key uint64, src []byte) {
+// records its CRC32-C. The error is always nil for the in-memory store;
+// the signature exists so *Store and *DurableStore (whose Put can fail on
+// a WAL append) satisfy one store interface.
+func (s *Store) Put(key uint64, src []byte) error {
 	data := make([]byte, len(src))
 	copy(data, src)
 	b := blob{data: data, crc: Checksum(data)}
@@ -77,6 +80,7 @@ func (s *Store) Put(key uint64, src []byte) {
 	s.blobs[key] = b
 	s.bytes += uint64(len(b.data))
 	s.mu.Unlock()
+	return nil
 }
 
 // Get copies the blob under key into dst and reports whether it existed.
@@ -120,23 +124,61 @@ func (s *Store) Stats() StoreStats {
 	return s.stats
 }
 
-// Delete removes key. Deleting an absent key is a no-op.
-func (s *Store) Delete(key uint64) {
+// Delete removes key. Deleting an absent key is a no-op. The error is
+// always nil (see Put).
+func (s *Store) Delete(key uint64) error {
 	s.mu.Lock()
 	if old, ok := s.blobs[key]; ok {
 		s.bytes -= uint64(len(old.data))
 		delete(s.blobs, key)
 	}
 	s.mu.Unlock()
+	return nil
 }
 
-// Clear drops every blob, resetting the node between experiment phases
-// (e.g. a fault-injection harness reusing one server across scenarios).
+// Clear resets the node between experiment phases (e.g. a fault-injection
+// harness reusing one server across scenarios): every blob is dropped —
+// taking the per-blob CRCs and any FlipByte/Truncate fault-hook corruption
+// with it — and the integrity counters are zeroed, so events from one
+// phase cannot bleed into the next phase's assertions. Only the lifetime
+// clear count (Clears) survives, so observers can tell resets happened.
 func (s *Store) Clear() {
 	s.mu.Lock()
 	s.blobs = make(map[uint64]blob)
 	s.bytes = 0
+	s.stats = StoreStats{}
+	s.clears++
 	s.mu.Unlock()
+}
+
+// Clears reports lifetime Clear calls; unlike the integrity counters it is
+// not reset by Clear itself.
+func (s *Store) Clears() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.clears
+}
+
+// install replaces the store's contents with blobs (no copies taken):
+// recovery seeding a just-built store from a snapshot. Not for concurrent
+// use — the store must not be visible to other goroutines yet.
+func (s *Store) install(blobs map[uint64]blob) {
+	s.mu.Lock()
+	s.blobs = blobs
+	s.bytes = 0
+	for _, b := range blobs {
+		s.bytes += uint64(len(b.data))
+	}
+	s.mu.Unlock()
+}
+
+// blobsRef returns the live blob map for snapshotting. The caller must
+// hold the mutation path exclusive (the DurableStore's durability mutex):
+// concurrent Gets only read, so iterating the map is then safe.
+func (s *Store) blobsRef() map[uint64]blob {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.blobs
 }
 
 // FlipByte XORs 0xFF into byte i of key's stored blob without updating its

@@ -44,6 +44,45 @@ func TestStoreClear(t *testing.T) {
 	}
 }
 
+// Regression: Clear must also reset the fault-hook damage and the
+// integrity counters it caused, so a harness reusing one store across
+// scenarios cannot see phase A's corruption events bleed into phase B's
+// assertions. Only the lifetime clear count survives.
+func TestStoreClearResetsFaultStateAndStats(t *testing.T) {
+	s := NewStore()
+	s.Put(1, []byte{1, 2, 3, 4})
+	if !s.FlipByte(1, 2) {
+		t.Fatalf("FlipByte(1, 2) found nothing to corrupt")
+	}
+	if _, err := s.Get(1, make([]byte, 4)); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("Get after FlipByte: err=%v, want ErrChecksum", err)
+	}
+	if st := s.Stats(); st.ChecksumFails != 1 {
+		t.Fatalf("ChecksumFails=%d before Clear, want 1", st.ChecksumFails)
+	}
+	s.Clear()
+	if st := s.Stats(); st != (StoreStats{}) {
+		t.Fatalf("Clear left integrity counters: %+v", st)
+	}
+	if got := s.Clears(); got != 1 {
+		t.Fatalf("Clears()=%d, want 1", got)
+	}
+	// The corrupted blob is gone with its CRC state: a re-put key reads
+	// back clean.
+	s.Put(1, []byte{5, 6, 7, 8})
+	dst := make([]byte, 4)
+	if !mustGet(t, s, 1, dst) || !bytes.Equal(dst, []byte{5, 6, 7, 8}) {
+		t.Fatalf("re-put after Clear reads %v", dst)
+	}
+	if st := s.Stats(); st != (StoreStats{}) {
+		t.Fatalf("clean re-put bumped integrity counters: %+v", st)
+	}
+	s.Clear()
+	if got := s.Clears(); got != 2 {
+		t.Fatalf("Clears()=%d after second Clear, want 2", got)
+	}
+}
+
 func TestStoreGetMissingZeroFills(t *testing.T) {
 	s := NewStore()
 	dst := []byte{9, 9, 9}
