@@ -3,12 +3,12 @@
 
 GO ?= go
 
-.PHONY: all build check vet test test-race test-soak test-stress test-overload test-crash fuzz-short smoke_test bench figs clean \
+.PHONY: all build check vet test test-race test-soak test-stress test-overload test-crash test-thrash fuzz-short smoke_test bench figs clean \
         trackfm_table1 trackfm_table2 trackfm_table3 trackfm_table4 \
         trackfm_fig6 trackfm_fig7 trackfm_fig8 trackfm_fig9 trackfm_fig10 \
         trackfm_fig11 trackfm_fig12 trackfm_fig13 trackfm_fig14a trackfm_fig15 \
         trackfm_fig16a trackfm_fig17a trackfm_compile trackfm_ablation \
-        trackfm_autotune trackfm_mt trackfm_overload trackfm_crash
+        trackfm_autotune trackfm_mt trackfm_overload trackfm_crash trackfm_thrash
 
 all: build test
 
@@ -35,6 +35,7 @@ check: build
 	$(MAKE) test-stress
 	$(MAKE) test-overload
 	$(MAKE) test-crash
+	$(MAKE) test-thrash
 
 # Tier-1: the full suite twice in shuffled order (catches inter-test
 # order dependence), plus race mode over the concurrency-bearing packages
@@ -67,6 +68,15 @@ test-overload:
 # durability unit tests and the durable-replica rejoin tests.
 test-crash:
 	$(GO) test -run 'TestCrashSoak|TestDurable|TestWAL|TestReplayWAL|TestReplicaSetDurable|TestServerShutdown|TestHelloV4' ./internal/bench ./internal/remote ./internal/fabric
+
+# The memory-pressure gates: the thrash soak (governed 2x overcommit >=
+# 3x ungoverned throughput, zero lost localizations across a mid-run
+# budget squeeze, deterministic JSON), the pool's Resize/detector/
+# admission/reserve-floor tests (the pin-saturation one under -race), and
+# the elastic fastswap baseline.
+test-thrash:
+	$(GO) test -run 'TestThrashSoak|TestThrashTable|TestResize|TestPrefetchSkips|TestThrashDetector|TestEvacuator|TestGuardFastPath|TestHeapResize' ./internal/bench ./internal/aifm ./internal/fastswap ./farmem
+	$(GO) test -race -run 'TestEvacuatorRespectsReserveUnderPinSaturation' ./internal/aifm
 
 # The replica-failover soak: 10k ops over three TCP replicas with seeded
 # drops and corruption on every link and one replica killed/restarted
@@ -112,6 +122,7 @@ trackfm_autotune: ; $(GO) run ./cmd/trackfm-bench -exp autotune
 trackfm_mt:       ; $(GO) run ./cmd/trackfm-bench -exp mt
 trackfm_overload: ; $(GO) run ./cmd/trackfm-bench -exp overload -json > BENCH_overload.json
 trackfm_crash:    ; $(GO) run ./cmd/trackfm-bench -exp crash -json > BENCH_crash.json
+trackfm_thrash:   ; $(GO) run ./cmd/trackfm-bench -exp thrash -json > BENCH_thrash.json
 
 clean:
 	$(GO) clean ./...

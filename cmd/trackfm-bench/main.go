@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1..table4, fig6..fig17, compile, ablation, autotune, nasx, all)")
+	exp := flag.String("exp", "all", "experiment id (see -list), or all")
 	scale := flag.Float64("scale", 1.0, "problem-size multiplier")
 	asJSON := flag.Bool("json", false, "emit JSON instead of aligned text")
 	list := flag.Bool("list", false, "list experiment ids and exit")
@@ -53,8 +53,11 @@ func main() {
 	}
 	e, err := bench.Lookup(*exp)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintf(os.Stderr, "trackfm-bench: unknown experiment %q; available:\n", *exp)
+		for _, e := range bench.Experiments() {
+			fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.ID, e.Title)
+		}
+		os.Exit(2)
 	}
 	run(e)
 }

@@ -35,6 +35,10 @@ type Config struct {
 	HeapBytes uint64
 	// LocalBytes is the local-memory budget (required).
 	LocalBytes uint64
+	// MaxLocalBytes caps runtime growth via Resize; local capacity is
+	// allocated at this size up front. Zero means LocalBytes (the heap
+	// can shrink at runtime but not grow past its starting budget).
+	MaxLocalBytes uint64
 	// ObjectBytes is the far-memory object (chunk) size: a power of two
 	// in [64, 65536]. Default 4096. Small objects suit fine-grained
 	// random access; large objects suit streaming (see the paper's
@@ -87,6 +91,7 @@ func New(cfg Config) (*Heap, error) {
 		ObjectSize:         cfg.ObjectBytes,
 		HeapSize:           cfg.HeapBytes,
 		LocalBudget:        cfg.LocalBytes,
+		MaxLocalBudget:     cfg.MaxLocalBytes,
 		NoPrefetch:         cfg.DisablePrefetch,
 		Transport:          transport,
 		RemoteRetries:      cfg.RemoteRetries,
@@ -186,6 +191,47 @@ func (h *Heap) Metrics() *obs.Registry { return h.env.Metrics() }
 // ResetStats zeroes the counters, latency histograms, and the simulated
 // clock.
 func (h *Heap) ResetStats() { h.env.Reset() }
+
+// Resize changes the local-memory budget at runtime, in bytes — the
+// far-memory answer to a co-tenant squeezing this application's share of
+// local DRAM. Shrinking evicts the coldest resident objects until the
+// heap fits (pinned objects and a small reserve floor are never taken,
+// so in-flight accesses keep making progress); growth is bounded by
+// Config.MaxLocalBytes.
+func (h *Heap) Resize(localBytes uint64) error {
+	if err := h.rt.Pool().Resize(localBytes); err != nil {
+		return fmt.Errorf("farmem: %w", err)
+	}
+	return nil
+}
+
+// Pressure reports the heap's memory-pressure signals.
+type Pressure struct {
+	// LocalBytes is the current local budget; MaxLocalBytes the Resize
+	// growth cap; ResidentBytes the bytes of locally resident objects.
+	LocalBytes, MaxLocalBytes, ResidentBytes uint64
+	// ThrashRatio is the EWMA fraction of remote fetches that re-fetch
+	// an object evicted within the recent thrash window. Near zero when
+	// the working set fits; climbing toward one under overcommit.
+	ThrashRatio float64
+	// Refaults counts fetches of recently evicted objects; Resizes the
+	// budget changes applied so far.
+	Refaults, Resizes uint64
+}
+
+// Pressure snapshots the heap's memory-pressure signals. Safe to call
+// while worker goroutines run.
+func (h *Heap) Pressure() Pressure {
+	p := h.rt.Pool()
+	return Pressure{
+		LocalBytes:    uint64(p.NumSlots()) * uint64(h.rt.ObjectSize()),
+		MaxLocalBytes: uint64(p.MaxSlots()) * uint64(h.rt.ObjectSize()),
+		ResidentBytes: p.LocalBytes(),
+		ThrashRatio:   p.ThrashRatio(),
+		Refaults:      sim.Load(&h.env.Counters.Refaults),
+		Resizes:       p.Resizes(),
+	}
+}
 
 // InUse reports far-heap bytes currently allocated.
 func (h *Heap) InUse() uint64 { return h.rt.HeapBytesInUse() }

@@ -229,3 +229,71 @@ func TestRealRemoteNode(t *testing.T) {
 	}
 	_ = cur
 }
+
+func TestHeapResizeAndPressure(t *testing.T) {
+	h, err := New(Config{HeapBytes: 1 << 20, LocalBytes: 1 << 14, MaxLocalBytes: 1 << 15})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s, err := NewUint64s(h, 1<<13) // 64 KB, 4x the local budget
+	if err != nil {
+		t.Fatalf("NewUint64s: %v", err)
+	}
+	for i := 0; i < s.Len(); i++ {
+		s.Set(i, uint64(i))
+	}
+	pr := h.Pressure()
+	if pr.LocalBytes != 1<<14 || pr.MaxLocalBytes != 1<<15 {
+		t.Fatalf("pressure budgets = %d/%d", pr.LocalBytes, pr.MaxLocalBytes)
+	}
+	if pr.ResidentBytes == 0 || pr.ResidentBytes > pr.LocalBytes {
+		t.Fatalf("resident %d outside (0, %d]", pr.ResidentBytes, pr.LocalBytes)
+	}
+
+	// Shrink to half, verify the budget holds and no data was lost.
+	if err := h.Resize(1 << 13); err != nil {
+		t.Fatalf("Resize: %v", err)
+	}
+	for i := 0; i < s.Len(); i += 511 {
+		if got := s.At(i); got != uint64(i) {
+			t.Fatalf("At(%d) = %d after shrink", i, got)
+		}
+	}
+	pr = h.Pressure()
+	if pr.LocalBytes != 1<<13 {
+		t.Fatalf("post-shrink budget = %d", pr.LocalBytes)
+	}
+	if pr.ResidentBytes > pr.LocalBytes {
+		t.Fatalf("resident %d exceeds shrunk budget %d", pr.ResidentBytes, pr.LocalBytes)
+	}
+	if pr.Resizes != 1 {
+		t.Fatalf("resizes = %d", pr.Resizes)
+	}
+
+	// Grow to the cap; beyond it is an error.
+	if err := h.Resize(1 << 15); err != nil {
+		t.Fatalf("grow: %v", err)
+	}
+	if err := h.Resize(1 << 16); err == nil {
+		t.Fatalf("grow past MaxLocalBytes accepted")
+	}
+
+	// A sweep over 4x the (original) budget with a tiny thrash window
+	// disabled is still measured: the refault counter and thrash ratio
+	// respond to the squeeze.
+	if err := h.Resize(1 << 13); err != nil {
+		t.Fatalf("re-shrink: %v", err)
+	}
+	for pass := 0; pass < 4; pass++ {
+		for i := 0; i < s.Len(); i += 512 { // one touch per 4K object
+			_ = s.At(i)
+		}
+	}
+	pr = h.Pressure()
+	if pr.Refaults == 0 {
+		t.Fatalf("cyclic sweep at 8x overcommit produced no refaults")
+	}
+	if pr.ThrashRatio <= 0 {
+		t.Fatalf("thrash ratio = %v under cyclic sweep", pr.ThrashRatio)
+	}
+}

@@ -21,30 +21,36 @@ import (
 //     it, unless it was pinned or touched (went hot) since the mark — in
 //     which case the E bit is cleared and the abort counted.
 type evacuator struct {
-	p        *Pool
-	kick     chan struct{}
-	stop     chan struct{}
-	done     chan struct{}
-	lowWater int
-	batch    int
+	p    *Pool
+	kick chan struct{}
+	stop chan struct{}
+	done chan struct{}
 }
+
+// lowWater is the free-slot level below which the evacuator sweeps, and
+// batch the candidates it marks per sweep. Both derive from the current
+// Resize target, not the allocation-time capacity, so an elastic pool's
+// evacuator tracks its budget. The evacuator only ever refills the free
+// stack (giveSlot repays the reserve floor first) — it never draws the
+// reserve down, so the floor is respected by construction.
+func (e *evacuator) lowWater() int { return e.p.NumSlots()/8 + 1 }
+func (e *evacuator) batchSize() int { return e.p.NumSlots()/8 + 1 }
 
 // scopeBarrierTimeout bounds the out-of-scope barrier wait. Scopes that
 // stay idle past it are skipped: their pins already protect their objects,
-// so the barrier is a progress heuristic, not a safety requirement.
-const scopeBarrierTimeout = 500 * time.Microsecond
+// so the barrier is a progress heuristic, not a safety requirement. It is
+// a variable only so tests can shorten the stall they provoke.
+var scopeBarrierTimeout = 500 * time.Microsecond
 
 // StartEvacuator launches the background evacuator goroutine; it is a
 // no-op when one is already running. NewPool calls it for
 // Config.BackgroundEvacuate pools.
 func (p *Pool) StartEvacuator() {
 	e := &evacuator{
-		p:        p,
-		kick:     make(chan struct{}, 1),
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
-		lowWater: len(p.slotOwner)/8 + 1,
-		batch:    len(p.slotOwner)/8 + 1,
+		p:    p,
+		kick: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
 	}
 	if !p.evac.CompareAndSwap(nil, e) {
 		return
@@ -70,7 +76,7 @@ func (p *Pool) kickEvacuator() {
 	if e == nil {
 		return
 	}
-	if p.freeCount() >= e.lowWater {
+	if p.freeCount() >= e.lowWater() {
 		return
 	}
 	select {
@@ -90,7 +96,7 @@ func (e *evacuator) run() {
 		case <-e.kick:
 		case <-tick.C:
 		}
-		for e.p.freeCount() < e.lowWater {
+		for e.p.freeCount() < e.lowWater() {
 			select {
 			case <-e.stop:
 				return
@@ -116,7 +122,8 @@ func (e *evacuator) sweep() bool {
 	// Mark: advance the clock hand, second-chancing hot objects and
 	// tagging cold unpinned residents as evacuation candidates.
 	nSlots := len(p.slotOwner)
-	for i := 0; i < 2*nSlots && len(cands) < e.batch; i++ {
+	batch := e.batchSize()
+	for i := 0; i < 2*nSlots && len(cands) < batch; i++ {
 		slot := p.nextHand()
 		id := p.ownerAt(slot)
 		if id == noOwner {

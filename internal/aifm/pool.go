@@ -3,6 +3,7 @@ package aifm
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/bits"
 	"sync"
 	"sync/atomic"
@@ -86,6 +87,35 @@ type Config struct {
 	// determinism of the eviction schedule for demand-miss latency that
 	// no longer pays for eviction inline. Stopped by Close.
 	BackgroundEvacuate bool
+	// MaxLocalBudget is the largest budget Resize may grow to, in bytes.
+	// The arena and slot table are allocated at this capacity up front so
+	// a grow never reallocates under concurrent lock-free readers. Zero
+	// means LocalBudget (the pool can shrink but not grow past its
+	// starting size).
+	MaxLocalBudget uint64
+	// ReserveSlots is the emergency slot floor kept outside the
+	// circulating budget: demand localization dips into it only when
+	// every circulating slot is pinned, guaranteeing forward progress at
+	// 100% pinned occupancy. Zero selects the default of 2 per lock
+	// stripe (capped at the slot count); negative disables the reserve.
+	ReserveSlots int
+	// ThrashWindow is the re-fault window in sim cycles: an object
+	// evicted and fetched again within the window counts as a re-fault,
+	// the thrash detector's raw signal. Zero selects a default of four
+	// full-pool refill times (4 x slots x RemoteObjectFetch(ObjectSize)).
+	ThrashWindow uint64
+	// PrefetchHighWater is the occupancy fraction above which prefetch
+	// admission skips rather than evicts (speculation must not displace
+	// residents under pressure). Zero or >=1 disables the gate; the
+	// anti-thrash governor tightens it while throttled.
+	PrefetchHighWater float64
+	// ProtectPrefetch makes demand eviction's first clock pass skip
+	// prefetched-but-unconsumed residents, so a fetch already paid for
+	// is not thrown away before its use arrives. Sensible with ample
+	// memory; under pressure it ranks speculation above the working set
+	// (the inversion the anti-thrash governor's pressure mode exists to
+	// break), so it is off by default.
+	ProtectPrefetch bool
 }
 
 // stripe is one lock shard of the pool. All mutation of an object's
@@ -96,6 +126,15 @@ type stripe struct {
 	mu       sync.Mutex
 	pins     map[ObjectID]uint32
 	inflight map[ObjectID]*fetchWait
+
+	// Ghost ring: the stripe's most recent evictions (id + eviction
+	// cycle), consulted on install to detect re-faults. Fixed arrays so
+	// the eviction path stays allocation-free; all access is under mu,
+	// which both the evictor and the installing fetch leader already
+	// hold.
+	ghostID  [ghostRing]ObjectID
+	ghostCyc [ghostRing]uint64
+	ghostPos int
 }
 
 // fetchWait is the singleflight rendezvous for one in-flight fetch: the
@@ -143,17 +182,50 @@ type Pool struct {
 	arena     mem.Store
 	slotOwner []ObjectID // per-slot owner (atomic); noOwner when empty
 
-	freeMu    sync.Mutex
-	freeSlots []uint32
+	// Slot accounting. freeSlots is the circulating free stack; retired
+	// holds capacity parked outside the current budget (below-target
+	// after a shrink, above-budget headroom before a grow); reserveFree
+	// is the emergency floor demand localization may borrow from when
+	// every circulating slot is pinned. curSlots counts circulating
+	// slots (free + resident, excluding the reserve) and converges to
+	// targetSlots lazily after a shrink that found only pinned victims.
+	freeMu      sync.Mutex
+	freeSlots   []uint32
+	retired     []uint32
+	reserveFree []uint32
+	curSlots    int
+
+	resizeMu     sync.Mutex   // serializes Resize; never held on a hot path
+	targetSlots  atomic.Int64 // current budget in slots
+	reserveFloor int
+	resident     atomic.Int64 // slots holding object data
+	pinnedObjs   atomic.Int64 // distinct resident objects with pins > 0
+	resizes      atomic.Uint64
 
 	hand atomic.Uint64 // clock hand over slots
 
-	// Stride-prefetch state.
+	// Stride-prefetch state. prefetchDepth is atomic so the anti-thrash
+	// governor can pause (0) or depth-limit the prefetcher at runtime.
 	autoPrefetch  bool
-	prefetchDepth int
+	prefetchDepth atomic.Int64
 	strideMu      sync.Mutex
 	lastMiss      ObjectID
 	missStreak    int
+
+	// Memory-pressure state: governor-controlled knobs and the windowed
+	// re-fault (thrash) detector. thrashEWMA and prefetchHW hold float64
+	// bits; thrashMu guards only the window accumulators and is taken on
+	// the remote-fetch slow path, never on a hit.
+	pressureEvict atomic.Bool
+	protectPF     bool
+	prefetchHW    atomic.Uint64
+	forcedDegrade atomic.Bool
+	thrashWindow  uint64
+	thrashMu      sync.Mutex
+	twFetches     uint64
+	twRefaults    uint64
+	thrashEWMA    atomic.Uint64
+	thrashSamples atomic.Uint64
 
 	// Live DerefScopes, for the evacuator's out-of-scope barrier.
 	scopesMu sync.Mutex
@@ -177,6 +249,22 @@ const (
 	// the fabric while degraded, so recovery is observed without callers
 	// electing a prober explicitly.
 	degradedProbeEvery = 16
+
+	// ghostRing is the per-stripe eviction-history depth of the thrash
+	// detector. With the default 64 stripes that remembers the last
+	// 2048 evictions pool-wide.
+	ghostRing = 32
+
+	// thrashSampleEvery and thrashAlpha shape the EWMA thrash ratio: the
+	// re-fault fraction of every thrashSampleEvery remote fetches folds
+	// into the ratio with weight thrashAlpha.
+	thrashSampleEvery = 32
+	thrashAlpha       = 0.3
+
+	// defaultReservePerStripe sizes the reserve floor: 2 slots per lock
+	// stripe, the maximum demand localizations one stripe can have
+	// simultaneously borrowing before a freed slot repays the floor.
+	defaultReservePerStripe = 2
 )
 
 // NewPool validates cfg and builds a pool.
@@ -198,12 +286,12 @@ func NewPool(cfg Config) (*Pool, error) {
 	if nSlots == 0 {
 		return nil, fmt.Errorf("aifm: LocalBudget %d holds no %dB objects", cfg.LocalBudget, cfg.ObjectSize)
 	}
-	arenaSize := nSlots * uint64(cfg.ObjectSize)
-	var arena mem.Store
-	if cfg.Backing == BackingPhantom {
-		arena = mem.NewPhantomStore(arenaSize)
-	} else {
-		arena = mem.NewRealStore(arenaSize)
+	maxSlots := nSlots
+	if cfg.MaxLocalBudget > 0 {
+		maxSlots = cfg.MaxLocalBudget / uint64(cfg.ObjectSize)
+		if maxSlots < nSlots {
+			return nil, fmt.Errorf("aifm: MaxLocalBudget %d below LocalBudget %d", cfg.MaxLocalBudget, cfg.LocalBudget)
+		}
 	}
 	depth := cfg.PrefetchDepth
 	if depth <= 0 {
@@ -223,6 +311,40 @@ func NewPool(cfg Config) (*Pool, error) {
 	}
 	if bits.OnesCount(uint(nStripes)) != 1 {
 		nStripes = 1 << bits.Len(uint(nStripes))
+	}
+	reserve := 0
+	if cfg.ReserveSlots >= 0 {
+		reserve = cfg.ReserveSlots
+		if reserve == 0 {
+			reserve = defaultReservePerStripe * nStripes
+		}
+		if reserve > int(nSlots) {
+			reserve = int(nSlots)
+		}
+	}
+	// The arena holds the full Resize capacity plus the reserve floor, so
+	// slot indices are stable for the pool's lifetime and lock-free
+	// slotOwner readers never race a reallocation. Slots [0, nSlots) start
+	// circulating, [nSlots, maxSlots) start retired (grow headroom), and
+	// [maxSlots, maxSlots+reserve) form the reserve floor.
+	totalSlots := maxSlots + uint64(reserve)
+	arenaSize := totalSlots * uint64(cfg.ObjectSize)
+	var arena mem.Store
+	if cfg.Backing == BackingPhantom {
+		arena = mem.NewPhantomStore(arenaSize)
+	} else {
+		arena = mem.NewRealStore(arenaSize)
+	}
+	thrashWindow := cfg.ThrashWindow
+	if thrashWindow == 0 {
+		thrashWindow = 4 * nSlots * cfg.Env.Costs.RemoteObjectFetch(cfg.ObjectSize)
+		if thrashWindow == 0 {
+			thrashWindow = 1 << 22
+		}
+	}
+	highWater := cfg.PrefetchHighWater
+	if highWater <= 0 || highWater >= 1 {
+		highWater = 1 // gate disabled
 	}
 	transport, replicas, closer, err := cfg.Connect(&cfg.Env.Clock)
 	if err != nil {
@@ -244,35 +366,54 @@ func NewPool(cfg Config) (*Pool, error) {
 		}
 	}
 	p := &Pool{
-		env:           cfg.Env,
-		lat:           cfg.Env.Lat(),
-		transport:     transport,
-		replicas:      replicas,
-		closer:        closer,
-		retries:       cfg.Retries(),
-		dlBudget:      cfg.OpDeadline,
-		degradeAfter:  degradeAfter,
-		objSize:       cfg.ObjectSize,
-		shift:         uint(bits.TrailingZeros(uint(cfg.ObjectSize))),
-		dsID:          cfg.DSID,
-		table:         make([]Meta, nObjects),
-		stripes:       make([]stripe, nStripes),
-		stripeMask:    uint64(nStripes - 1),
-		arena:         arena,
-		slotOwner:     make([]ObjectID, nSlots),
-		freeSlots:     make([]uint32, 0, nSlots),
-		autoPrefetch:  cfg.AutoPrefetch,
-		prefetchDepth: depth,
-		lastMiss:      noOwner,
-		scopes:        make(map[*DerefScope]struct{}),
+		env:          cfg.Env,
+		lat:          cfg.Env.Lat(),
+		transport:    transport,
+		replicas:     replicas,
+		closer:       closer,
+		retries:      cfg.Retries(),
+		dlBudget:     cfg.OpDeadline,
+		degradeAfter: degradeAfter,
+		objSize:      cfg.ObjectSize,
+		shift:        uint(bits.TrailingZeros(uint(cfg.ObjectSize))),
+		dsID:         cfg.DSID,
+		table:        make([]Meta, nObjects),
+		stripes:      make([]stripe, nStripes),
+		stripeMask:   uint64(nStripes - 1),
+		arena:        arena,
+		slotOwner:    make([]ObjectID, totalSlots),
+		freeSlots:    make([]uint32, 0, maxSlots),
+		curSlots:     int(nSlots),
+		reserveFloor: reserve,
+		autoPrefetch: cfg.AutoPrefetch,
+		protectPF:    cfg.ProtectPrefetch,
+		lastMiss:     noOwner,
+		thrashWindow: thrashWindow,
+		scopes:       make(map[*DerefScope]struct{}),
 	}
+	p.targetSlots.Store(int64(nSlots))
+	p.prefetchDepth.Store(int64(depth))
+	p.prefetchHW.Store(math.Float64bits(highWater))
 	for i := range p.stripes {
 		p.stripes[i].pins = make(map[ObjectID]uint32)
 		p.stripes[i].inflight = make(map[ObjectID]*fetchWait)
+		for j := range p.stripes[i].ghostID {
+			p.stripes[i].ghostID[j] = noOwner
+		}
 	}
 	for i := range p.slotOwner {
 		p.slotOwner[i] = noOwner
+	}
+	// Free-stack push order 0..nSlots-1 is unchanged from the fixed-budget
+	// pool, preserving the LIFO allocation order deterministic tests pin.
+	for i := 0; i < int(nSlots); i++ {
 		p.freeSlots = append(p.freeSlots, uint32(i))
+	}
+	for i := int(nSlots); i < int(maxSlots); i++ {
+		p.retired = append(p.retired, uint32(i))
+	}
+	for i := int(maxSlots); i < int(totalSlots); i++ {
+		p.reserveFree = append(p.reserveFree, uint32(i))
 	}
 	if cfg.BackgroundEvacuate {
 		p.StartEvacuator()
@@ -286,8 +427,12 @@ func (p *Pool) ObjectSize() int { return p.objSize }
 // NumObjects reports the metadata table capacity.
 func (p *Pool) NumObjects() uint64 { return uint64(len(p.table)) }
 
-// NumSlots reports how many objects fit in local memory at once.
-func (p *Pool) NumSlots() int { return len(p.slotOwner) }
+// NumSlots reports how many objects fit in local memory at once under the
+// current budget (the Resize target, excluding the reserve floor).
+func (p *Pool) NumSlots() int { return int(p.targetSlots.Load()) }
+
+// MaxSlots reports the slot capacity Resize may grow to.
+func (p *Pool) MaxSlots() int { return len(p.slotOwner) - p.reserveFloor }
 
 // ReplicaSet exposes the replica set serving this pool's remote keyspace,
 // or nil when the pool runs on a single transport (Config.Replicas empty).
@@ -360,10 +505,110 @@ func (p *Pool) lockStripe(st *stripe) {
 
 // LocalBytes reports bytes of object data currently resident locally.
 func (p *Pool) LocalBytes() uint64 {
+	return uint64(p.resident.Load()) * uint64(p.objSize)
+}
+
+// ResidentSlots reports how many slots currently hold object data.
+func (p *Pool) ResidentSlots() int { return int(p.resident.Load()) }
+
+// PinnedObjects reports how many distinct resident objects are pinned.
+func (p *Pool) PinnedObjects() int { return int(p.pinnedObjs.Load()) }
+
+// ReserveFloor reports the configured emergency-slot floor.
+func (p *Pool) ReserveFloor() int { return p.reserveFloor }
+
+// ReserveFree reports how many reserve-floor slots are currently
+// unborrowed. It equals ReserveFloor except transiently while demand
+// localizations at 100% pinned occupancy are borrowing from the floor.
+func (p *Pool) ReserveFree() int {
 	p.freeMu.Lock()
-	free := len(p.freeSlots)
+	n := len(p.reserveFree)
 	p.freeMu.Unlock()
-	return uint64(len(p.slotOwner)-free) * uint64(p.objSize)
+	return n
+}
+
+// CurrentSlots reports the circulating slot count (free + resident,
+// excluding the reserve). It converges to NumSlots lazily after a shrink
+// whose only remaining victims were pinned.
+func (p *Pool) CurrentSlots() int {
+	p.freeMu.Lock()
+	n := p.curSlots
+	p.freeMu.Unlock()
+	return n
+}
+
+// Resizes reports how many Resize calls the pool has absorbed.
+func (p *Pool) Resizes() uint64 { return p.resizes.Load() }
+
+// ThrashWindow reports the re-fault window in sim cycles.
+func (p *Pool) ThrashWindow() uint64 { return p.thrashWindow }
+
+// ThrashRatio reports the EWMA fraction of remote fetches that were
+// re-faults (fetches of an object evicted within the thrash window), the
+// pool's thrash signal in [0, 1].
+func (p *Pool) ThrashRatio() float64 {
+	return math.Float64frombits(p.thrashEWMA.Load())
+}
+
+// ThrashSamples reports how many remote fetches have fed the thrash
+// detector; a governor uses deltas to recognize a quiescent pool.
+func (p *Pool) ThrashSamples() uint64 { return p.thrashSamples.Load() }
+
+// PrefetchDepth reports the current stride-prefetch depth.
+func (p *Pool) PrefetchDepth() int { return int(p.prefetchDepth.Load()) }
+
+// SetPrefetchDepth adjusts the stride-prefetch depth at runtime; 0 pauses
+// the stride prefetcher. The anti-thrash governor uses it to quiet
+// speculation while the pool thrashes.
+func (p *Pool) SetPrefetchDepth(d int) {
+	if d < 0 {
+		d = 0
+	}
+	p.prefetchDepth.Store(int64(d))
+}
+
+// PressureEvict reports whether pressure-mode eviction is on.
+func (p *Pool) PressureEvict() bool { return p.pressureEvict.Load() }
+
+// SetPressureEvict switches eviction into (or out of) pressure mode:
+// prefetched-but-unused residents are evicted first, so speculation
+// already in memory is reclaimed before anything demand-loaded.
+func (p *Pool) SetPressureEvict(on bool) { p.pressureEvict.Store(on) }
+
+// PrefetchHighWater reports the prefetch-admission occupancy gate (1 =
+// disabled).
+func (p *Pool) PrefetchHighWater() float64 {
+	return math.Float64frombits(p.prefetchHW.Load())
+}
+
+// SetPrefetchHighWater adjusts the prefetch-admission gate at runtime;
+// values <= 0 or >= 1 disable it.
+func (p *Pool) SetPrefetchHighWater(hw float64) {
+	if hw <= 0 || hw >= 1 {
+		hw = 1
+	}
+	p.prefetchHW.Store(math.Float64bits(hw))
+}
+
+// ForceDegrade pins the pool in (or releases it from) degraded mode
+// independently of the deadline-miss tracker; the anti-thrash governor
+// uses it as the last-resort fail-fast stage. While forced, remote
+// fetches fail fast with ErrDegraded exactly like organic degradation,
+// but a successful probe does not lift it — only ForceDegrade(false).
+func (p *Pool) ForceDegrade(on bool) {
+	if on && !p.forcedDegrade.Swap(true) {
+		sim.Inc(&p.env.Counters.DegradedEntries)
+		return
+	}
+	if !on {
+		p.forcedDegrade.Store(false)
+	}
+}
+
+// degradedNow reports whether remote fetches should fail fast, for either
+// cause: organic deadline-miss degradation or a governor ForceDegrade.
+func (p *Pool) degradedNow() bool {
+	return p.degraded.Load() || p.forcedDegrade.Load()
 }
 
 // transportKey namespaces object keys by pool so multiple pools can share
@@ -443,7 +688,7 @@ func (p *Pool) tryLocalize(id ObjectID, forWrite, pin bool) (uint64, bool, error
 				p.storeMeta(id, nm)
 			}
 			if pin {
-				st.pins[id]++
+				p.pinLocked(st, id)
 			}
 			st.mu.Unlock()
 			return m.DataAddr(), false, nil
@@ -477,8 +722,15 @@ func (p *Pool) fetchAndInstall(st *stripe, id ObjectID, m Meta, forWrite, pin bo
 	}
 	slot, ok := p.tryTakeSlot()
 	if !ok {
+		// Every circulating slot is pinned: borrow from the reserve floor
+		// so demand localization keeps making forward progress instead of
+		// stalling forever. The next freed slot repays the floor (giveSlot
+		// refills the reserve before the free stack).
+		slot, ok = p.popReserve()
+	}
+	if !ok {
 		abandon()
-		panic("aifm: local memory exhausted: every resident object is pinned")
+		panic("aifm: local memory exhausted: every resident slot and the reserve floor are pinned")
 	}
 	base := uint64(slot) * uint64(p.objSize)
 	fresh := m == 0 // never touched: materialize a zeroed object locally
@@ -500,18 +752,57 @@ func (p *Pool) fetchAndInstall(st *stripe, id ObjectID, m Meta, forWrite, pin bo
 	p.setOwner(int(slot), id)
 	p.storeMeta(id, nm)
 	if pin {
-		st.pins[id]++
+		p.pinLocked(st, id)
 	}
+	refault := !fresh && p.consumeGhostLocked(st, id)
 	delete(st.inflight, id)
 	close(w.done)
 	st.mu.Unlock()
+	p.resident.Add(1)
 	if fresh {
 		return base, false, nil
 	}
+	if refault {
+		sim.Inc(&p.env.Counters.Refaults)
+	}
+	p.noteFetchSample(refault)
 	sim.Inc(&p.env.Counters.RemoteFetches)
 	sim.Inc(&p.env.Counters.CriticalFetches)
 	p.maybeStridePrefetch(id)
 	return base, true, nil
+}
+
+// consumeGhostLocked reports whether id was evicted within the thrash
+// window, consuming its ghost entry so one eviction yields at most one
+// re-fault. The caller holds id's stripe lock.
+func (p *Pool) consumeGhostLocked(st *stripe, id ObjectID) bool {
+	for i := range st.ghostID {
+		if st.ghostID[i] == id {
+			st.ghostID[i] = noOwner
+			return p.env.Clock.Cycles()-st.ghostCyc[i] <= p.thrashWindow
+		}
+	}
+	return false
+}
+
+// noteFetchSample feeds the thrash detector: every thrashSampleEvery
+// remote fetches, the window's re-fault fraction folds into the EWMA
+// ratio. Remote-fetch slow path only — a round-trip was already paid, so
+// the small mutex adds nothing observable.
+func (p *Pool) noteFetchSample(refault bool) {
+	p.thrashSamples.Add(1)
+	p.thrashMu.Lock()
+	p.twFetches++
+	if refault {
+		p.twRefaults++
+	}
+	if p.twFetches >= thrashSampleEvery {
+		ratio := float64(p.twRefaults) / float64(p.twFetches)
+		old := math.Float64frombits(p.thrashEWMA.Load())
+		p.thrashEWMA.Store(math.Float64bits(old + thrashAlpha*(ratio-old)))
+		p.twFetches, p.twRefaults = 0, 0
+	}
+	p.thrashMu.Unlock()
 }
 
 // Prefetch asynchronously localizes id if it is remote and a slot can be
@@ -524,8 +815,18 @@ func (p *Pool) Prefetch(id ObjectID) {
 	if id >= ObjectID(len(p.table)) {
 		return
 	}
-	if p.degraded.Load() {
+	if p.degradedNow() {
 		return // no speculation against a fabric that is missing deadlines
+	}
+	// Admission gate: above the high-water mark a prefetch would have to
+	// evict to make room, and under pressure speculation must not displace
+	// residents — skip, don't evict.
+	if hw := math.Float64frombits(p.prefetchHW.Load()); hw < 1 {
+		if target := p.targetSlots.Load(); target > 0 &&
+			1-float64(p.freeCount())/float64(target) > hw {
+			sim.Inc(&p.env.Counters.PrefetchSkippedPressure)
+			return
+		}
 	}
 	st := p.stripeFor(id)
 	p.lockStripe(st)
@@ -571,24 +872,35 @@ func (p *Pool) Prefetch(id ObjectID) {
 	p.lockStripe(st)
 	p.setOwner(int(slot), id)
 	p.storeMeta(id, LocalMeta(base, p.dsID)|MetaPF)
+	refault := m != 0 && p.consumeGhostLocked(st, id)
 	delete(st.inflight, id)
 	close(w.done)
 	st.mu.Unlock()
+	p.resident.Add(1)
+	if refault {
+		sim.Inc(&p.env.Counters.Refaults)
+	}
+	if m != 0 {
+		p.noteFetchSample(refault)
+	}
 }
 
-// Degraded reports whether the pool is currently in degraded mode:
-// serving resident objects only, with remote fetches failing fast
-// (modulo the probe trickle) after repeated deadline misses.
-func (p *Pool) Degraded() bool { return p.degraded.Load() }
+// Degraded reports whether the pool is currently in degraded mode —
+// serving resident objects only, with remote fetches failing fast (modulo
+// the probe trickle) — whether entered organically after repeated
+// deadline misses or forced by the anti-thrash governor.
+func (p *Pool) Degraded() bool { return p.degradedNow() }
 
-// RegisterObs exposes pool-level health on reg: the degraded-mode flag and
-// the current deadline-miss streak. The Env-wide counters (deadline
-// misses, overload rejects, degraded entries) are already on Env.Metrics.
+// RegisterObs exposes pool-level health on reg: the degraded-mode flag,
+// the current deadline-miss streak, and the memory-pressure gauges
+// (residency, pins, reserve, thrash ratio, resizes). The Env-wide
+// counters (deadline misses, re-faults, skipped prefetches) are already
+// on Env.Metrics.
 func (p *Pool) RegisterObs(reg *obs.Registry, labels ...obs.Label) {
 	reg.GaugeFunc("trackfm_pool_degraded",
 		"1 while the pool is degraded (residents serve, remote fetches fail fast).",
 		func() float64 {
-			if p.degraded.Load() {
+			if p.degradedNow() {
 				return 1
 			}
 			return 0
@@ -596,6 +908,21 @@ func (p *Pool) RegisterObs(reg *obs.Registry, labels ...obs.Label) {
 	reg.GaugeFunc("trackfm_pool_deadline_miss_streak",
 		"Consecutive deadline-missing remote operations (resets on any success).",
 		func() float64 { return float64(p.dlStreak.Load()) }, labels...)
+	reg.GaugeFunc("trackfm_pool_resident_slots",
+		"Slots currently holding object data.",
+		func() float64 { return float64(p.resident.Load()) }, labels...)
+	reg.GaugeFunc("trackfm_pool_pinned_slots",
+		"Distinct resident objects currently pinned.",
+		func() float64 { return float64(p.pinnedObjs.Load()) }, labels...)
+	reg.GaugeFunc("trackfm_pool_reserve_slots",
+		"Reserve-floor slots currently unborrowed.",
+		func() float64 { return float64(p.ReserveFree()) }, labels...)
+	reg.GaugeFunc("trackfm_thrash_ratio",
+		"EWMA fraction of remote fetches that re-fetched a recently evicted object.",
+		func() float64 { return p.ThrashRatio() }, labels...)
+	reg.CounterFunc("trackfm_pool_resizes_total",
+		"Runtime budget Resize calls absorbed by the pool.",
+		func() uint64 { return p.resizes.Load() }, labels...)
 }
 
 // opDeadline starts a fresh per-op deadline, or the zero Deadline when the
@@ -649,7 +976,7 @@ func (p *Pool) noteRemoteErr(err error, start uint64) bool {
 func (p *Pool) fetchInto(id ObjectID, base uint64, async bool) error {
 	start := p.env.Clock.Cycles()
 	defer func() { p.lat.RemoteFetch.Observe(p.env.Clock.Cycles() - start) }()
-	if p.degraded.Load() && p.probeTick.Add(1)%degradedProbeEvery != 0 {
+	if p.degradedNow() && p.probeTick.Add(1)%degradedProbeEvery != 0 {
 		return fmt.Errorf("aifm: fetch object %d: %w", id, ErrDegraded)
 	}
 	buf := make([]byte, p.objSize)
@@ -716,8 +1043,9 @@ func (p *Pool) maybeStridePrefetch(id ObjectID) {
 	p.lastMiss = id
 	issue := p.missStreak >= 2
 	p.strideMu.Unlock()
-	if issue {
-		for k := 1; k <= p.prefetchDepth; k++ {
+	depth := int(p.prefetchDepth.Load())
+	if issue && depth > 0 {
+		for k := 1; k <= depth; k++ {
 			p.Prefetch(id + ObjectID(k))
 		}
 	}
@@ -729,8 +1057,17 @@ func (p *Pool) maybeStridePrefetch(id ObjectID) {
 func (p *Pool) Pin(id ObjectID) {
 	st := p.stripeFor(id)
 	p.lockStripe(st)
-	st.pins[id]++
+	p.pinLocked(st, id)
 	st.mu.Unlock()
+}
+
+// pinLocked increments id's pin count under its stripe lock, maintaining
+// the pinned-object gauge across 0->1 transitions.
+func (p *Pool) pinLocked(st *stripe, id ObjectID) {
+	if st.pins[id] == 0 {
+		p.pinnedObjs.Add(1)
+	}
+	st.pins[id]++
 }
 
 // Unpin decrements id's pin count. Unpinning an unpinned object panics:
@@ -745,6 +1082,7 @@ func (p *Pool) Unpin(id ObjectID) {
 		panic("aifm: Unpin of unpinned object")
 	case n == 1:
 		delete(st.pins, id)
+		p.pinnedObjs.Add(-1)
 	default:
 		st.pins[id] = n - 1
 	}
@@ -775,11 +1113,38 @@ func (p *Pool) popFree() (uint32, bool) {
 	return slot, true
 }
 
-// giveSlot returns a slot to the free stack.
+// giveSlot returns a slot to circulation: first repay any borrowed
+// reserve (the floor refills before anything else, so forward progress is
+// always at most one freed slot away), then retire the slot if a shrink
+// is still converging toward its target, otherwise push it on the free
+// stack.
 func (p *Pool) giveSlot(slot uint32) {
 	p.freeMu.Lock()
-	p.freeSlots = append(p.freeSlots, slot)
+	switch {
+	case len(p.reserveFree) < p.reserveFloor:
+		p.reserveFree = append(p.reserveFree, slot)
+	case int64(p.curSlots) > p.targetSlots.Load():
+		p.retired = append(p.retired, slot)
+		p.curSlots--
+	default:
+		p.freeSlots = append(p.freeSlots, slot)
+	}
 	p.freeMu.Unlock()
+}
+
+// popReserve borrows a slot from the reserve floor. Demand localization
+// only, and only after every circulating slot was found pinned.
+func (p *Pool) popReserve() (uint32, bool) {
+	p.freeMu.Lock()
+	n := len(p.reserveFree)
+	if n == 0 {
+		p.freeMu.Unlock()
+		return 0, false
+	}
+	slot := p.reserveFree[n-1]
+	p.reserveFree = p.reserveFree[:n-1]
+	p.freeMu.Unlock()
+	return slot, true
 }
 
 func (p *Pool) freeCount() int {
@@ -844,8 +1209,45 @@ func (p *Pool) tryTakeSlot() (uint32, bool) {
 		return slot, true
 	}
 	nSlots := len(p.slotOwner)
-	// First pass: clock with second chance. Second pass: evict any
-	// unpinned object regardless of hotness.
+	// Pressure mode: spend one pass reclaiming prefetched-but-unused
+	// residents first — speculative fills are the cheapest slots to take
+	// back while the pool is thrashing, since evicting them can never
+	// cost a demand re-fault.
+	if p.pressureEvict.Load() {
+		for i := 0; i < nSlots; i++ {
+			slot := p.nextHand()
+			id := p.ownerAt(slot)
+			if id == noOwner {
+				continue
+			}
+			st := p.stripeFor(id)
+			if !st.mu.TryLock() {
+				continue
+			}
+			if p.ownerAt(slot) != id || st.pins[id] > 0 {
+				st.mu.Unlock()
+				continue
+			}
+			m := p.metaAt(id)
+			if !m.Present() || !m.Prefetched() {
+				st.mu.Unlock()
+				continue
+			}
+			ok := p.evictLocked(uint32(slot), id)
+			st.mu.Unlock()
+			if ok {
+				return uint32(slot), true
+			}
+		}
+	}
+	// First pass: clock with second chance — hot objects get their H bit
+	// cleared, and under Config.ProtectPrefetch a prefetched-but-
+	// unconsumed object is skipped too (evicting it would throw away a
+	// fetch already paid for before its use arrives). That ranking is
+	// reasonable when memory is ample and exactly wrong under pressure —
+	// it places speculative fills above the resident working set — which
+	// is why the governor's pressure mode above inverts it. Second pass:
+	// evict any unpinned object regardless.
 	for pass := 0; pass < 2; pass++ {
 		for i := 0; i < nSlots; i++ {
 			slot := p.nextHand()
@@ -866,8 +1268,10 @@ func (p *Pool) tryTakeSlot() (uint32, bool) {
 				st.mu.Unlock()
 				continue
 			}
-			if pass == 0 && m.Hot() {
-				p.storeMeta(id, m&^MetaH)
+			if pass == 0 && (m.Hot() || (p.protectPF && m.Prefetched())) {
+				if m.Hot() {
+					p.storeMeta(id, m&^MetaH)
+				}
 				st.mu.Unlock()
 				continue
 			}
@@ -897,7 +1301,7 @@ func (p *Pool) evictLocked(slot uint32, id ObjectID) bool {
 	base := uint64(slot) * uint64(p.objSize)
 	p.env.Clock.Advance(p.env.Costs.EvacuateObject)
 	if m.Dirty() {
-		if p.degraded.Load() {
+		if p.degradedNow() {
 			// Degraded mode: don't queue write-backs behind a fabric that
 			// is missing deadlines. The dirty object stays resident (it is
 			// the only copy); clean evictions still make room.
@@ -913,9 +1317,104 @@ func (p *Pool) evictLocked(slot uint32, id ObjectID) bool {
 	}
 	p.storeMeta(id, RemoteMeta(id, uint32(p.objSize), p.dsID))
 	p.setOwner(int(slot), noOwner)
+	p.resident.Add(-1)
+	// Remember the eviction in the stripe's ghost ring: a re-fetch within
+	// the thrash window is the detector's re-fault signal.
+	st := p.stripeFor(id)
+	st.ghostID[st.ghostPos] = id
+	st.ghostCyc[st.ghostPos] = p.env.Clock.Cycles()
+	st.ghostPos = (st.ghostPos + 1) % ghostRing
 	sim.Inc(&p.env.Counters.Evacuations)
 	atomic.AddUint64(&p.Evacuations, 1)
 	return true
+}
+
+// Resize changes the pool's local budget at runtime, in bytes. Growth
+// reactivates retired capacity up to MaxLocalBudget and is immediate.
+// Shrink first retires free slots, then evicts cold unpinned residents
+// under the existing stripe locks (clock order, one hotness second
+// chance); pinned residents are never touched, so a shrink below the
+// pinned set completes incrementally — giveSlot retires slots as pins
+// release — and the guard fast path never stalls or blocks on a resize.
+// The reserve floor is unaffected by Resize.
+func (p *Pool) Resize(newBudget uint64) error {
+	newSlots := int64(newBudget / uint64(p.objSize))
+	if newSlots < 1 {
+		return fmt.Errorf("aifm: Resize budget %d holds no %dB objects", newBudget, p.objSize)
+	}
+	if max := int64(p.MaxSlots()); newSlots > max {
+		return fmt.Errorf("aifm: Resize to %d slots exceeds the MaxLocalBudget capacity of %d", newSlots, max)
+	}
+	p.resizeMu.Lock()
+	defer p.resizeMu.Unlock()
+	p.targetSlots.Store(newSlots)
+	p.resizes.Add(1)
+	p.freeMu.Lock()
+	// Grow: reactivate retired capacity.
+	for int64(p.curSlots) < newSlots && len(p.retired) > 0 {
+		n := len(p.retired) - 1
+		p.freeSlots = append(p.freeSlots, p.retired[n])
+		p.retired = p.retired[:n]
+		p.curSlots++
+	}
+	// Shrink, step 1: retire free slots — no eviction needed for these.
+	for int64(p.curSlots) > newSlots && len(p.freeSlots) > 0 {
+		n := len(p.freeSlots) - 1
+		p.retired = append(p.retired, p.freeSlots[n])
+		p.freeSlots = p.freeSlots[:n]
+		p.curSlots--
+	}
+	over := int64(p.curSlots) > newSlots
+	p.freeMu.Unlock()
+	if !over {
+		return nil
+	}
+	// Shrink, step 2: evict the coldest unpinned residents and retire
+	// their slots. Victims are taken with TryLock exactly like demand
+	// eviction, so a resize never blocks a mutator; whatever is still
+	// over target after two passes (pinned, contended, or write-back
+	// stalled) shrinks lazily through giveSlot.
+	for pass := 0; pass < 2 && p.overTarget(); pass++ {
+		for i := 0; i < len(p.slotOwner) && p.overTarget(); i++ {
+			slot := p.nextHand()
+			id := p.ownerAt(slot)
+			if id == noOwner {
+				continue
+			}
+			st := p.stripeFor(id)
+			if !st.mu.TryLock() {
+				continue
+			}
+			if p.ownerAt(slot) != id || st.pins[id] > 0 {
+				st.mu.Unlock()
+				continue
+			}
+			m := p.metaAt(id)
+			if !m.Present() {
+				st.mu.Unlock()
+				continue
+			}
+			if pass == 0 && m.Hot() {
+				p.storeMeta(id, m&^MetaH)
+				st.mu.Unlock()
+				continue
+			}
+			if p.evictLocked(uint32(slot), id) {
+				p.giveSlot(uint32(slot)) // over target, so this retires
+			}
+			st.mu.Unlock()
+		}
+	}
+	return nil
+}
+
+// overTarget reports whether circulating slots still exceed the Resize
+// target.
+func (p *Pool) overTarget() bool {
+	p.freeMu.Lock()
+	over := int64(p.curSlots) > p.targetSlots.Load()
+	p.freeMu.Unlock()
+	return over
 }
 
 // EvacuateAll force-evacuates every unpinned resident object; tests and
@@ -974,6 +1473,7 @@ func (p *Pool) Free(id ObjectID) {
 	if m.Present() {
 		slot := uint32(m.DataAddr() / uint64(p.objSize))
 		p.setOwner(int(slot), noOwner)
+		p.resident.Add(-1)
 		p.giveSlot(slot)
 	}
 	// Deletes are idempotent and harmless to lose: a leaked remote blob

@@ -162,13 +162,35 @@ func TestPinnedObjectsSurviveEviction(t *testing.T) {
 	p.Unpin(0)
 }
 
-func TestAllPinnedPanics(t *testing.T) {
-	p, _, _ := newTestPool(t, 64, 1<<16, 64) // one slot
+func TestAllPinnedUsesReserve(t *testing.T) {
+	p, _, _ := newTestPool(t, 64, 1<<16, 64) // one circulating slot
+	p.Localize(0, false)
+	p.Pin(0)
+	// With every circulating slot pinned, demand localization borrows a
+	// reserve-floor slot instead of stalling forever.
+	p.Localize(1, false)
+	if !p.Meta(1).Present() {
+		t.Fatalf("localization with all circulating slots pinned did not complete")
+	}
+	if p.ReserveFree() >= p.ReserveFloor() {
+		t.Fatalf("expected a borrowed reserve slot: free %d, floor %d",
+			p.ReserveFree(), p.ReserveFloor())
+	}
+	// Freeing repays the floor before refilling the free stack.
+	p.Free(1)
+	if p.ReserveFree() != p.ReserveFloor() {
+		t.Fatalf("reserve not repaid: free %d, floor %d", p.ReserveFree(), p.ReserveFloor())
+	}
+	p.Unpin(0)
+}
+
+func TestAllPinnedPanicsWithoutReserve(t *testing.T) {
+	p, _, _ := newTestPool(t, 64, 1<<16, 64, func(c *Config) { c.ReserveSlots = -1 })
 	p.Localize(0, false)
 	p.Pin(0)
 	defer func() {
 		if recover() == nil {
-			t.Fatalf("Localize with all slots pinned did not panic")
+			t.Fatalf("Localize with all slots pinned and no reserve did not panic")
 		}
 	}()
 	p.Localize(1, false)

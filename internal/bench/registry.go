@@ -45,6 +45,7 @@ func Experiments() []Experiment {
 		{"mt", "multi-goroutine scaling (extension)", MTScan},
 		{"overload", "overload soak: admission control (extension)", Overload},
 		{"crash", "crash-consistency soak: WAL + recovery (extension)", Crash},
+		{"thrash", "memory-pressure soak: anti-thrash governor (extension)", Thrash},
 	}
 }
 

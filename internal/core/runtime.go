@@ -26,6 +26,9 @@ type Config struct {
 	// the "local mem %" axis of the paper's figures (metadata excluded,
 	// as in the paper).
 	LocalBudget uint64
+	// MaxLocalBudget caps runtime growth via Pool.Resize; the pool
+	// allocates this much capacity up front. Zero means LocalBudget.
+	MaxLocalBudget uint64
 	// Backing selects real or phantom object data.
 	Backing aifm.Backing
 	// Transport overrides the default in-process simulated TCP link;
@@ -115,12 +118,13 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		transport = link
 	}
 	pool, err := aifm.NewPool(aifm.Config{
-		Env:           cfg.Env,
-		RemoteConfig:  fabric.RemoteConfig{Transport: transport, RemoteRetries: cfg.RemoteRetries},
-		ObjectSize:    cfg.ObjectSize,
-		HeapSize:      cfg.HeapSize,
-		LocalBudget:   cfg.LocalBudget,
-		Backing:       cfg.Backing,
+		Env:                cfg.Env,
+		RemoteConfig:       fabric.RemoteConfig{Transport: transport, RemoteRetries: cfg.RemoteRetries},
+		ObjectSize:         cfg.ObjectSize,
+		HeapSize:           cfg.HeapSize,
+		LocalBudget:        cfg.LocalBudget,
+		MaxLocalBudget:     cfg.MaxLocalBudget,
+		Backing:            cfg.Backing,
 		AutoPrefetch:       false, // TrackFM prefetch is compiler-directed
 		PrefetchDepth:      cfg.PrefetchDepth,
 		BackgroundEvacuate: cfg.BackgroundEvacuate,

@@ -54,6 +54,10 @@ type Config struct {
 	// LocalBudget is the cgroup memory limit: resident pages × PageSize
 	// never exceeds it.
 	LocalBudget uint64
+	// MaxLocalBudget caps Resize growth; frames are allocated at this
+	// capacity up front. Zero means LocalBudget (the limit can shrink at
+	// runtime but not grow past its starting size).
+	MaxLocalBudget uint64
 	// Backing selects real or phantom page data.
 	Backing Backing
 	// ReadaheadPages is the kernel readahead window on sequential major
@@ -117,6 +121,7 @@ type Swap struct {
 	arena      mem.Store
 	frameOwner []uint32 // frame -> page number
 	freeFrames []uint32
+	retired    []uint32 // capacity parked outside the current cgroup limit
 	hand       int
 
 	readahead int
@@ -145,11 +150,18 @@ func New(cfg Config) (*Swap, error) {
 	if nFrames == 0 {
 		return nil, fmt.Errorf("fastswap: LocalBudget %d holds no pages", cfg.LocalBudget)
 	}
+	maxFrames := nFrames
+	if cfg.MaxLocalBudget > 0 {
+		maxFrames = cfg.MaxLocalBudget / uint64(cfg.PageSize)
+		if maxFrames < nFrames {
+			return nil, fmt.Errorf("fastswap: MaxLocalBudget %d below LocalBudget %d", cfg.MaxLocalBudget, cfg.LocalBudget)
+		}
+	}
 	var arena mem.Store
 	if cfg.Backing == BackingPhantom {
-		arena = mem.NewPhantomStore(nFrames * uint64(cfg.PageSize))
+		arena = mem.NewPhantomStore(maxFrames * uint64(cfg.PageSize))
 	} else {
-		arena = mem.NewRealStore(nFrames * uint64(cfg.PageSize))
+		arena = mem.NewRealStore(maxFrames * uint64(cfg.PageSize))
 	}
 	link, replicas, closer, err := cfg.Connect(&cfg.Env.Clock)
 	if err != nil {
@@ -181,14 +193,18 @@ func New(cfg Config) (*Swap, error) {
 		refd:       make([]bool, nPages),
 		frame:      make([]uint32, nPages),
 		arena:      arena,
-		frameOwner: make([]uint32, nFrames),
-		freeFrames: make([]uint32, 0, nFrames),
+		frameOwner: make([]uint32, maxFrames),
+		freeFrames: make([]uint32, 0, maxFrames),
 		readahead:  ra,
 		lastFault:  ^uint64(0),
 	}
 	for i := range s.frameOwner {
 		s.frameOwner[i] = noPage
-		s.freeFrames = append(s.freeFrames, uint32(i))
+		if uint64(i) < nFrames {
+			s.freeFrames = append(s.freeFrames, uint32(i))
+		} else {
+			s.retired = append(s.retired, uint32(i))
+		}
 	}
 	return s, nil
 }
@@ -217,7 +233,47 @@ func (s *Swap) Close() error {
 func (s *Swap) ResidentBytes() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return uint64(len(s.frameOwner)-len(s.freeFrames)) * uint64(s.pageSize)
+	return uint64(len(s.frameOwner)-len(s.freeFrames)-len(s.retired)) * uint64(s.pageSize)
+}
+
+// Resize adjusts the cgroup memory limit at runtime, in bytes — the
+// kernel analogue of rewriting memory.limit_in_bytes under co-tenant
+// pressure. Growth reactivates retired frames up to MaxLocalBudget.
+// Shrink retires free frames first, then reclaims mapped pages with the
+// normal referenced-bit clock until residency fits the new limit; unlike
+// the object pool there is no pinning, so a shrink completes
+// synchronously unless dirty write-backs are failing past the retry
+// budget, which surfaces as an error with the limit left partially
+// applied.
+func (s *Swap) Resize(newBudget uint64) error {
+	newFrames := int(newBudget / uint64(s.pageSize))
+	if newFrames < 1 {
+		return fmt.Errorf("fastswap: Resize budget %d holds no pages", newBudget)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if newFrames > len(s.frameOwner) {
+		return fmt.Errorf("fastswap: Resize to %d frames exceeds the MaxLocalBudget capacity of %d", newFrames, len(s.frameOwner))
+	}
+	cur := func() int { return len(s.frameOwner) - len(s.retired) }
+	for cur() < newFrames && len(s.retired) > 0 {
+		n := len(s.retired) - 1
+		s.freeFrames = append(s.freeFrames, s.retired[n])
+		s.retired = s.retired[:n]
+	}
+	for cur() > newFrames && len(s.freeFrames) > 0 {
+		n := len(s.freeFrames) - 1
+		s.retired = append(s.retired, s.freeFrames[n])
+		s.freeFrames = s.freeFrames[:n]
+	}
+	for cur() > newFrames {
+		f, ok := s.tryTakeFrame()
+		if !ok {
+			return fmt.Errorf("fastswap: Resize shrink stalled %d frames over target (dirty write-backs failing)", cur()-newFrames)
+		}
+		s.retired = append(s.retired, f)
+	}
+	return nil
 }
 
 // Malloc bump-allocates n bytes and returns its heap offset. Fastswap

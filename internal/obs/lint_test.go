@@ -10,6 +10,8 @@ import (
 	"strings"
 	"testing"
 
+	"trackfm/internal/aifm"
+	"trackfm/internal/autotune"
 	"trackfm/internal/fabric"
 	"trackfm/internal/obs"
 	"trackfm/internal/remote"
@@ -51,6 +53,21 @@ func TestMetricNamesLint(t *testing.T) {
 		t.Fatal(err)
 	}
 	rs.Register(reg)
+
+	// Pool health (degraded flag, occupancy gauges, thrash ratio, resizes)
+	// and the anti-thrash governor's state/transition series.
+	pool, err := aifm.NewPool(aifm.Config{
+		Env: env, ObjectSize: 64, HeapSize: 1 << 16, LocalBudget: 1 << 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.RegisterObs(reg)
+	gov, err := autotune.NewGovernor(autotune.GovernorConfig{Pool: pool, Clock: &env.Clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gov.RegisterObs(reg)
 
 	// Every id in both registries must carry a NamePattern-conforming
 	// bare name (registration already panics on violations; this loop is

@@ -22,6 +22,8 @@ func goldenRegistry() *Registry {
 		func() uint64 { return 9 }, L("replica", "r0"))
 	g := r.Gauge("trackfm_store_bytes", "Bytes resident on the node.")
 	g.Set(4096.5)
+	r.GaugeFunc("trackfm_governor_state", "Anti-thrash governor state (0 normal, 1 throttled, 2 degraded).",
+		func() float64 { return 1 })
 	h := r.Histogram("trackfm_remote_fetch_cycles", "Remote fetch latency.",
 		[]uint64{100, 1000, 10000})
 	for _, v := range []uint64{50, 150, 150, 5000, 123456} {

@@ -65,6 +65,10 @@ type Counters struct {
 	StripeContention   uint64 // pool stripe-lock acquisitions that had to wait
 	SingleflightShared uint64 // localize calls served by another caller's in-flight fetch
 	EvacAborts         uint64 // background-evacuation candidates aborted (pinned or re-touched)
+
+	// Memory pressure (elastic budget + thrash detection).
+	Refaults                uint64 // fetches of an object evicted within the thrash window
+	PrefetchSkippedPressure uint64 // prefetches skipped because occupancy was above the high-water mark
 }
 
 // Inc atomically adds one to a counter field: sim.Inc(&env.Counters.X).
@@ -100,6 +104,7 @@ func (c *Counters) fields() []*uint64 {
 		&c.RemoteFetchFaults, &c.RemotePushFaults, &c.EvictionStalls,
 		&c.DeadlineMisses, &c.OverloadRejects, &c.DegradedEntries,
 		&c.StripeContention, &c.SingleflightShared, &c.EvacAborts,
+		&c.Refaults, &c.PrefetchSkippedPressure,
 	}
 }
 
@@ -181,6 +186,8 @@ func (c *Counters) String() string {
 	add("lockWait", c.StripeContention)
 	add("sfShared", c.SingleflightShared)
 	add("evacAbort", c.EvacAborts)
+	add("refault", c.Refaults)
+	add("pfSkip", c.PrefetchSkippedPressure)
 	return strings.TrimSpace(b.String())
 }
 
