@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build check vet test test-race test-soak test-stress test-overload test-crash test-thrash fuzz-short smoke_test bench figs clean \
+.PHONY: all build check vet test test-race test-soak test-stress test-overload test-crash test-thrash test-allocs fuzz-short smoke_test bench figs clean \
         trackfm_table1 trackfm_table2 trackfm_table3 trackfm_table4 \
         trackfm_fig6 trackfm_fig7 trackfm_fig8 trackfm_fig9 trackfm_fig10 \
         trackfm_fig11 trackfm_fig12 trackfm_fig13 trackfm_fig14a trackfm_fig15 \
@@ -36,13 +36,14 @@ check: build
 	$(MAKE) test-overload
 	$(MAKE) test-crash
 	$(MAKE) test-thrash
+	$(MAKE) test-allocs
 
 # Tier-1: the full suite twice in shuffled order (catches inter-test
 # order dependence), plus race mode over the concurrency-bearing packages
 # (the TCP fabric and the far-memory pool).
 test:
 	$(GO) test -shuffle=on -count=2 ./...
-	$(GO) test -race ./internal/fabric/... ./internal/aifm/...
+	$(GO) test -race ./internal/fabric/... ./internal/aifm/... ./internal/mem/... ./internal/remote/...
 
 # The whole tree under the race detector.
 test-race:
@@ -77,6 +78,18 @@ test-crash:
 test-thrash:
 	$(GO) test -run 'TestThrashSoak|TestThrashTable|TestResize|TestPrefetchSkips|TestThrashDetector|TestEvacuator|TestGuardFastPath|TestHeapResize' ./internal/bench ./internal/aifm ./internal/fastswap ./farmem
 	$(GO) test -race -run 'TestEvacuatorRespectsReserveUnderPinSaturation' ./internal/aifm
+
+# The allocation-regression gates: testing.AllocsPerRun must report zero
+# heap allocations per op on the guard fast path and on steady-state
+# demand fetch (clean and dirty) over SimLink, plus the bufpool unit
+# tests (leak/double-release detection, class routing, slab reuse) and
+# the end-to-end wire-lease leak check. Run without -race: the race
+# detector's instrumentation allocates, so the gates skip themselves
+# under it (the -race coverage of the same code lives in `test`).
+test-allocs:
+	$(GO) test -run 'TestGuardFastPathAllocFree|TestSteadyStateFetch' ./internal/aifm
+	$(GO) test ./internal/mem/...
+	$(GO) test -run 'TestWireLeasesNetZero' ./internal/fabric
 
 # The replica-failover soak: 10k ops over three TCP replicas with seeded
 # drops and corruption on every link and one replica killed/restarted
@@ -120,9 +133,11 @@ trackfm_compile:  ; $(GO) run ./cmd/trackfm-bench -exp compile
 trackfm_ablation: ; $(GO) run ./cmd/trackfm-bench -exp ablation
 trackfm_autotune: ; $(GO) run ./cmd/trackfm-bench -exp autotune
 trackfm_mt:       ; $(GO) run ./cmd/trackfm-bench -exp mt
-trackfm_overload: ; $(GO) run ./cmd/trackfm-bench -exp overload -json > BENCH_overload.json
-trackfm_crash:    ; $(GO) run ./cmd/trackfm-bench -exp crash -json > BENCH_crash.json
-trackfm_thrash:   ; $(GO) run ./cmd/trackfm-bench -exp thrash -json > BENCH_thrash.json
+# -alloc=false keeps the checked-in artifacts bit-reproducible; run with
+# -json (alloc on by default) to also record allocs_per_op/bytes_per_op.
+trackfm_overload: ; $(GO) run ./cmd/trackfm-bench -exp overload -json -alloc=false > BENCH_overload.json
+trackfm_crash:    ; $(GO) run ./cmd/trackfm-bench -exp crash -json -alloc=false > BENCH_crash.json
+trackfm_thrash:   ; $(GO) run ./cmd/trackfm-bench -exp thrash -json -alloc=false > BENCH_thrash.json
 
 clean:
 	$(GO) clean ./...

@@ -75,6 +75,7 @@ import (
 	"time"
 
 	"trackfm/internal/fabric"
+	"trackfm/internal/mem/bufpool"
 	"trackfm/internal/obs"
 	"trackfm/internal/remote"
 )
@@ -159,6 +160,10 @@ func main() {
 		if adm != nil {
 			adm.Stats().Register(reg, labels...)
 		}
+		// The shared wire buffer pool backs the server's frame payloads
+		// and the store's blobs; its hit/miss counters tell an operator
+		// whether the allocation-free hot path is actually alloc-free.
+		bufpool.Wire.Register(reg, labels...)
 		ln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
 			log.Fatal(err)

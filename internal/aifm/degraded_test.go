@@ -11,9 +11,9 @@ import (
 
 // slowLink is an ErrorTransport whose operations burn a configurable number
 // of simulated cycles when enabled, for driving the pool's per-op deadline
-// past its budget deterministically. It is not a DeadlineTransport, so the
-// pool's FetchUntil/PushUntil adapter enforces the deadline: a late result
-// is discarded and reported as ErrDeadlineExceeded.
+// past its budget deterministically. The stall happens inside the canonical
+// Until forms (before delegating to the embedded SimLink) so the deadline
+// check sees the burned cycles: a stalled op surfaces ErrDeadlineExceeded.
 type slowLink struct {
 	*fabric.SimLink
 	env   *sim.Env
@@ -26,24 +26,26 @@ func (s *slowLink) stall() {
 	}
 }
 
-func (s *slowLink) TryFetch(key uint64, dst []byte) (bool, error) {
+func (s *slowLink) TryFetchUntil(key uint64, dst []byte, dl fabric.Deadline) (bool, error) {
 	s.stall()
-	return s.SimLink.Fetch(key, dst), nil
+	return s.SimLink.TryFetchUntil(key, dst, dl)
+}
+
+func (s *slowLink) TryFetch(key uint64, dst []byte) (bool, error) {
+	return s.TryFetchUntil(key, dst, fabric.Deadline{})
 }
 
 func (s *slowLink) TryFetchAsync(key uint64, dst []byte) (bool, error) {
 	return s.TryFetch(key, dst)
 }
 
-func (s *slowLink) TryPush(key uint64, src []byte) error {
+func (s *slowLink) TryPushUntil(key uint64, src []byte, dl fabric.Deadline) error {
 	s.stall()
-	s.SimLink.Push(key, src)
-	return nil
+	return s.SimLink.TryPushUntil(key, src, dl)
 }
 
-func (s *slowLink) TryDelete(key uint64) error {
-	s.SimLink.Delete(key)
-	return nil
+func (s *slowLink) TryPush(key uint64, src []byte) error {
+	return s.TryPushUntil(key, src, fabric.Deadline{})
 }
 
 // degradedPool builds a pool with a 2-slot local budget, a per-op deadline,

@@ -11,6 +11,7 @@ import (
 
 	"trackfm/internal/fabric"
 	"trackfm/internal/mem"
+	"trackfm/internal/mem/bufpool"
 	"trackfm/internal/obs"
 	"trackfm/internal/sim"
 )
@@ -125,7 +126,15 @@ type Config struct {
 type stripe struct {
 	mu       sync.Mutex
 	pins     map[ObjectID]uint32
-	inflight map[ObjectID]*fetchWait
+	inflight map[ObjectID]struct{}
+
+	// done is the singleflight rendezvous, sharing mu: a fetch leader
+	// broadcasts after publishing (or abandoning) any object in the
+	// stripe, and waiters re-check their object's state. A condition
+	// variable instead of a per-fetch channel keeps the miss path free of
+	// per-operation allocations; the cost is stripe-wide wakeups, which
+	// 64-way striping already makes rare.
+	done sync.Cond
 
 	// Ghost ring: the stripe's most recent evictions (id + eviction
 	// cycle), consulted on install to detect re-faults. Fixed arrays so
@@ -135,13 +144,6 @@ type stripe struct {
 	ghostID  [ghostRing]ObjectID
 	ghostCyc [ghostRing]uint64
 	ghostPos int
-}
-
-// fetchWait is the singleflight rendezvous for one in-flight fetch: the
-// leader closes done after installing (or abandoning) the object, and every
-// waiter re-checks the metadata word afterwards.
-type fetchWait struct {
-	done chan struct{}
 }
 
 // Pool is an AIFM-style far-memory object pool: a contiguous metadata table
@@ -180,7 +182,9 @@ type Pool struct {
 	stripeMask uint64
 
 	arena     mem.Store
-	slotOwner []ObjectID // per-slot owner (atomic); noOwner when empty
+	arenaWin  mem.Windower  // non-nil when arena exposes zero-copy windows
+	slab      *bufpool.Slab // objSize bounce buffers for windowless arenas
+	slotOwner []ObjectID    // per-slot owner (atomic); noOwner when empty
 
 	// Slot accounting. freeSlots is the circulating free stack; retired
 	// holds capacity parked outside the current budget (below-target
@@ -394,9 +398,15 @@ func NewPool(cfg Config) (*Pool, error) {
 	p.targetSlots.Store(int64(nSlots))
 	p.prefetchDepth.Store(int64(depth))
 	p.prefetchHW.Store(math.Float64bits(highWater))
+	if w, ok := arena.(mem.Windower); ok {
+		p.arenaWin = w
+	} else {
+		p.slab = bufpool.NewSlab(cfg.ObjectSize)
+	}
 	for i := range p.stripes {
 		p.stripes[i].pins = make(map[ObjectID]uint32)
-		p.stripes[i].inflight = make(map[ObjectID]*fetchWait)
+		p.stripes[i].inflight = make(map[ObjectID]struct{})
+		p.stripes[i].done.L = &p.stripes[i].mu
 		for j := range p.stripes[i].ghostID {
 			p.stripes[i].ghostID[j] = noOwner
 		}
@@ -673,6 +683,7 @@ func (p *Pool) TryLocalizePin(id ObjectID, forWrite bool) (uint64, bool, error) 
 func (p *Pool) tryLocalize(id ObjectID, forWrite, pin bool) (uint64, bool, error) {
 	st := p.stripeFor(id)
 	p.lockStripe(st)
+	waited := false
 	for {
 		m := p.metaAt(id)
 		if m.Present() {
@@ -693,33 +704,40 @@ func (p *Pool) tryLocalize(id ObjectID, forWrite, pin bool) (uint64, bool, error
 			st.mu.Unlock()
 			return m.DataAddr(), false, nil
 		}
-		if w, ok := st.inflight[id]; ok {
-			// Another goroutine is already fetching this object: wait for
-			// it and re-check. If the leader failed, the loop elects this
-			// caller the next leader.
-			st.mu.Unlock()
-			<-w.done
-			sim.Inc(&p.env.Counters.SingleflightShared)
-			p.lockStripe(st)
+		if _, ok := st.inflight[id]; ok {
+			// Another goroutine is already fetching this object: wait on
+			// the stripe's rendezvous and re-check (the broadcast may have
+			// been for a different object in the stripe, or the leader may
+			// have failed — in which case the loop elects this caller the
+			// next leader). The shared-fetch counter ticks once per
+			// localize that joined a leader, not once per wakeup.
+			if !waited {
+				waited = true
+				sim.Inc(&p.env.Counters.SingleflightShared)
+			}
+			st.done.Wait()
 			continue
 		}
-		w := &fetchWait{done: make(chan struct{})}
-		st.inflight[id] = w
+		st.inflight[id] = struct{}{}
 		st.mu.Unlock()
-		return p.fetchAndInstall(st, id, m, forWrite, pin, w)
+		return p.fetchAndInstall(st, id, m, forWrite, pin)
 	}
+}
+
+// abandonFetch clears id's singleflight claim without publishing it and
+// wakes the stripe's waiters so one of them can take over (or observe the
+// failure).
+func (p *Pool) abandonFetch(st *stripe, id ObjectID) {
+	p.lockStripe(st)
+	delete(st.inflight, id)
+	st.done.Broadcast()
+	st.mu.Unlock()
 }
 
 // fetchAndInstall runs the singleflight leader's side of a demand miss:
 // claim a slot (evicting if needed), move the bytes, then re-take the
 // stripe lock to publish the object and wake the waiters.
-func (p *Pool) fetchAndInstall(st *stripe, id ObjectID, m Meta, forWrite, pin bool, w *fetchWait) (uint64, bool, error) {
-	abandon := func() {
-		p.lockStripe(st)
-		delete(st.inflight, id)
-		close(w.done)
-		st.mu.Unlock()
-	}
+func (p *Pool) fetchAndInstall(st *stripe, id ObjectID, m Meta, forWrite, pin bool) (uint64, bool, error) {
 	slot, ok := p.tryTakeSlot()
 	if !ok {
 		// Every circulating slot is pinned: borrow from the reserve floor
@@ -729,18 +747,18 @@ func (p *Pool) fetchAndInstall(st *stripe, id ObjectID, m Meta, forWrite, pin bo
 		slot, ok = p.popReserve()
 	}
 	if !ok {
-		abandon()
+		p.abandonFetch(st, id)
 		panic("aifm: local memory exhausted: every resident slot and the reserve floor are pinned")
 	}
 	base := uint64(slot) * uint64(p.objSize)
 	fresh := m == 0 // never touched: materialize a zeroed object locally
 	if fresh {
-		p.arena.WriteAt(base, make([]byte, p.objSize))
+		p.arena.WriteAt(base, mem.Zeros(p.objSize))
 	} else {
 		// Demand miss on an evacuated object: blocking remote fetch.
 		if err := p.fetchInto(id, base, false); err != nil {
 			p.giveSlot(slot)
-			abandon()
+			p.abandonFetch(st, id)
 			return 0, true, err
 		}
 	}
@@ -756,7 +774,7 @@ func (p *Pool) fetchAndInstall(st *stripe, id ObjectID, m Meta, forWrite, pin bo
 	}
 	refault := !fresh && p.consumeGhostLocked(st, id)
 	delete(st.inflight, id)
-	close(w.done)
+	st.done.Broadcast()
 	st.mu.Unlock()
 	p.resident.Add(1)
 	if fresh {
@@ -839,31 +857,24 @@ func (p *Pool) Prefetch(id ObjectID) {
 		st.mu.Unlock()
 		return // a demand fetch or another prefetch already owns it
 	}
-	w := &fetchWait{done: make(chan struct{})}
-	st.inflight[id] = w
+	st.inflight[id] = struct{}{}
 	st.mu.Unlock()
-	abandon := func() {
-		p.lockStripe(st)
-		delete(st.inflight, id)
-		close(w.done)
-		st.mu.Unlock()
-	}
 	slot, ok := p.tryTakeSlotGentle()
 	if !ok {
-		abandon()
+		p.abandonFetch(st, id)
 		return // nothing cold to displace; skip rather than pollute
 	}
 	base := uint64(slot) * uint64(p.objSize)
 	if m == 0 {
 		// Never-touched object: materialize zeros without network.
-		p.arena.WriteAt(base, make([]byte, p.objSize))
+		p.arena.WriteAt(base, mem.Zeros(p.objSize))
 	} else {
 		if err := p.fetchInto(id, base, true); err != nil {
 			// Prefetch is speculation: on persistent failure, give the
 			// slot back and leave the object remote rather than
 			// installing a zero-filled ghost.
 			p.giveSlot(slot)
-			abandon()
+			p.abandonFetch(st, id)
 			return
 		}
 		sim.Inc(&p.env.Counters.PrefetchIssued)
@@ -874,7 +885,7 @@ func (p *Pool) Prefetch(id ObjectID) {
 	p.storeMeta(id, LocalMeta(base, p.dsID)|MetaPF)
 	refault := m != 0 && p.consumeGhostLocked(st, id)
 	delete(st.inflight, id)
-	close(w.done)
+	st.done.Broadcast()
 	st.mu.Unlock()
 	p.resident.Add(1)
 	if refault {
@@ -979,7 +990,20 @@ func (p *Pool) fetchInto(id ObjectID, base uint64, async bool) error {
 	if p.degradedNow() && p.probeTick.Add(1)%degradedProbeEvery != 0 {
 		return fmt.Errorf("aifm: fetch object %d: %w", id, ErrDegraded)
 	}
-	buf := make([]byte, p.objSize)
+	// Zero-copy when the arena can window its bytes: the transport fills
+	// the claimed slot directly (the slot is unpublished, so a failed
+	// attempt scribbling on it is harmless). Windowless arenas bounce
+	// through a pooled slab buffer instead of a per-fetch allocation.
+	var lease bufpool.Lease
+	var buf []byte
+	direct := false
+	if p.arenaWin != nil {
+		buf, direct = p.arenaWin.Window(base, uint64(p.objSize))
+	}
+	if !direct {
+		lease = p.slab.Get()
+		buf = lease.Bytes()
+	}
 	key := p.transportKey(id)
 	dl := p.opDeadline()
 	var last error
@@ -988,12 +1012,15 @@ func (p *Pool) fetchInto(id ObjectID, base uint64, async bool) error {
 		attempts = attempt
 		var err error
 		if async {
-			_, err = p.transport.TryFetchAsync(key, buf)
+			_, err = fabric.FetchAsync(p.transport, key, buf)
 		} else {
-			_, err = fabric.FetchUntil(p.transport, key, buf, dl)
+			_, err = p.transport.TryFetchUntil(key, buf, dl)
 		}
 		if err == nil {
-			p.arena.WriteAt(base, buf)
+			if !direct {
+				p.arena.WriteAt(base, buf)
+			}
+			lease.Release()
 			p.noteRemoteOK()
 			return nil
 		}
@@ -1003,6 +1030,7 @@ func (p *Pool) fetchInto(id ObjectID, base uint64, async bool) error {
 			break // the deadline bounds the whole retry loop
 		}
 	}
+	lease.Release()
 	return fmt.Errorf("aifm: fetch object %d after %d attempts: %w", id, attempts, last)
 }
 
@@ -1016,7 +1044,7 @@ func (p *Pool) pushWithRetry(key uint64, buf []byte) error {
 	dl := p.opDeadline()
 	var last error
 	for attempt := 1; attempt <= p.retries; attempt++ {
-		if err := fabric.PushUntil(p.transport, key, buf, dl); err == nil {
+		if err := p.transport.TryPushUntil(key, buf, dl); err == nil {
 			p.noteRemoteOK()
 			return nil
 		} else {
@@ -1308,9 +1336,23 @@ func (p *Pool) evictLocked(slot uint32, id ObjectID) bool {
 			sim.Inc(&p.env.Counters.EvictionStalls)
 			return false
 		}
-		buf := make([]byte, p.objSize)
-		p.arena.ReadAt(base, buf)
-		if err := p.pushWithRetry(p.transportKey(id), buf); err != nil {
+		// Push straight from the arena window when the store exposes one
+		// (the victim is unpinned and its stripe lock is held, so the
+		// window is stable); bounce through a pooled slab buffer otherwise.
+		var lease bufpool.Lease
+		var buf []byte
+		direct := false
+		if p.arenaWin != nil {
+			buf, direct = p.arenaWin.Window(base, uint64(p.objSize))
+		}
+		if !direct {
+			lease = p.slab.Get()
+			buf = lease.Bytes()
+			p.arena.ReadAt(base, buf)
+		}
+		err := p.pushWithRetry(p.transportKey(id), buf)
+		lease.Release()
+		if err != nil {
 			sim.Inc(&p.env.Counters.EvictionStalls)
 			return false
 		}
@@ -1481,7 +1523,7 @@ func (p *Pool) Free(id ObjectID) {
 	// re-materialized as fresh zeros, and any later push overwrites the
 	// stale blob). Retry within budget, then move on.
 	for attempt := 1; attempt <= p.retries; attempt++ {
-		if err := p.transport.TryDelete(p.transportKey(id)); err == nil {
+		if err := p.transport.TryDeleteUntil(p.transportKey(id), fabric.Deadline{}); err == nil {
 			break
 		}
 		sim.Inc(&p.env.Counters.RemotePushFaults)

@@ -9,7 +9,7 @@ import (
 	"trackfm/internal/sim"
 )
 
-func newTestPool(t *testing.T, objSize int, heap, budget uint64, opts ...func(*Config)) (*Pool, *sim.Env, *fabric.SimLink) {
+func newTestPool(t testing.TB, objSize int, heap, budget uint64, opts ...func(*Config)) (*Pool, *sim.Env, *fabric.SimLink) {
 	t.Helper()
 	env := sim.NewEnv()
 	link := fabric.NewSimLink(env, fabric.BackendTCP)

@@ -244,5 +244,6 @@ func Crash() *Table {
 		d(total.acked), d(uint64(total.lost)), d(uint64(total.mismatched)),
 		d(total.replayedRecs), f1(float64(total.replayedBytes)/1024),
 		d(total.truncated), f1(float64(total.recoverCycles)/float64(total.crashes)/1000))
+	t.Ops = total.acked // seeded schedules: deterministic across runs
 	return t
 }

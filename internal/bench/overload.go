@@ -239,5 +239,6 @@ func overloadTable(s Scale) *Table {
 		t.AddRow(b.name, "-", "-", "-", d(ops), "-", "-", "-", "-", "-",
 			f2(float64(sends)/float64(ops)))
 	}
+	t.Ops = uint64(len(phases)+2) * uint64(n) // n arrivals per ladder phase + 2 brownouts
 	return t
 }

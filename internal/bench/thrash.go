@@ -232,5 +232,6 @@ func thrashTable(s Scale) *Table {
 			f3(r.ratio), d(r.refaults), d(r.pfSkipped), d(r.resizes), gov,
 			d(r.lost+r.corrupt))
 	}
+	t.Ops = uint64(len(phases)) * uint64(n)
 	return t
 }

@@ -89,74 +89,26 @@ func errDeadline(phase string) error {
 	return fmt.Errorf("%w: %s", ErrDeadlineExceeded, phase)
 }
 
-// DeadlineTransport is implemented by transports that enforce a
-// per-operation deadline natively (TCPTransport, ReplicaSet). Plain
-// ErrorTransports are adapted by FetchUntil/PushUntil/DeleteUntil, which
-// bolt a completion-time check on top.
-type DeadlineTransport interface {
-	ErrorTransport
+// DeadlineTransport is the historical name for a transport with native
+// per-operation deadlines. Deadlines are now part of the canonical
+// ErrorTransport contract (the zero Deadline meaning "no deadline"), so
+// the two are the same interface; the alias keeps old call sites and
+// documentation references compiling.
+type DeadlineTransport = ErrorTransport
 
-	// TryFetchUntil is TryFetch bounded by dl: the operation fails with
-	// ErrDeadlineExceeded once the budget runs out, and a result that
-	// arrives late is discarded rather than returned.
-	TryFetchUntil(key uint64, dst []byte, dl Deadline) (bool, error)
-
-	// TryPushUntil is TryPush bounded by dl.
-	TryPushUntil(key uint64, src []byte, dl Deadline) error
-
-	// TryDeleteUntil is TryDelete bounded by dl.
-	TryDeleteUntil(key uint64, dl Deadline) error
-}
-
-// FetchUntil fetches key with the deadline enforced: natively when t is a
-// DeadlineTransport, otherwise by refusing to start an expired operation
-// and by reporting ErrDeadlineExceeded for one that completes late (the
-// fetched bytes are not handed to the caller — a result past its budget
-// is a miss, not a slow hit). The fallback is what gives SimLink and the
-// fault injectors deadline semantics without reimplementing them.
+// FetchUntil is a legacy wrapper for t.TryFetchUntil, from the era when
+// deadline enforcement was bolted onto deadline-unaware transports here.
+// Deadline semantics now live in the ErrorTransport contract itself.
 func FetchUntil(t ErrorTransport, key uint64, dst []byte, dl Deadline) (bool, error) {
-	if dt, ok := t.(DeadlineTransport); ok {
-		return dt.TryFetchUntil(key, dst, dl)
-	}
-	if dl.Expired() {
-		return false, errDeadline("fetch not started")
-	}
-	found, err := t.TryFetch(key, dst)
-	if err == nil && dl.Expired() {
-		return false, errDeadline("fetch completed past deadline")
-	}
-	return found, err
+	return t.TryFetchUntil(key, dst, dl)
 }
 
-// PushUntil pushes src with the deadline enforced (see FetchUntil). A
-// push that completes late did reach the remote node — pushes are
-// last-writer-wins and idempotent — but the caller is told the budget was
-// missed so backpressure propagates.
+// PushUntil is a legacy wrapper for t.TryPushUntil (see FetchUntil).
 func PushUntil(t ErrorTransport, key uint64, src []byte, dl Deadline) error {
-	if dt, ok := t.(DeadlineTransport); ok {
-		return dt.TryPushUntil(key, src, dl)
-	}
-	if dl.Expired() {
-		return errDeadline("push not started")
-	}
-	err := t.TryPush(key, src)
-	if err == nil && dl.Expired() {
-		return errDeadline("push completed past deadline")
-	}
-	return err
+	return t.TryPushUntil(key, src, dl)
 }
 
-// DeleteUntil deletes key with the deadline enforced (see PushUntil).
+// DeleteUntil is a legacy wrapper for t.TryDeleteUntil (see FetchUntil).
 func DeleteUntil(t ErrorTransport, key uint64, dl Deadline) error {
-	if dt, ok := t.(DeadlineTransport); ok {
-		return dt.TryDeleteUntil(key, dl)
-	}
-	if dl.Expired() {
-		return errDeadline("delete not started")
-	}
-	err := t.TryDelete(key)
-	if err == nil && dl.Expired() {
-		return errDeadline("delete completed past deadline")
-	}
-	return err
+	return t.TryDeleteUntil(key, dl)
 }

@@ -138,44 +138,65 @@ func (f *FaultLink) maybeCorrupt(dst []byte) {
 	}
 }
 
-// TryFetch implements ErrorTransport.
-func (f *FaultLink) TryFetch(key uint64, dst []byte) (bool, error) {
+// TryFetchUntil implements ErrorTransport: injection happens before the
+// inner call, so drops and outages consume fault-schedule slots whether or
+// not the deadline would have held; corruption applies only to payloads
+// the inner transport successfully fetched.
+func (f *FaultLink) TryFetchUntil(key uint64, dst []byte, dl Deadline) (bool, error) {
 	if err := f.inject(); err != nil {
 		return false, err
 	}
-	found, err := f.inner.TryFetch(key, dst)
+	found, err := f.inner.TryFetchUntil(key, dst, dl)
 	if err == nil && found {
 		f.maybeCorrupt(dst)
 	}
 	return found, err
 }
 
-// TryFetchAsync implements ErrorTransport.
+// TryPushUntil implements ErrorTransport.
+func (f *FaultLink) TryPushUntil(key uint64, src []byte, dl Deadline) error {
+	if err := f.inject(); err != nil {
+		return err
+	}
+	return f.inner.TryPushUntil(key, src, dl)
+}
+
+// TryDeleteUntil implements ErrorTransport.
+func (f *FaultLink) TryDeleteUntil(key uint64, dl Deadline) error {
+	if err := f.inject(); err != nil {
+		return err
+	}
+	return f.inner.TryDeleteUntil(key, dl)
+}
+
+// TryFetch is TryFetchUntil with no deadline, kept for call-site brevity.
+func (f *FaultLink) TryFetch(key uint64, dst []byte) (bool, error) {
+	return f.TryFetchUntil(key, dst, Deadline{})
+}
+
+// TryFetchAsync implements AsyncFetcher: the injector applies its fault
+// schedule, then forwards through the FetchAsync helper so an inner link
+// with an async cost model (SimLink) keeps its overlapped accounting.
 func (f *FaultLink) TryFetchAsync(key uint64, dst []byte) (bool, error) {
 	if err := f.inject(); err != nil {
 		return false, err
 	}
-	found, err := f.inner.TryFetchAsync(key, dst)
+	found, err := FetchAsync(f.inner, key, dst)
 	if err == nil && found {
 		f.maybeCorrupt(dst)
 	}
 	return found, err
 }
 
-// TryPush implements ErrorTransport.
+// TryPush is TryPushUntil with no deadline, kept for call-site brevity.
 func (f *FaultLink) TryPush(key uint64, src []byte) error {
-	if err := f.inject(); err != nil {
-		return err
-	}
-	return f.inner.TryPush(key, src)
+	return f.TryPushUntil(key, src, Deadline{})
 }
 
-// TryDelete implements ErrorTransport.
+// TryDelete is TryDeleteUntil with no deadline, kept for call-site
+// brevity.
 func (f *FaultLink) TryDelete(key uint64) error {
-	if err := f.inject(); err != nil {
-		return err
-	}
-	return f.inner.TryDelete(key)
+	return f.TryDeleteUntil(key, Deadline{})
 }
 
 // PeerIdentity delegates to the inner transport when it reports identity
@@ -193,4 +214,5 @@ func (f *FaultLink) PeerIdentity() (uint64, bool) {
 // callers that accept best-effort semantics wrap it in Degrading{f}.
 
 var _ ErrorTransport = (*FaultLink)(nil)
+var _ AsyncFetcher = (*FaultLink)(nil)
 var _ IdentityReporter = (*FaultLink)(nil)

@@ -46,31 +46,68 @@ func (b Backend) String() string {
 // cost model as a side effect and surface failures as the typed errors in
 // errors.go, so callers can distinguish "key absent" from "network
 // failed" and retry, fail over, or stall instead of silently corrupting
-// the mutator's data. Infallible in-process links (SimLink) implement it
-// with Try methods that never return an error.
+// the mutator's data.
+//
+// Every operation takes a Deadline; the zero Deadline means "no deadline",
+// so the canonical form subsumes the old TryFetch/TryPush/TryDelete
+// variants (concrete transports keep those names as thin wrappers for
+// call-site brevity). Implementations enforce the deadline natively where
+// they can (TCPTransport bounds socket deadlines, ReplicaSet fits failover
+// and hedging inside the remaining budget) and otherwise refuse to start
+// an expired operation and report ErrDeadlineExceeded for one that
+// completes late.
+//
+// Buffer ownership follows one rule — the callee copies. dst and src are
+// caller-owned scratch valid only for the duration of the call: a fetch
+// fills dst before returning, a push has fully copied (or transmitted) src
+// by the time it returns, and no implementation may retain a reference to
+// either afterwards. This is what lets callers pass pooled bufpool leases
+// or zero-copy arena windows and release or reuse them the moment the call
+// returns.
 type ErrorTransport interface {
-	// TryFetch retrieves the n-byte blob stored under key into dst
-	// (len(dst) == n): found reports key presence only when err is nil.
-	// A fetch of an absent key still pays the round trip (the remote
-	// node answers with zeros, modelling freshly allocated remote
-	// memory). On error the contents of dst are unspecified and must
-	// not be used.
-	TryFetch(key uint64, dst []byte) (found bool, err error)
+	// TryFetchUntil retrieves the n-byte blob stored under key into dst
+	// (len(dst) == n), bounded by dl: found reports key presence only
+	// when err is nil. A fetch of an absent key still pays the round
+	// trip (the remote node answers with zeros, modelling freshly
+	// allocated remote memory). Once the budget runs out the operation
+	// fails with ErrDeadlineExceeded, and a result that arrives late is
+	// discarded rather than returned. On error the contents of dst are
+	// unspecified and must not be used.
+	TryFetchUntil(key uint64, dst []byte, dl Deadline) (found bool, err error)
 
-	// TryFetchAsync retrieves key like TryFetch but models an
-	// asynchronous prefetch: the fixed network latency overlaps with
-	// computation, so only the issue cost and the bandwidth term are
-	// charged.
+	// TryPushUntil stores src under key on the remote node, bounded by
+	// dl; on error the remote copy may or may not have been updated
+	// (pushes are idempotent last-writer-wins, so retrying is always
+	// safe). A push that completes past its deadline did reach the
+	// remote node but reports ErrDeadlineExceeded so backpressure
+	// propagates.
+	TryPushUntil(key uint64, src []byte, dl Deadline) error
+
+	// TryDeleteUntil drops key from the remote node (object freed),
+	// bounded by dl. Deletes are idempotent.
+	TryDeleteUntil(key uint64, dl Deadline) error
+}
+
+// AsyncFetcher is the optional interface of transports that model an
+// asynchronous prefetch distinctly from a demand fetch: the fixed network
+// latency overlaps with computation, so only the issue cost and the
+// bandwidth term are charged (SimLink; FaultLink forwards to its inner
+// link). Use the FetchAsync helper rather than asserting directly.
+type AsyncFetcher interface {
+	// TryFetchAsync is TryFetchUntil with no deadline and the overlapped
+	// prefetch cost model. The callee-copies ownership rule applies.
 	TryFetchAsync(key uint64, dst []byte) (found bool, err error)
+}
 
-	// TryPush stores src under key on the remote node; on error the
-	// remote copy may or may not have been updated (pushes are
-	// idempotent last-writer-wins, so retrying is always safe).
-	TryPush(key uint64, src []byte) error
-
-	// TryDelete drops key from the remote node (object freed). Deletes
-	// are idempotent.
-	TryDelete(key uint64) error
+// FetchAsync issues a prefetch-flavoured fetch: the overlapped cost model
+// when t implements AsyncFetcher, an ordinary undeadlined fetch otherwise.
+// Prefetchers call this so they work — with honest, merely less favourable
+// accounting — over transports with no async path.
+func FetchAsync(t ErrorTransport, key uint64, dst []byte) (bool, error) {
+	if af, ok := t.(AsyncFetcher); ok {
+		return af.TryFetchAsync(key, dst)
+	}
+	return t.TryFetchUntil(key, dst, Deadline{})
 }
 
 // Transport is the legacy infallible interface: the Try methods with
@@ -112,7 +149,7 @@ func (d Degrading) degrade() {
 // Fetch implements Transport, degrading errors into a zero-filled
 // not-found.
 func (d Degrading) Fetch(key uint64, dst []byte) bool {
-	found, err := d.T.TryFetch(key, dst)
+	found, err := d.T.TryFetchUntil(key, dst, Deadline{})
 	if err != nil {
 		d.degrade()
 		for i := range dst {
@@ -125,7 +162,7 @@ func (d Degrading) Fetch(key uint64, dst []byte) bool {
 
 // FetchAsync implements Transport; errors degrade exactly like Fetch.
 func (d Degrading) FetchAsync(key uint64, dst []byte) bool {
-	found, err := d.T.TryFetchAsync(key, dst)
+	found, err := FetchAsync(d.T, key, dst)
 	if err != nil {
 		d.degrade()
 		for i := range dst {
@@ -138,14 +175,14 @@ func (d Degrading) FetchAsync(key uint64, dst []byte) bool {
 
 // Push implements Transport; errors drop the push.
 func (d Degrading) Push(key uint64, src []byte) {
-	if err := d.T.TryPush(key, src); err != nil {
+	if err := d.T.TryPushUntil(key, src, Deadline{}); err != nil {
 		d.degrade()
 	}
 }
 
 // Delete implements Transport; errors drop the delete.
 func (d Degrading) Delete(key uint64) {
-	if err := d.T.TryDelete(key); err != nil {
+	if err := d.T.TryDeleteUntil(key, Deadline{}); err != nil {
 		d.degrade()
 	}
 }
@@ -232,9 +269,15 @@ func (l *SimLink) Push(key uint64, src []byte) {
 		l.env.Clock.Advance(l.env.Costs.TransferCycles(len(src)))
 	}
 	sim.Add(&l.env.Counters.BytesEvicted, uint64(len(src)))
-	blob := make([]byte, len(src))
-	copy(blob, src)
 	l.mu.Lock()
+	// Reuse the stored blob when the size matches: a steady-state
+	// write-back cycle over a fixed working set touches the allocator
+	// only on first push of each key.
+	blob := l.store[key]
+	if len(blob) != len(src) {
+		blob = make([]byte, len(src))
+	}
+	copy(blob, src)
 	l.store[key] = blob
 	l.mu.Unlock()
 }
@@ -246,28 +289,75 @@ func (l *SimLink) Delete(key uint64) {
 	l.mu.Unlock()
 }
 
-// TryFetch implements ErrorTransport; the in-process link cannot fail, so
+// TryFetchUntil implements ErrorTransport. The in-process link cannot
+// fail on the wire, but its cost model advances the simulated clock, so a
+// cycle-denominated deadline can genuinely expire mid-operation; a late
+// result is discarded per the interface contract.
+func (l *SimLink) TryFetchUntil(key uint64, dst []byte, dl Deadline) (bool, error) {
+	if dl.Expired() {
+		return false, errDeadline("fetch not started")
+	}
+	found := l.Fetch(key, dst)
+	if dl.Expired() {
+		return false, errDeadline("fetch completed past deadline")
+	}
+	return found, nil
+}
+
+// TryPushUntil implements ErrorTransport (see TryFetchUntil; a late push
+// did land remotely, pushes being idempotent last-writer-wins).
+func (l *SimLink) TryPushUntil(key uint64, src []byte, dl Deadline) error {
+	if dl.Expired() {
+		return errDeadline("push not started")
+	}
+	l.Push(key, src)
+	if dl.Expired() {
+		return errDeadline("push completed past deadline")
+	}
+	return nil
+}
+
+// TryDeleteUntil implements ErrorTransport.
+func (l *SimLink) TryDeleteUntil(key uint64, dl Deadline) error {
+	if dl.Expired() {
+		return errDeadline("delete not started")
+	}
+	l.Delete(key)
+	if dl.Expired() {
+		return errDeadline("delete completed past deadline")
+	}
+	return nil
+}
+
+// TryFetch is TryFetchUntil with no deadline, kept for call-site brevity;
 // err is always nil.
 func (l *SimLink) TryFetch(key uint64, dst []byte) (bool, error) {
 	return l.Fetch(key, dst), nil
 }
 
-// TryFetchAsync implements ErrorTransport; err is always nil.
+// TryFetchAsync implements AsyncFetcher with the overlapped prefetch cost
+// model; err is always nil.
 func (l *SimLink) TryFetchAsync(key uint64, dst []byte) (bool, error) {
 	return l.FetchAsync(key, dst), nil
 }
 
-// TryPush implements ErrorTransport; err is always nil.
+// TryPush is TryPushUntil with no deadline; err is always nil.
 func (l *SimLink) TryPush(key uint64, src []byte) error {
 	l.Push(key, src)
 	return nil
 }
 
-// TryDelete implements ErrorTransport; err is always nil.
+// TryDelete is TryDeleteUntil with no deadline; err is always nil.
 func (l *SimLink) TryDelete(key uint64) error {
 	l.Delete(key)
 	return nil
 }
+
+var (
+	_ ErrorTransport = (*SimLink)(nil)
+	_ AsyncFetcher   = (*SimLink)(nil)
+	_ Transport      = (*SimLink)(nil)
+)
 
 // RemoteBytes reports the total bytes currently resident on the simulated
 // remote node, for budget assertions in tests.

@@ -39,6 +39,40 @@ func (r *recordingLink) TryFetchAsync(key uint64, dst []byte) (bool, error) {
 }
 func (r *recordingLink) TryPush(key uint64, src []byte) error { r.op(); return nil }
 func (r *recordingLink) TryDelete(key uint64) error           { r.op(); return nil }
+
+// The Until forms implement the canonical contract by hand — refuse an
+// expired start, discard a late completion — so the deadline tests can
+// exercise those semantics against a transport with a configurable cost.
+func (r *recordingLink) TryFetchUntil(key uint64, dst []byte, dl Deadline) (bool, error) {
+	if dl.Expired() {
+		return false, errDeadline("fetch not started")
+	}
+	found, err := r.TryFetch(key, dst)
+	if err == nil && dl.Expired() {
+		return false, errDeadline("fetch completed past deadline")
+	}
+	return found, err
+}
+func (r *recordingLink) TryPushUntil(key uint64, src []byte, dl Deadline) error {
+	if dl.Expired() {
+		return errDeadline("push not started")
+	}
+	err := r.TryPush(key, src)
+	if err == nil && dl.Expired() {
+		return errDeadline("push completed past deadline")
+	}
+	return err
+}
+func (r *recordingLink) TryDeleteUntil(key uint64, dl Deadline) error {
+	if dl.Expired() {
+		return errDeadline("delete not started")
+	}
+	err := r.TryDelete(key)
+	if err == nil && dl.Expired() {
+		return errDeadline("delete completed past deadline")
+	}
+	return err
+}
 func (r *recordingLink) Fetch(key uint64, dst []byte) bool    { f, _ := r.TryFetch(key, dst); return f }
 func (r *recordingLink) FetchAsync(key uint64, dst []byte) bool {
 	return r.Fetch(key, dst)
@@ -510,26 +544,35 @@ func (b *blockLink) op() error {
 	return nil
 }
 
-func (b *blockLink) TryFetch(key uint64, dst []byte) (bool, error) {
+func (b *blockLink) TryFetchUntil(key uint64, dst []byte, dl Deadline) (bool, error) {
 	if err := b.op(); err != nil {
 		return false, err
 	}
-	return b.inner.TryFetch(key, dst)
+	return b.inner.TryFetchUntil(key, dst, dl)
+}
+func (b *blockLink) TryPushUntil(key uint64, src []byte, dl Deadline) error {
+	if err := b.op(); err != nil {
+		return err
+	}
+	return b.inner.TryPushUntil(key, src, dl)
+}
+func (b *blockLink) TryDeleteUntil(key uint64, dl Deadline) error {
+	if err := b.op(); err != nil {
+		return err
+	}
+	return b.inner.TryDeleteUntil(key, dl)
+}
+func (b *blockLink) TryFetch(key uint64, dst []byte) (bool, error) {
+	return b.TryFetchUntil(key, dst, Deadline{})
 }
 func (b *blockLink) TryFetchAsync(key uint64, dst []byte) (bool, error) {
 	return b.TryFetch(key, dst)
 }
 func (b *blockLink) TryPush(key uint64, src []byte) error {
-	if err := b.op(); err != nil {
-		return err
-	}
-	return b.inner.TryPush(key, src)
+	return b.TryPushUntil(key, src, Deadline{})
 }
 func (b *blockLink) TryDelete(key uint64) error {
-	if err := b.op(); err != nil {
-		return err
-	}
-	return b.inner.TryDelete(key)
+	return b.TryDeleteUntil(key, Deadline{})
 }
 func (b *blockLink) Fetch(key uint64, dst []byte) bool {
 	f, err := b.TryFetch(key, dst)

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"trackfm/internal/mem/bufpool"
 	"trackfm/internal/obs"
 	"trackfm/internal/remote"
 	"trackfm/internal/sim"
@@ -346,7 +347,7 @@ func (rs *ReplicaSet) runProbe(i int) {
 	// identity read below sees the post-restart generation.
 	var probeBuf [1]byte
 	err := tryN(resyncAttempts, func() error {
-		_, err := rs.members[i].TryFetch(probeKey, probeBuf[:])
+		_, err := rs.members[i].TryFetchUntil(probeKey, probeBuf[:], Deadline{})
 		return err
 	})
 	ok := err == nil
@@ -432,16 +433,20 @@ func (rs *ReplicaSet) resync(i int) bool {
 		e, live := snap[key]
 		if !live {
 			// The latest write was a delete: propagate the tombstone.
-			if err := tryN(resyncAttempts, func() error { return rs.members[i].TryDelete(key) }); err != nil {
+			if err := tryN(resyncAttempts, func() error { return rs.members[i].TryDeleteUntil(key, Deadline{}) }); err != nil {
 				hardFails++
 				continue
 			}
 		} else {
-			buf, ok := rs.readVerified(key, e, i)
-			if !ok {
+			lease := bufpool.Get(e.size)
+			buf := lease.Bytes()
+			if !rs.readVerified(key, e, i, buf) {
+				lease.Release()
 				continue // no intact donor right now; retry next round
 			}
-			if err := tryN(resyncAttempts, func() error { return rs.members[i].TryPush(key, buf) }); err != nil {
+			err := tryN(resyncAttempts, func() error { return rs.members[i].TryPushUntil(key, buf, Deadline{}) })
+			lease.Release()
+			if err != nil {
 				hardFails++
 				continue
 			}
@@ -460,21 +465,21 @@ func (rs *ReplicaSet) resync(i int) bool {
 	return drained
 }
 
-// readVerified fetches key from the healthiest donor that is not replica
-// `exclude`, verifying the payload against the recorded version. Donors
-// serving corrupt bytes are counted and skipped (they will be repaired by
-// their own read path). The mutex is held only around breaker/missed-set
-// bookkeeping, never across the fetch itself.
-func (rs *ReplicaSet) readVerified(key uint64, e blobVer, exclude int) ([]byte, bool) {
+// readVerified fetches key into the caller-owned buf (len(buf) == e.size)
+// from the healthiest donor that is not replica `exclude`, verifying the
+// payload against the recorded version. Donors serving corrupt bytes are
+// counted and skipped (they will be repaired by their own read path). On
+// a false return buf's contents are unspecified. The mutex is held only
+// around breaker/missed-set bookkeeping, never across the fetch itself.
+func (rs *ReplicaSet) readVerified(key uint64, e blobVer, exclude int, buf []byte) bool {
 	rs.mu.Lock()
 	order := rs.readOrderLocked(key, exclude)
 	rs.mu.Unlock()
 	for _, d := range order {
-		buf := make([]byte, e.size)
 		var found bool
 		var err error
 		for a := 0; a < resyncAttempts; a++ {
-			found, err = rs.members[d].TryFetch(key, buf)
+			found, err = rs.members[d].TryFetchUntil(key, buf, Deadline{})
 			if err == nil || isIntegrity(err) {
 				break
 			}
@@ -500,9 +505,9 @@ func (rs *ReplicaSet) readVerified(key uint64, e blobVer, exclude int) ([]byte, 
 			continue
 		}
 		rs.mu.Unlock()
-		return buf, true
+		return true
 	}
-	return nil, false
+	return false
 }
 
 // readOrderLocked returns candidate replica indices for serving key, in
@@ -556,22 +561,22 @@ func (rs *ReplicaSet) okLocked(i int) {
 	rs.brk[i].consecFails = 0
 }
 
-// TryFetch implements ErrorTransport: the read is served by the preferred
-// healthy replica, failing over down the candidate list. Every found
-// payload is verified against the version record; replicas serving
-// corrupt, stale, or unexpectedly absent data are repaired from the
-// healthy copy before the (correct) result is returned.
+// TryFetch is TryFetchUntil with no deadline, kept for call-site brevity.
 func (rs *ReplicaSet) TryFetch(key uint64, dst []byte) (bool, error) {
 	return rs.TryFetchUntil(key, dst, Deadline{})
 }
 
-// TryFetchUntil implements DeadlineTransport: TryFetch with failover and
-// hedging fitted inside the remaining budget. The deadline propagates to
-// every member leg; once it expires the failover walk stops with
-// ErrDeadlineExceeded instead of grinding down the candidate list, and a
-// hedge is only launched when the remaining budget can still cover it. An
-// overload reject from a member is backpressure, not failure: the read
-// fails over past that replica without charging its breaker.
+// TryFetchUntil implements ErrorTransport: the read is served by the
+// preferred healthy replica, failing over down the candidate list with
+// failover and hedging fitted inside the remaining budget. Every found
+// payload is verified against the version record; replicas serving
+// corrupt, stale, or unexpectedly absent data are repaired from the
+// healthy copy before the (correct) result is returned. The deadline
+// propagates to every member leg; once it expires the failover walk stops
+// with ErrDeadlineExceeded instead of grinding down the candidate list,
+// and a hedge is only launched when the remaining budget can still cover
+// it. An overload reject from a member is backpressure, not failure: the
+// read fails over past that replica without charging its breaker.
 func (rs *ReplicaSet) TryFetchUntil(key uint64, dst []byte, dl Deadline) (bool, error) {
 	rs.advance()
 	rs.mu.Lock()
@@ -654,19 +659,24 @@ func (rs *ReplicaSet) fetchMaybeHedged(candidates []int, key uint64, dst []byte,
 		hedgeable = false
 	}
 	if !hedgeable {
-		return FetchUntil(primary, key, dst, dl)
+		return primary.TryFetchUntil(key, dst, dl)
 	}
 	type result struct {
 		found     bool
 		err       error
-		buf       []byte
+		lease     bufpool.Lease
 		secondary bool
 	}
+	// Each leg fetches into its own pooled lease so the loser cannot
+	// scribble over dst after the winner's payload is returned; only the
+	// winning payload is copied out. The channel is buffered to the leg
+	// count, so a straggler's send never blocks, and the drainer below
+	// releases its lease once it lands.
 	ch := make(chan result, 2)
 	launch := func(m ErrorTransport, secondary bool) {
-		buf := make([]byte, len(dst))
-		found, err := FetchUntil(m, key, buf, dl)
-		ch <- result{found: found, err: err, buf: buf, secondary: secondary}
+		lease := bufpool.Get(len(dst))
+		found, err := m.TryFetchUntil(key, lease.Bytes(), dl)
+		ch <- result{found: found, err: err, lease: lease, secondary: secondary}
 	}
 	go launch(primary, false)
 	timer := time.NewTimer(rs.cfg.HedgeDelay)
@@ -678,19 +688,33 @@ func (rs *ReplicaSet) fetchMaybeHedged(candidates []int, key uint64, dst []byte,
 		select {
 		case r := <-ch:
 			outstanding--
-			if r.err == nil || outstanding == 0 {
-				if r.err == nil && r.secondary {
-					rs.rstats.hedgeWins.Add(1)
+			if r.err != nil {
+				r.lease.Release()
+				if outstanding > 0 {
+					first = &r // one leg failed; wait for the other
+					continue
 				}
-				if r.err != nil && first != nil {
+				if first != nil {
 					r = *first // prefer the earlier failure for attribution
-				}
-				if r.err == nil {
-					copy(dst, r.buf)
 				}
 				return r.found, r.err
 			}
-			first = &r // one leg failed; wait for the other
+			if r.secondary {
+				rs.rstats.hedgeWins.Add(1)
+			}
+			copy(dst, r.lease.Bytes())
+			r.lease.Release()
+			if n := outstanding; n > 0 {
+				// The losing leg is still in flight: drain its result off
+				// the buffered channel and return its buffer to the pool.
+				go func() {
+					for j := 0; j < n; j++ {
+						s := <-ch
+						s.lease.Release()
+					}
+				}()
+			}
+			return r.found, nil
 		case <-timer.C:
 			if !hedged {
 				hedged = true
@@ -709,9 +733,9 @@ func (rs *ReplicaSet) repairLocked(key uint64, good []byte, found bool, bad []in
 	for _, i := range bad {
 		var err error
 		if found {
-			err = rs.members[i].TryPush(key, good)
+			err = rs.members[i].TryPushUntil(key, good, Deadline{})
 		} else {
-			err = rs.members[i].TryDelete(key)
+			err = rs.members[i].TryDeleteUntil(key, Deadline{})
 		}
 		if err != nil {
 			// Leave it recorded as missed; resync will replay it.
@@ -723,26 +747,22 @@ func (rs *ReplicaSet) repairLocked(key uint64, good []byte, found bool, bad []in
 	}
 }
 
-// TryFetchAsync implements ErrorTransport. Replication has no simulated
-// overlap to model; it is a documented alias for TryFetch (see
-// TCPTransport.TryFetchAsync for the alias contract).
-func (rs *ReplicaSet) TryFetchAsync(key uint64, dst []byte) (bool, error) {
-	return rs.TryFetch(key, dst)
-}
-
-// TryPush implements ErrorTransport: record the new version, fan the write
-// to every closed replica, mark the rest missed, and succeed when the ack
-// quorum is met.
+// TryPush is TryPushUntil with no deadline, kept for call-site brevity.
+//
+// There is no TryFetchAsync here: replication has no simulated overlap to
+// model, so prefetchers going through the fabric.FetchAsync helper get an
+// ordinary replicated fetch.
 func (rs *ReplicaSet) TryPush(key uint64, src []byte) error {
 	return rs.TryPushUntil(key, src, Deadline{})
 }
 
-// TryPushUntil implements DeadlineTransport: TryPush with the write
-// fan-out bounded by dl. Once the budget expires, remaining members are
-// marked missed (resync replays the write later) instead of being pushed
-// past the deadline; a quorum shortfall caused by the deadline surfaces
-// as ErrDeadlineExceeded. An overload reject marks the member missed
-// without charging its breaker.
+// TryPushUntil implements ErrorTransport: record the new version, fan the
+// write to every closed replica, mark the rest missed, and succeed when
+// the ack quorum is met, the fan-out bounded by dl. Once the budget
+// expires, remaining members are marked missed (resync replays the write
+// later) instead of being pushed past the deadline; a quorum shortfall
+// caused by the deadline surfaces as ErrDeadlineExceeded. An overload
+// reject marks the member missed without charging its breaker.
 func (rs *ReplicaSet) TryPushUntil(key uint64, src []byte, dl Deadline) error {
 	rs.advance()
 	rs.mu.Lock()
@@ -765,7 +785,7 @@ func (rs *ReplicaSet) TryPushUntil(key uint64, src []byte, dl Deadline) error {
 			rs.missed[i][key] = struct{}{}
 			continue
 		}
-		if err := PushUntil(m, key, src, dl); err != nil {
+		if err := m.TryPushUntil(key, src, dl); err != nil {
 			if isOverloaded(err) {
 				rs.stats.overloads.Add(1)
 			} else if isDeadline(err) {
@@ -798,13 +818,15 @@ func (rs *ReplicaSet) TryPushUntil(key uint64, src []byte, dl Deadline) error {
 	return fmt.Errorf("%w: write quorum %d/%d", ErrRemoteUnavailable, acks, rs.cfg.Quorum)
 }
 
-// TryDelete implements ErrorTransport: a delete is a write of a tombstone
-// — fan-out, quorum, and missed-key tracking all match TryPush.
+// TryDelete is TryDeleteUntil with no deadline, kept for call-site
+// brevity.
 func (rs *ReplicaSet) TryDelete(key uint64) error {
 	return rs.TryDeleteUntil(key, Deadline{})
 }
 
-// TryDeleteUntil implements DeadlineTransport (see TryPushUntil).
+// TryDeleteUntil implements ErrorTransport: a delete is a write of a
+// tombstone — fan-out, quorum, and missed-key tracking all match
+// TryPushUntil.
 func (rs *ReplicaSet) TryDeleteUntil(key uint64, dl Deadline) error {
 	rs.advance()
 	rs.mu.Lock()
@@ -823,7 +845,7 @@ func (rs *ReplicaSet) TryDeleteUntil(key uint64, dl Deadline) error {
 			rs.missed[i][key] = struct{}{}
 			continue
 		}
-		if err := DeleteUntil(m, key, dl); err != nil {
+		if err := m.TryDeleteUntil(key, dl); err != nil {
 			if isOverloaded(err) {
 				rs.stats.overloads.Add(1)
 			} else if isDeadline(err) {

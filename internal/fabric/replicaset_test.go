@@ -33,11 +33,29 @@ func (g *gateLink) op() error {
 	return nil
 }
 
-func (g *gateLink) TryFetch(key uint64, dst []byte) (bool, error) {
+func (g *gateLink) TryFetchUntil(key uint64, dst []byte, dl Deadline) (bool, error) {
 	if err := g.op(); err != nil {
 		return false, err
 	}
-	return g.inner.TryFetch(key, dst)
+	return g.inner.TryFetchUntil(key, dst, dl)
+}
+
+func (g *gateLink) TryPushUntil(key uint64, src []byte, dl Deadline) error {
+	if err := g.op(); err != nil {
+		return err
+	}
+	return g.inner.TryPushUntil(key, src, dl)
+}
+
+func (g *gateLink) TryDeleteUntil(key uint64, dl Deadline) error {
+	if err := g.op(); err != nil {
+		return err
+	}
+	return g.inner.TryDeleteUntil(key, dl)
+}
+
+func (g *gateLink) TryFetch(key uint64, dst []byte) (bool, error) {
+	return g.TryFetchUntil(key, dst, Deadline{})
 }
 
 func (g *gateLink) TryFetchAsync(key uint64, dst []byte) (bool, error) {
@@ -45,17 +63,11 @@ func (g *gateLink) TryFetchAsync(key uint64, dst []byte) (bool, error) {
 }
 
 func (g *gateLink) TryPush(key uint64, src []byte) error {
-	if err := g.op(); err != nil {
-		return err
-	}
-	return g.inner.TryPush(key, src)
+	return g.TryPushUntil(key, src, Deadline{})
 }
 
 func (g *gateLink) TryDelete(key uint64) error {
-	if err := g.op(); err != nil {
-		return err
-	}
-	return g.inner.TryDelete(key)
+	return g.TryDeleteUntil(key, Deadline{})
 }
 
 func (g *gateLink) Fetch(key uint64, dst []byte) bool {
@@ -366,35 +378,41 @@ func TestReplicaSetHedgedRead(t *testing.T) {
 	}
 }
 
-// TestTryFetchAsyncAliasPinned pins the documented contract that
-// TryFetchAsync is an alias for TryFetch on both TCPTransport and
-// ReplicaSet: same result, same payload, no separate pipeline state to
-// drain (see the TryFetchAsync doc comments). The simulated-overlap
-// semantics exist only on SimLink, whose cost model charges
-// issue+bandwidth instead of the full round trip.
-func TestTryFetchAsyncAliasPinned(t *testing.T) {
-	checkAlias := func(t *testing.T, tr ErrorTransport) {
+// TestFetchAsyncHelperFallback pins the canonical prefetch entry point:
+// fabric.FetchAsync uses the overlapped-cost TryFetchAsync when the
+// transport implements AsyncFetcher (SimLink) and falls back to an
+// ordinary undeadlined fetch — same result, same payload — on transports
+// without an async path (ReplicaSet, TCPTransport, whose old TryFetchAsync
+// aliases were deleted with the Until-only redesign).
+func TestFetchAsyncHelperFallback(t *testing.T) {
+	check := func(t *testing.T, tr ErrorTransport) {
 		t.Helper()
-		blob := []byte("alias contract")
-		if err := tr.TryPush(6, blob); err != nil {
-			t.Fatalf("TryPush: %v", err)
+		blob := []byte("helper contract")
+		if err := tr.TryPushUntil(6, blob, Deadline{}); err != nil {
+			t.Fatalf("TryPushUntil: %v", err)
 		}
 		a := make([]byte, len(blob))
 		b := make([]byte, len(blob))
-		fs, errS := tr.TryFetch(6, a)
-		fa, errA := tr.TryFetchAsync(6, b)
+		fs, errS := tr.TryFetchUntil(6, a, Deadline{})
+		fa, errA := FetchAsync(tr, 6, b)
 		if fs != fa || (errS == nil) != (errA == nil) || !bytes.Equal(a, b) {
-			t.Fatalf("TryFetchAsync diverged from TryFetch: (%v,%v) vs (%v,%v)", fs, errS, fa, errA)
+			t.Fatalf("FetchAsync diverged from TryFetchUntil: (%v,%v) vs (%v,%v)", fs, errS, fa, errA)
 		}
 		if !fs || errS != nil {
 			t.Fatalf("pushed key not served: (%v, %v)", fs, errS)
 		}
 	}
 	t.Run("ReplicaSet", func(t *testing.T) {
+		if _, ok := interface{}(&ReplicaSet{}).(AsyncFetcher); ok {
+			t.Fatalf("ReplicaSet grew a TryFetchAsync; replication has no overlap to model")
+		}
 		rs, _ := newTestSet(t, 2, ReplicaConfig{})
-		checkAlias(t, rs)
+		check(t, rs)
 	})
 	t.Run("TCPTransport", func(t *testing.T) {
+		if _, ok := interface{}(&TCPTransport{}).(AsyncFetcher); ok {
+			t.Fatalf("TCPTransport grew a TryFetchAsync; a real network has no simulated overlap")
+		}
 		srv := NewServer(remote.NewStore())
 		addr, err := srv.ListenAndServe("127.0.0.1:0")
 		if err != nil {
@@ -406,6 +424,28 @@ func TestTryFetchAsyncAliasPinned(t *testing.T) {
 			t.Fatalf("Dial: %v", err)
 		}
 		defer tr.Close()
-		checkAlias(t, tr)
+		check(t, tr)
+	})
+	t.Run("SimLinkUsesAsyncCostModel", func(t *testing.T) {
+		env := sim.NewEnv()
+		link := NewSimLink(env, BackendTCP)
+		blob := make([]byte, 4096)
+		if err := link.TryPushUntil(7, blob, Deadline{}); err != nil {
+			t.Fatalf("TryPushUntil: %v", err)
+		}
+		dst := make([]byte, len(blob))
+		before := env.Clock.Cycles()
+		if _, err := FetchAsync(link, 7, dst); err != nil {
+			t.Fatalf("FetchAsync: %v", err)
+		}
+		asyncCost := env.Clock.Cycles() - before
+		before = env.Clock.Cycles()
+		if _, err := link.TryFetchUntil(7, dst, Deadline{}); err != nil {
+			t.Fatalf("TryFetchUntil: %v", err)
+		}
+		demandCost := env.Clock.Cycles() - before
+		if asyncCost >= demandCost {
+			t.Fatalf("FetchAsync charged %d cycles, demand fetch %d; overlap model lost", asyncCost, demandCost)
+		}
 	})
 }

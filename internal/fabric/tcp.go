@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"trackfm/internal/mem/bufpool"
 	"trackfm/internal/remote"
 	"trackfm/internal/sim"
 )
@@ -409,7 +410,8 @@ func (s *Server) handle(conn net.Conn) {
 				s.stats.hellos.Add(1)
 			}
 		case opFetch:
-			buf := make([]byte, length)
+			lease := bufpool.Get(int(length))
+			buf := lease.Bytes()
 			found, err := s.store.Get(key, buf)
 			if err != nil {
 				// The stored blob is corrupt (bad checksum) or
@@ -426,6 +428,7 @@ func (s *Server) handle(conn net.Conn) {
 				if ver >= protoV2 {
 					errFlag = ackCorrupt
 				}
+				lease.Release()
 				if werr := w.WriteByte(errFlag); werr != nil {
 					return
 				}
@@ -436,26 +439,35 @@ func (s *Server) handle(conn net.Conn) {
 				flag = flagFound
 			}
 			if err := w.WriteByte(flag); err != nil {
+				lease.Release()
 				return
 			}
 			if _, err := w.Write(buf); err != nil {
+				lease.Release()
 				return
 			}
+			crcOK := true
 			if ver >= protoV2 {
 				var crc [crcLen]byte
 				binary.BigEndian.PutUint32(crc[:], payloadCRC(buf))
-				if _, err := w.Write(crc[:]); err != nil {
-					return
-				}
+				_, err := w.Write(crc[:])
+				crcOK = err == nil
+			}
+			lease.Release()
+			if !crcOK {
+				return
 			}
 		case opPush:
-			buf := make([]byte, length)
+			lease := bufpool.Get(int(length))
+			buf := lease.Bytes()
 			if _, err := io.ReadFull(r, buf); err != nil {
+				lease.Release()
 				return
 			}
 			if ver >= protoV2 {
 				var crc [crcLen]byte
 				if _, err := io.ReadFull(r, crc[:]); err != nil {
+					lease.Release()
 					return
 				}
 				if binary.BigEndian.Uint32(crc[:]) != payloadCRC(buf) {
@@ -464,6 +476,7 @@ func (s *Server) handle(conn net.Conn) {
 					// into durable corruption — and tell the client,
 					// which retries the (idempotent) push.
 					s.stats.wireRejects.Add(1)
+					lease.Release()
 					if err := w.WriteByte(ackCorrupt); err != nil {
 						return
 					}
@@ -471,7 +484,9 @@ func (s *Server) handle(conn net.Conn) {
 				}
 			}
 			ack := ackOK
-			if err := s.store.Put(key, buf); err != nil {
+			err := s.store.Put(key, buf)
+			lease.Release()
+			if err != nil {
 				// The store refused the write (e.g. a durable store whose
 				// WAL append failed). Never ack what was not made durable:
 				// the client sees a definite error and retries elsewhere.
@@ -965,16 +980,21 @@ func (t *TCPTransport) writeHeader(op byte, key uint64, length uint32) error {
 	return err
 }
 
-// TryFetch implements ErrorTransport.
+// TryFetch is TryFetchUntil with no deadline, kept for call-site brevity.
 func (t *TCPTransport) TryFetch(key uint64, dst []byte) (bool, error) {
 	return t.TryFetchUntil(key, dst, Deadline{})
 }
 
-// TryFetchUntil implements DeadlineTransport: TryFetch bounded end to end
-// by dl. The remaining budget rides in each v3 request header, bounds each
+// TryFetchUntil implements ErrorTransport: a fetch bounded end to end by
+// dl. The remaining budget rides in each v3 request header, bounds each
 // attempt's socket deadline, and clamps retry backoff; an operation whose
 // budget runs out — or whose result arrives late — fails with
 // ErrDeadlineExceeded and the late result is discarded.
+//
+// There is no TryFetchAsync here: over a real network there is no
+// simulated overlap to model, so prefetchers going through the
+// fabric.FetchAsync helper get an ordinary blocking fetch with identical
+// retry and stat accounting.
 func (t *TCPTransport) TryFetchUntil(key uint64, dst []byte, dl Deadline) (bool, error) {
 	if len(dst) > maxPayload {
 		return false, fmt.Errorf("%w: fetch of %d bytes", ErrPayloadTooLarge, len(dst))
@@ -1032,22 +1052,12 @@ func (t *TCPTransport) TryFetchUntil(key uint64, dst []byte, dl Deadline) (bool,
 	return found, nil
 }
 
-// TryFetchAsync implements ErrorTransport. Over a real network there is no
-// simulated overlap to model, so this is a documented alias for TryFetch:
-// identical blocking round trip, identical retry/stat accounting. (The
-// pipelined-overlap behaviour exists only on SimLink, where the cost model
-// charges issue+bandwidth instead of the full round trip.) A test pins the
-// alias so it cannot silently diverge.
-func (t *TCPTransport) TryFetchAsync(key uint64, dst []byte) (bool, error) {
-	return t.TryFetch(key, dst)
-}
-
-// TryPush implements ErrorTransport.
+// TryPush is TryPushUntil with no deadline, kept for call-site brevity.
 func (t *TCPTransport) TryPush(key uint64, src []byte) error {
 	return t.TryPushUntil(key, src, Deadline{})
 }
 
-// TryPushUntil implements DeadlineTransport (see TryFetchUntil).
+// TryPushUntil implements ErrorTransport (see TryFetchUntil).
 func (t *TCPTransport) TryPushUntil(key uint64, src []byte, dl Deadline) error {
 	if len(src) > maxPayload {
 		return fmt.Errorf("%w: push of %d bytes", ErrPayloadTooLarge, len(src))
@@ -1073,12 +1083,13 @@ func (t *TCPTransport) TryPushUntil(key uint64, src []byte, dl Deadline) error {
 	})
 }
 
-// TryDelete implements ErrorTransport.
+// TryDelete is TryDeleteUntil with no deadline, kept for call-site
+// brevity.
 func (t *TCPTransport) TryDelete(key uint64) error {
 	return t.TryDeleteUntil(key, Deadline{})
 }
 
-// TryDeleteUntil implements DeadlineTransport (see TryFetchUntil).
+// TryDeleteUntil implements ErrorTransport (see TryFetchUntil).
 func (t *TCPTransport) TryDeleteUntil(key uint64, dl Deadline) error {
 	return t.do(dl, func() error {
 		if err := t.writeHeader(opDelete, key, 0); err != nil {
@@ -1135,11 +1146,8 @@ func (t *TCPTransport) Close() error {
 	return err
 }
 
-var _ Transport = (*SimLink)(nil)
-var _ ErrorTransport = (*SimLink)(nil)
 var _ Transport = Degrading{}
 var _ ErrorTransport = (*TCPTransport)(nil)
-var _ DeadlineTransport = (*TCPTransport)(nil)
 var _ IdentityReporter = (*TCPTransport)(nil)
 var _ BlobStore = (*remote.Store)(nil)
 var _ BlobStore = (*remote.DurableStore)(nil)

@@ -25,6 +25,7 @@ import (
 
 	"trackfm/internal/fabric"
 	"trackfm/internal/mem"
+	"trackfm/internal/mem/bufpool"
 	"trackfm/internal/sim"
 )
 
@@ -119,7 +120,9 @@ type Swap struct {
 	frame  []uint32 // resident page -> frame index
 
 	arena      mem.Store
-	frameOwner []uint32 // frame -> page number
+	arenaWin   mem.Windower  // non-nil when arena exposes zero-copy windows
+	slab       *bufpool.Slab // pageSize bounce buffers for windowless arenas
+	frameOwner []uint32      // frame -> page number
 	freeFrames []uint32
 	retired    []uint32 // capacity parked outside the current cgroup limit
 	hand       int
@@ -197,6 +200,11 @@ func New(cfg Config) (*Swap, error) {
 		freeFrames: make([]uint32, 0, maxFrames),
 		readahead:  ra,
 		lastFault:  ^uint64(0),
+	}
+	if w, ok := arena.(mem.Windower); ok {
+		s.arenaWin = w
+	} else {
+		s.slab = bufpool.NewSlab(cfg.PageSize)
 	}
 	for i := range s.frameOwner {
 		s.frameOwner[i] = noPage
@@ -312,7 +320,7 @@ func (s *Swap) fault(pg uint64, write bool) uint64 {
 		sim.Inc(&s.env.Counters.MinorFaults)
 		f := s.takeFrame()
 		base := uint64(f) * uint64(s.pageSize)
-		s.arena.WriteAt(base, make([]byte, s.pageSize))
+		s.arena.WriteAt(base, mem.Zeros(s.pageSize))
 		s.install(pg, f, write)
 		return base
 	case PageRemote:
@@ -323,7 +331,7 @@ func (s *Swap) fault(pg uint64, write bool) uint64 {
 		sim.Inc(&s.env.Counters.MajorFaults)
 		f := s.takeFrame()
 		base := uint64(f) * uint64(s.pageSize)
-		buf := make([]byte, s.pageSize)
+		buf, lease, direct := s.frameBuf(base)
 		if err := s.fetchPage(pg, buf); err != nil {
 			// The kernel's swap-in I/O-error path: the process gets
 			// SIGBUS. Panicking with the typed fabric error is the
@@ -331,7 +339,10 @@ func (s *Swap) fault(pg uint64, write bool) uint64 {
 			// mutator handed a zero-filled page in place of its data.
 			panic(fmt.Sprintf("fastswap: unrecoverable remote fault on page %d: %v", pg, err))
 		}
-		s.arena.WriteAt(base, buf)
+		if !direct {
+			s.arena.WriteAt(base, buf)
+		}
+		lease.Release()
 		s.install(pg, f, write)
 		s.maybeReadahead(pg)
 		return base
@@ -369,6 +380,20 @@ func (s *Swap) noteRemoteErr(err error, start uint64) bool {
 	return true
 }
 
+// frameBuf returns a page-size buffer over frame base: the arena's own
+// bytes when the store can window them (zero-copy — direct is true and
+// the zero Lease releases as a no-op), or a pooled slab lease otherwise.
+// The caller holds s.mu, which serializes all arena access.
+func (s *Swap) frameBuf(base uint64) (buf []byte, lease bufpool.Lease, direct bool) {
+	if s.arenaWin != nil {
+		if win, ok := s.arenaWin.Window(base, uint64(s.pageSize)); ok {
+			return win, bufpool.Lease{}, true
+		}
+	}
+	l := s.slab.Get()
+	return l.Bytes(), l, false
+}
+
 // fetchPage pulls a remote page with the swap system's retry budget,
 // tallying each failed attempt in Counters.RemoteFetchFaults. An
 // OpDeadline bounds the whole retry loop.
@@ -380,7 +405,7 @@ func (s *Swap) fetchPage(pg uint64, buf []byte) error {
 	attempts := 0
 	for attempt := 1; attempt <= s.retries; attempt++ {
 		attempts = attempt
-		if _, err := fabric.FetchUntil(s.link, pg, buf, dl); err == nil {
+		if _, err := s.link.TryFetchUntil(pg, buf, dl); err == nil {
 			return nil
 		} else {
 			last = err
@@ -426,15 +451,19 @@ func (s *Swap) maybeReadahead(pg uint64) {
 			return
 		}
 		base := uint64(f) * uint64(s.pageSize)
-		buf := make([]byte, s.pageSize)
-		if _, err := s.link.TryFetchAsync(next, buf); err != nil {
+		buf, lease, direct := s.frameBuf(base)
+		if _, err := fabric.FetchAsync(s.link, next, buf); err != nil {
 			// Readahead is speculation: return the frame and stop the
 			// window rather than installing a zero-filled page.
 			sim.Inc(&s.env.Counters.RemoteFetchFaults)
 			s.freeFrames = append(s.freeFrames, f)
+			lease.Release()
 			return
 		}
-		s.arena.WriteAt(base, buf)
+		if !direct {
+			s.arena.WriteAt(base, buf)
+		}
+		lease.Release()
 		s.install(next, f, false)
 		sim.Inc(&s.env.Counters.PrefetchIssued)
 	}
@@ -488,9 +517,13 @@ func (s *Swap) evict(f uint32, pg uint64) bool {
 	s.env.Clock.Advance(s.env.Costs.EvictPage)
 	base := uint64(f) * uint64(s.pageSize)
 	if s.dirty[pg] {
-		buf := make([]byte, s.pageSize)
-		s.arena.ReadAt(base, buf)
-		if err := s.pushPage(pg, buf); err != nil {
+		buf, lease, direct := s.frameBuf(base)
+		if !direct {
+			s.arena.ReadAt(base, buf)
+		}
+		err := s.pushPage(pg, buf)
+		lease.Release()
+		if err != nil {
 			sim.Inc(&s.env.Counters.EvictionStalls)
 			return false
 		}
@@ -511,7 +544,7 @@ func (s *Swap) pushPage(pg uint64, buf []byte) error {
 	dl := s.opDeadline()
 	var last error
 	for attempt := 1; attempt <= s.retries; attempt++ {
-		if err := fabric.PushUntil(s.link, pg, buf, dl); err == nil {
+		if err := s.link.TryPushUntil(pg, buf, dl); err == nil {
 			return nil
 		} else {
 			last = err

@@ -16,12 +16,19 @@ type faultyLink struct {
 	failPush  int
 }
 
-func (f *faultyLink) TryFetch(key uint64, dst []byte) (bool, error) {
+// The Until forms carry the fault logic: the runtime consumes the
+// canonical ErrorTransport, so overriding only the legacy wrappers would
+// let the embedded SimLink's promoted methods bypass the injected faults.
+func (f *faultyLink) TryFetchUntil(key uint64, dst []byte, dl fabric.Deadline) (bool, error) {
 	if f.failFetch > 0 {
 		f.failFetch--
 		return false, fabric.ErrRemoteUnavailable
 	}
-	return f.SimLink.Fetch(key, dst), nil
+	return f.SimLink.TryFetchUntil(key, dst, dl)
+}
+
+func (f *faultyLink) TryFetch(key uint64, dst []byte) (bool, error) {
+	return f.TryFetchUntil(key, dst, fabric.Deadline{})
 }
 
 func (f *faultyLink) TryFetchAsync(key uint64, dst []byte) (bool, error) {
@@ -32,18 +39,16 @@ func (f *faultyLink) TryFetchAsync(key uint64, dst []byte) (bool, error) {
 	return f.TryFetch(key, dst)
 }
 
-func (f *faultyLink) TryPush(key uint64, src []byte) error {
+func (f *faultyLink) TryPushUntil(key uint64, src []byte, dl fabric.Deadline) error {
 	if f.failPush > 0 {
 		f.failPush--
 		return fabric.ErrRemoteUnavailable
 	}
-	f.SimLink.Push(key, src)
-	return nil
+	return f.SimLink.TryPushUntil(key, src, dl)
 }
 
-func (f *faultyLink) TryDelete(key uint64) error {
-	f.SimLink.Delete(key)
-	return nil
+func (f *faultyLink) TryPush(key uint64, src []byte) error {
+	return f.TryPushUntil(key, src, fabric.Deadline{})
 }
 
 func faultySwap(t *testing.T, link *faultyLink, env *sim.Env, retries int) *Swap {

@@ -7,7 +7,10 @@
 // which allows paper-scale object counts without paper-scale RAM).
 package mem
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"sync"
+)
 
 // Store is a byte-addressable backing store. Offsets are local-buffer
 // offsets, not far-memory virtual addresses; the runtimes perform that
@@ -20,6 +23,42 @@ type Store interface {
 	WriteAt(off uint64, p []byte)
 	// Size reports the store capacity in bytes.
 	Size() uint64
+}
+
+// Windower is implemented by stores that can expose a mutable window
+// directly over their backing bytes, letting runtimes fetch into and push
+// from an object's slot without a bounce buffer. Window reports ok=false
+// when the store has no materialized bytes to window (PhantomStore);
+// callers must then fall back to ReadAt/WriteAt with their own scratch.
+// The window aliases store memory and is valid only while the caller holds
+// whatever lock serializes access to that region.
+type Windower interface {
+	Window(off, n uint64) (p []byte, ok bool)
+}
+
+// Shared read-only zero page, grown on demand. Callers use it as a copy
+// source for first-touch zero fills instead of allocating a fresh zeroed
+// buffer per fault. Grows monotonically; never written after publication.
+var (
+	zeroMu   sync.Mutex
+	zeroPage []byte = make([]byte, 1<<16)
+)
+
+// Zeros returns a read-only slice of n zero bytes. Callers must not write
+// to it — it is shared process-wide. The page grows to the largest size
+// ever requested and is reused thereafter.
+func Zeros(n int) []byte {
+	zeroMu.Lock()
+	if n > len(zeroPage) {
+		sz := len(zeroPage)
+		for sz < n {
+			sz *= 2
+		}
+		zeroPage = make([]byte, sz)
+	}
+	p := zeroPage[:n]
+	zeroMu.Unlock()
+	return p
 }
 
 // RealStore is a Store backed by a real byte slice.
@@ -48,6 +87,11 @@ func (s *RealStore) Size() uint64 { return uint64(len(s.buf)) }
 // Bytes exposes the underlying buffer for zero-copy slicing by the
 // runtimes (e.g. handing an object's window to the transport).
 func (s *RealStore) Bytes() []byte { return s.buf }
+
+// Window implements Windower: a RealStore always has bytes to expose.
+func (s *RealStore) Window(off, n uint64) ([]byte, bool) {
+	return s.buf[off : off+n : off+n], true
+}
 
 // ReadU64 reads a little-endian uint64 at off.
 func (s *RealStore) ReadU64(off uint64) uint64 {
@@ -86,6 +130,7 @@ func (s *PhantomStore) WriteAt(off uint64, p []byte) {}
 func (s *PhantomStore) Size() uint64 { return s.size }
 
 var (
-	_ Store = (*RealStore)(nil)
-	_ Store = (*PhantomStore)(nil)
+	_ Store    = (*RealStore)(nil)
+	_ Store    = (*PhantomStore)(nil)
+	_ Windower = (*RealStore)(nil)
 )

@@ -1,0 +1,66 @@
+package bufpool
+
+import "sync"
+
+// Leak and double-put detection. When enabled, every live lease's buffer
+// pointer sits in a global set: a release of an untracked buffer is a
+// double put (two copies of one Lease both released) and panics; the set's
+// size is the number of outstanding leases, which leak tests drive to a
+// known baseline. Enabled by default in -race builds (see debug_race.go);
+// unit tests enable it explicitly with SetDebug.
+var (
+	debugOn sync.Mutex // guards the two fields below
+	debugEn bool
+	live    map[*[]byte]struct{}
+)
+
+// SetDebug turns lease tracking on or off at runtime. Turning it on
+// resets the live set. Each Lease remembers whether it was tracked at
+// issue time, so leases issued while tracking was off release without
+// false double-put panics.
+func SetDebug(on bool) {
+	debugOn.Lock()
+	debugEn = on
+	if on {
+		live = make(map[*[]byte]struct{})
+	} else {
+		live = nil
+	}
+	debugOn.Unlock()
+}
+
+// Outstanding reports the number of live (unreleased) leases issued while
+// tracking was enabled; 0 when tracking is off. Leak tests assert a delta
+// of 0 around an operation that should return every buffer it takes.
+func Outstanding() int {
+	debugOn.Lock()
+	defer debugOn.Unlock()
+	return len(live)
+}
+
+// debugTrack records a newly issued lease's buffer, reporting whether it
+// was recorded (so the lease knows to untrack itself on release).
+func debugTrack(bp *[]byte) bool {
+	if bp == nil {
+		return false
+	}
+	debugOn.Lock()
+	on := debugEn
+	if on {
+		live[bp] = struct{}{}
+	}
+	debugOn.Unlock()
+	return on
+}
+
+func debugUntrack(bp *[]byte) {
+	debugOn.Lock()
+	if debugEn {
+		if _, ok := live[bp]; !ok {
+			debugOn.Unlock()
+			panic("bufpool: double release (buffer not live)")
+		}
+		delete(live, bp)
+	}
+	debugOn.Unlock()
+}

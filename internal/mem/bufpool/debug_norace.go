@@ -1,0 +1,7 @@
+//go:build !race
+
+package bufpool
+
+// RaceEnabled reports whether this binary was built with the race
+// detector; see debug_race.go.
+const RaceEnabled = false

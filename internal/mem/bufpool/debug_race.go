@@ -1,0 +1,15 @@
+//go:build race
+
+package bufpool
+
+// Race builds run with lease tracking on from the start: every -race test
+// (the stress suite, the fabric/aifm race runs) gets leak and double-put
+// detection for free, at the cost of one global mutex op per get/release —
+// acceptable in a build whose instrumentation already dominates.
+func init() { SetDebug(true) }
+
+// RaceEnabled reports whether this binary was built with the race
+// detector (and therefore with lease tracking enabled by default).
+// Allocation-count regression gates skip themselves when it is set, since
+// race instrumentation and tracking both allocate.
+const RaceEnabled = true

@@ -13,6 +13,7 @@ import (
 	"trackfm/internal/aifm"
 	"trackfm/internal/autotune"
 	"trackfm/internal/fabric"
+	"trackfm/internal/mem/bufpool"
 	"trackfm/internal/obs"
 	"trackfm/internal/remote"
 	"trackfm/internal/sim"
@@ -68,6 +69,11 @@ func TestMetricNamesLint(t *testing.T) {
 		t.Fatal(err)
 	}
 	gov.RegisterObs(reg)
+
+	// Buffer pools: the shared wire pool and an exact-size slab register
+	// the same counter names, so each carries a distinguishing label.
+	bufpool.Wire.Register(reg, obs.L("pool", "wire"))
+	bufpool.NewSlab(64).Register(reg, obs.L("pool", "slab"))
 
 	// Every id in both registries must carry a NamePattern-conforming
 	// bare name (registration already panics on violations; this loop is

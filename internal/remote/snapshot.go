@@ -8,6 +8,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+
+	"trackfm/internal/mem/bufpool"
 )
 
 // A snapshot is a compact, self-checking image of the whole store at one
@@ -128,28 +130,42 @@ func loadSnapshot(dir string) (map[uint64]blob, uint64, error) {
 	gen := binary.BigEndian.Uint64(raw[8:16])
 	count := binary.BigEndian.Uint64(raw[16:24])
 	blobs := make(map[uint64]blob, count)
+	// Decoded payloads are pool-backed so the store can release them when
+	// blobs are later overwritten or cleared; a rejected snapshot must
+	// release what it decoded before bailing, or those leases leak.
+	fail := func(err error) (map[uint64]blob, uint64, error) {
+		for _, b := range blobs {
+			b.lease.Release()
+		}
+		return nil, 0, err
+	}
 	off := 24
 	for i := uint64(0); i < count; i++ {
 		if len(raw)-off < 16 {
-			return nil, 0, fmt.Errorf("%w: truncated entry header", errSnapshotInvalid)
+			return fail(fmt.Errorf("%w: truncated entry header", errSnapshotInvalid))
 		}
 		key := binary.BigEndian.Uint64(raw[off : off+8])
 		size := binary.BigEndian.Uint32(raw[off+8 : off+12])
 		crc := binary.BigEndian.Uint32(raw[off+12 : off+16])
 		off += 16
 		if size > maxWALPayload || len(raw)-off < int(size) {
-			return nil, 0, fmt.Errorf("%w: truncated entry payload", errSnapshotInvalid)
+			return fail(fmt.Errorf("%w: truncated entry payload", errSnapshotInvalid))
 		}
-		data := make([]byte, size)
+		lease := bufpool.Get(int(size))
+		data := lease.Bytes()
 		copy(data, raw[off:off+int(size)])
 		off += int(size)
 		if Checksum(data) != crc {
-			return nil, 0, fmt.Errorf("%w: entry checksum (key %d)", errSnapshotInvalid, key)
+			lease.Release()
+			return fail(fmt.Errorf("%w: entry checksum (key %d)", errSnapshotInvalid, key))
 		}
-		blobs[key] = blob{data: data, crc: crc}
+		if old, ok := blobs[key]; ok {
+			old.lease.Release()
+		}
+		blobs[key] = blob{data: data, crc: crc, lease: lease}
 	}
 	if off != len(raw) {
-		return nil, 0, fmt.Errorf("%w: %d trailing bytes", errSnapshotInvalid, len(raw)-off)
+		return fail(fmt.Errorf("%w: %d trailing bytes", errSnapshotInvalid, len(raw)-off))
 	}
 	return blobs, gen, nil
 }

@@ -7,6 +7,8 @@ import (
 	"errors"
 	"hash/crc32"
 	"sync"
+
+	"trackfm/internal/mem/bufpool"
 )
 
 // Integrity errors surfaced by Get. A far-memory blob is written exactly as
@@ -35,10 +37,15 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // definition of "intact".
 func Checksum(p []byte) uint32 { return crc32.Checksum(p, castagnoli) }
 
-// blob is a stored payload plus the checksum computed at Put time.
+// blob is a stored payload plus the checksum computed at Put time. The
+// payload is backed by a bufpool lease when it came through Put or a
+// snapshot load; blobs installed from other sources carry a zero lease,
+// whose Release is a no-op, so the release-on-evict paths below need no
+// case analysis.
 type blob struct {
-	data []byte
-	crc  uint32
+	data  []byte
+	crc   uint32
+	lease bufpool.Lease
 }
 
 // Store is a thread-safe blob store keyed by object or page ID. It is the
@@ -69,16 +76,32 @@ func NewStore() *Store {
 // records its CRC32-C. The error is always nil for the in-memory store;
 // the signature exists so *Store and *DurableStore (whose Put can fail on
 // a WAL append) satisfy one store interface.
+//
+// A same-size overwrite — the steady state of write-back traffic, where
+// every push of an object or page is exactly as wide as the last — reuses
+// the stored payload in place instead of allocating; new keys and size
+// changes draw from the wire buffer pool and release the displaced blob
+// back to it. Because blobs can now be rewritten after publication, Get
+// reads under the lock rather than after it.
 func (s *Store) Put(key uint64, src []byte) error {
-	data := make([]byte, len(src))
-	copy(data, src)
-	b := blob{data: data, crc: Checksum(data)}
+	crc := Checksum(src)
 	s.mu.Lock()
+	if old, ok := s.blobs[key]; ok && len(old.data) == len(src) {
+		copy(old.data, src)
+		old.crc = crc
+		s.blobs[key] = old
+		s.mu.Unlock()
+		return nil
+	}
+	lease := bufpool.Get(len(src))
+	data := lease.Bytes()
+	copy(data, src)
 	if old, ok := s.blobs[key]; ok {
 		s.bytes -= uint64(len(old.data))
+		old.lease.Release()
 	}
-	s.blobs[key] = b
-	s.bytes += uint64(len(b.data))
+	s.blobs[key] = blob{data: data, crc: crc, lease: lease}
+	s.bytes += uint64(len(src))
 	s.mu.Unlock()
 	return nil
 }
@@ -92,28 +115,35 @@ func (s *Store) Put(key uint64, src []byte) error {
 // are unspecified. A blob longer than dst serves the prefix: a sub-object
 // read is well-formed.
 func (s *Store) Get(key uint64, dst []byte) (bool, error) {
+	// Verify and copy while holding the read lock: since Put rewrites
+	// same-size blobs in place, published payload bytes are no longer
+	// immutable and must not be touched outside the lock. Readers still
+	// proceed in parallel with each other.
 	s.mu.RLock()
 	b, ok := s.blobs[key]
-	s.mu.RUnlock()
 	if !ok {
+		s.mu.RUnlock()
 		for i := range dst {
 			dst[i] = 0
 		}
 		return false, nil
 	}
 	if Checksum(b.data) != b.crc {
+		s.mu.RUnlock()
 		s.mu.Lock()
 		s.stats.ChecksumFails++
 		s.mu.Unlock()
 		return true, ErrChecksum
 	}
 	if len(b.data) < len(dst) {
+		s.mu.RUnlock()
 		s.mu.Lock()
 		s.stats.SizeMismatches++
 		s.mu.Unlock()
 		return true, ErrSizeMismatch
 	}
 	copy(dst, b.data)
+	s.mu.RUnlock()
 	return true, nil
 }
 
@@ -131,6 +161,7 @@ func (s *Store) Delete(key uint64) error {
 	if old, ok := s.blobs[key]; ok {
 		s.bytes -= uint64(len(old.data))
 		delete(s.blobs, key)
+		old.lease.Release()
 	}
 	s.mu.Unlock()
 	return nil
@@ -144,6 +175,9 @@ func (s *Store) Delete(key uint64) error {
 // clear count (Clears) survives, so observers can tell resets happened.
 func (s *Store) Clear() {
 	s.mu.Lock()
+	for _, b := range s.blobs {
+		b.lease.Release()
+	}
 	s.blobs = make(map[uint64]blob)
 	s.bytes = 0
 	s.stats = StoreStats{}
@@ -164,6 +198,9 @@ func (s *Store) Clears() uint64 {
 // use — the store must not be visible to other goroutines yet.
 func (s *Store) install(blobs map[uint64]blob) {
 	s.mu.Lock()
+	for _, b := range s.blobs {
+		b.lease.Release()
+	}
 	s.blobs = blobs
 	s.bytes = 0
 	for _, b := range blobs {
@@ -210,7 +247,7 @@ func (s *Store) Truncate(key uint64, n int) bool {
 		return false
 	}
 	s.bytes -= uint64(len(b.data) - n)
-	s.blobs[key] = blob{data: b.data[:n], crc: Checksum(b.data[:n])}
+	s.blobs[key] = blob{data: b.data[:n], crc: Checksum(b.data[:n]), lease: b.lease}
 	return true
 }
 
