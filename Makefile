@@ -3,12 +3,12 @@
 
 GO ?= go
 
-.PHONY: all build check vet test test-race test-soak test-stress test-overload test-crash test-thrash test-allocs fuzz-short smoke_test bench figs clean \
+.PHONY: all build check vet test test-race test-soak test-stress test-overload test-crash test-thrash test-tiers test-allocs fuzz-short smoke_test bench figs clean \
         trackfm_table1 trackfm_table2 trackfm_table3 trackfm_table4 \
         trackfm_fig6 trackfm_fig7 trackfm_fig8 trackfm_fig9 trackfm_fig10 \
         trackfm_fig11 trackfm_fig12 trackfm_fig13 trackfm_fig14a trackfm_fig15 \
         trackfm_fig16a trackfm_fig17a trackfm_compile trackfm_ablation \
-        trackfm_autotune trackfm_mt trackfm_overload trackfm_crash trackfm_thrash
+        trackfm_autotune trackfm_mt trackfm_overload trackfm_crash trackfm_thrash trackfm_tiers
 
 all: build test
 
@@ -36,6 +36,7 @@ check: build
 	$(MAKE) test-overload
 	$(MAKE) test-crash
 	$(MAKE) test-thrash
+	$(MAKE) test-tiers
 	$(MAKE) test-allocs
 
 # Tier-1: the full suite twice in shuffled order (catches inter-test
@@ -79,6 +80,18 @@ test-thrash:
 	$(GO) test -run 'TestThrashSoak|TestThrashTable|TestResize|TestPrefetchSkips|TestThrashDetector|TestEvacuator|TestGuardFastPath|TestHeapResize' ./internal/bench ./internal/aifm ./internal/fastswap ./farmem
 	$(GO) test -race -run 'TestEvacuatorRespectsReserveUnderPinSaturation' ./internal/aifm
 
+# The multi-tier caching gates: the overcommit crossover sweep (warm 1x
+# tier >= 2x tierless throughput at 2x overcommit, zero corrupt reads,
+# S3-FIFO vs clock ablation comparable), the oracle-differential battery
+# (tier sizes {0, small, large} leave byte-identical heap and remote
+# state), the governor's tier-shrinks-first ladder, and the compressed
+# tier and compressed-at-rest store unit suites; the concurrent
+# no-lost-updates test runs under -race.
+test-tiers:
+	$(GO) test -run 'TestTiers|TestTierOracleDifferential|TestGovernorShrinksTierFirst|TestCompressedStore' ./internal/bench ./internal/aifm ./internal/autotune ./internal/remote
+	$(GO) test ./internal/mem/ctier
+	$(GO) test -race -run 'TestTierConcurrent' ./internal/aifm ./internal/mem/ctier
+
 # The allocation-regression gates: testing.AllocsPerRun must report zero
 # heap allocations per op on the guard fast path and on steady-state
 # demand fetch (clean and dirty) over SimLink, plus the bufpool unit
@@ -87,7 +100,7 @@ test-thrash:
 # detector's instrumentation allocates, so the gates skip themselves
 # under it (the -race coverage of the same code lives in `test`).
 test-allocs:
-	$(GO) test -run 'TestGuardFastPathAllocFree|TestSteadyStateFetch' ./internal/aifm
+	$(GO) test -run 'TestGuardFastPathAllocFree|TestSteadyStateFetch|TestSteadyStateTierHit' ./internal/aifm
 	$(GO) test ./internal/mem/...
 	$(GO) test -run 'TestWireLeasesNetZero' ./internal/fabric
 
@@ -106,6 +119,8 @@ fuzz-short:
 	$(GO) test -run=^$$ -fuzz=FuzzDeadlineFrame -fuzztime=30s ./internal/fabric
 	$(GO) test -race -run=^$$ -fuzz=FuzzConcurrentScopes -fuzztime=30s ./internal/aifm
 	$(GO) test -run=^$$ -fuzz=FuzzWALRecord -fuzztime=30s ./internal/remote
+	$(GO) test -run=^$$ -fuzz=FuzzCodec -fuzztime=30s ./internal/mem/ctier
+	$(GO) test -run=^$$ -fuzz=FuzzTierOps -fuzztime=30s ./internal/mem/ctier
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -138,6 +153,7 @@ trackfm_mt:       ; $(GO) run ./cmd/trackfm-bench -exp mt
 trackfm_overload: ; $(GO) run ./cmd/trackfm-bench -exp overload -json -alloc=false > BENCH_overload.json
 trackfm_crash:    ; $(GO) run ./cmd/trackfm-bench -exp crash -json -alloc=false > BENCH_crash.json
 trackfm_thrash:   ; $(GO) run ./cmd/trackfm-bench -exp thrash -json -alloc=false > BENCH_thrash.json
+trackfm_tiers:    ; $(GO) run ./cmd/trackfm-bench -exp tiers -json -alloc=false > BENCH_tiers.json
 
 clean:
 	$(GO) clean ./...

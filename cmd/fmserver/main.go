@@ -61,6 +61,16 @@
 // compacting snapshot. On SIGINT/SIGTERM the node drains gracefully:
 // stops accepting, lets in-flight requests finish (bounded by -drain),
 // writes a final snapshot, and exits 0.
+//
+// # Compressed-at-rest storage
+//
+// With -compress the node keeps every blob LZ-compressed in memory
+// (remote.CompressedStore), trading server CPU on each push/fetch for an
+// effective memory multiplier reported as the
+// trackfm_store_compression_ratio gauge. The wire contract is unchanged
+// — clients see raw bytes and the same CRC32-C identity — so the flag
+// composes with replica sets (members may mix store variants). It is
+// incompatible with -data-dir, whose WAL records raw payloads.
 package main
 
 import (
@@ -88,6 +98,7 @@ func main() {
 	maxQueue := flag.Int("max-queue", 256, "admission control: max requests in flight before shedding (0 disables admission control)")
 	codelTarget := flag.Duration("codel-target", 5*time.Millisecond, "admission control: queue-delay target; sustained delay above it sheds")
 	codelInterval := flag.Duration("codel-interval", 100*time.Millisecond, "admission control: how long delay must stay above target before shedding")
+	compress := flag.Bool("compress", false, "store blobs compressed at rest (LZ codec); incompatible with -data-dir")
 	dataDir := flag.String("data-dir", "", "directory for the write-ahead log and snapshots (empty = in-memory only, state lost on exit)")
 	fsync := flag.String("fsync", "always", "WAL fsync policy: always | interval | never")
 	fsyncEvery := flag.Int("fsync-every", 32, "appends between fsyncs under -fsync interval")
@@ -100,12 +111,21 @@ func main() {
 		tag = fmt.Sprintf("fmserver[%s]", *replica)
 	}
 
-	// The server fronts either a plain in-memory store or, with -data-dir,
-	// a durable one; mem is the shared in-memory core either way, so the
-	// stats ticker and metrics below work unchanged.
+	// The server fronts a plain in-memory store, a compressed-at-rest one
+	// (-compress), or, with -data-dir, a durable one; mem is the shared
+	// in-memory core for the first and last, so the stats ticker and
+	// metrics below work unchanged.
 	mem := remote.NewStore()
 	var ds *remote.DurableStore
+	var cs *remote.CompressedStore
 	var backing fabric.BlobStore = mem
+	if *compress && *dataDir != "" {
+		log.Fatal("fmserver: -compress is incompatible with -data-dir (the WAL records raw payloads)")
+	}
+	if *compress {
+		cs = remote.NewCompressedStore()
+		backing = cs
+	}
 	if *dataDir != "" {
 		policy, err := remote.ParseFsyncPolicy(*fsync)
 		if err != nil {
@@ -152,9 +172,12 @@ func main() {
 			labels = append(labels, obs.L("replica", *replica))
 		}
 		srv.Stats().Register(reg, labels...)
-		if ds != nil {
+		switch {
+		case ds != nil:
 			ds.Register(reg, labels...) // includes the store gauges plus WAL/snapshot/recovery series
-		} else {
+		case cs != nil:
+			cs.Register(reg, labels...) // store gauges plus compression ratio
+		default:
 			mem.Register(reg, labels...)
 		}
 		if adm != nil {
@@ -181,8 +204,16 @@ func main() {
 	if *stats > 0 {
 		go func() {
 			for range time.Tick(*stats) {
+				var line string
+				if cs != nil {
+					ss := cs.Stats()
+					line = fmt.Sprintf("%s: %d objects, %d bytes compressed (%d raw) | %s | store sizeMismatches=%d checksumFails=%d",
+						tag, cs.Len(), cs.Bytes(), cs.RawBytes(), srv.Stats(), ss.SizeMismatches, ss.ChecksumFails)
+					fmt.Println(line)
+					continue
+				}
 				ss := mem.Stats()
-				line := fmt.Sprintf("%s: %d objects, %d bytes resident | %s | store sizeMismatches=%d checksumFails=%d",
+				line = fmt.Sprintf("%s: %d objects, %d bytes resident | %s | store sizeMismatches=%d checksumFails=%d",
 					tag, mem.Len(), mem.Bytes(), srv.Stats(), ss.SizeMismatches, ss.ChecksumFails)
 				if ds != nil {
 					line += " | wal " + ds.DurableStats().String()

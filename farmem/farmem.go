@@ -61,6 +61,13 @@ type Config struct {
 	// multi-goroutine use; trades a strictly deterministic eviction
 	// schedule for latency.
 	BackgroundEvacuate bool
+	// CompressedBytes enables the compressed-RAM middle tier between
+	// local memory and the remote store: evicted objects park an
+	// LZ-compressed copy locally (bounded by this byte budget) and a
+	// miss revives them with a decompression instead of a network round
+	// trip. Write-through: remote contents are byte-identical with or
+	// without the tier. Zero disables it.
+	CompressedBytes uint64
 }
 
 // Heap is a far-memory heap. Safe for concurrent use: accesses ride the
@@ -96,6 +103,7 @@ func New(cfg Config) (*Heap, error) {
 		Transport:          transport,
 		RemoteRetries:      cfg.RemoteRetries,
 		BackgroundEvacuate: cfg.BackgroundEvacuate,
+		CompressedBudget:   cfg.CompressedBytes,
 	}
 	if cfg.Phantom {
 		rc.Backing = aifm.BackingPhantom

@@ -12,6 +12,7 @@ import (
 	"trackfm/internal/fabric"
 	"trackfm/internal/mem"
 	"trackfm/internal/mem/bufpool"
+	"trackfm/internal/mem/ctier"
 	"trackfm/internal/obs"
 	"trackfm/internal/sim"
 )
@@ -117,6 +118,16 @@ type Config struct {
 	// (the inversion the anti-thrash governor's pressure mode exists to
 	// break), so it is off by default.
 	ProtectPrefetch bool
+	// CompressedBudget enables the compressed-RAM middle tier: evictions
+	// park an LZ-compressed copy locally (in addition to the fabric
+	// push — the tier is write-through, so remote state is identical
+	// with or without it) and demand localization probes the tier before
+	// paying a fabric round trip. The value is the tier's compressed-byte
+	// budget; zero disables the tier entirely.
+	CompressedBudget uint64
+	// CompressedPolicy selects the tier's admission/eviction scheme
+	// (default S3-FIFO; ctier.PolicyClock is the ablation).
+	CompressedPolicy ctier.Policy
 }
 
 // stripe is one lock shard of the pool. All mutation of an object's
@@ -184,6 +195,7 @@ type Pool struct {
 	arena     mem.Store
 	arenaWin  mem.Windower  // non-nil when arena exposes zero-copy windows
 	slab      *bufpool.Slab // objSize bounce buffers for windowless arenas
+	tier      *ctier.Tier   // compressed middle tier; nil when disabled
 	slotOwner []ObjectID    // per-slot owner (atomic); noOwner when empty
 
 	// Slot accounting. freeSlots is the circulating free stack; retired
@@ -403,6 +415,9 @@ func NewPool(cfg Config) (*Pool, error) {
 	} else {
 		p.slab = bufpool.NewSlab(cfg.ObjectSize)
 	}
+	if cfg.CompressedBudget > 0 {
+		p.tier = ctier.New(ctier.Config{Budget: cfg.CompressedBudget, Policy: cfg.CompressedPolicy})
+	}
 	for i := range p.stripes {
 		p.stripes[i].pins = make(map[ObjectID]uint32)
 		p.stripes[i].inflight = make(map[ObjectID]struct{})
@@ -455,11 +470,17 @@ func (p *Pool) ReplicaSet() *fabric.ReplicaSet { return p.replicas }
 // the transport's lifetime.
 func (p *Pool) Close() error {
 	p.StopEvacuator()
+	p.tier.Clear() // return the tier's buffer leases to the pool
 	if p.closer == nil {
 		return nil
 	}
 	return p.closer()
 }
+
+// CompressedTier exposes the pool's compressed middle tier, or nil when
+// Config.CompressedBudget was zero. The governor resizes it under
+// pressure; tests and benchmarks inspect or clear it.
+func (p *Pool) CompressedTier() *ctier.Tier { return p.tier }
 
 // Table exposes the contiguous metadata table. The TrackFM layer aliases
 // this slice as its object state table; because it is the same storage,
@@ -752,11 +773,15 @@ func (p *Pool) fetchAndInstall(st *stripe, id ObjectID, m Meta, forWrite, pin bo
 	}
 	base := uint64(slot) * uint64(p.objSize)
 	fresh := m == 0 // never touched: materialize a zeroed object locally
+	fromTier := false
 	if fresh {
 		p.arena.WriteAt(base, mem.Zeros(p.objSize))
 	} else {
-		// Demand miss on an evacuated object: blocking remote fetch.
-		if err := p.fetchInto(id, base, false); err != nil {
+		// Demand miss on an evacuated object: tier probe, then blocking
+		// remote fetch.
+		var err error
+		fromTier, err = p.fetchInto(id, base, false)
+		if err != nil {
 			p.giveSlot(slot)
 			p.abandonFetch(st, id)
 			return 0, true, err
@@ -780,6 +805,13 @@ func (p *Pool) fetchAndInstall(st *stripe, id ObjectID, m Meta, forWrite, pin bo
 	if fresh {
 		return base, false, nil
 	}
+	if fromTier {
+		// A tier hit paid no fabric round trip: it is not a remote
+		// fetch, not a re-fault the thrash detector should stew over
+		// (the tier is absorbing the churn — that is its job), and no
+		// reason to trigger stride prefetch of further remote objects.
+		return base, true, nil
+	}
 	if refault {
 		sim.Inc(&p.env.Counters.Refaults)
 	}
@@ -788,6 +820,31 @@ func (p *Pool) fetchAndInstall(st *stripe, id ObjectID, m Meta, forWrite, pin bo
 	sim.Inc(&p.env.Counters.CriticalFetches)
 	p.maybeStridePrefetch(id)
 	return base, true, nil
+}
+
+// demoteToTier compresses the object at base into the middle tier (a
+// no-op without a CompressedBudget). Called on the eviction path with the
+// victim's stripe lock held, after any dirty write-back has succeeded.
+func (p *Pool) demoteToTier(id ObjectID, base uint64) {
+	if p.tier == nil {
+		return
+	}
+	var lease bufpool.Lease
+	var buf []byte
+	direct := false
+	if p.arenaWin != nil {
+		buf, direct = p.arenaWin.Window(base, uint64(p.objSize))
+	}
+	if !direct {
+		lease = p.slab.Get()
+		buf = lease.Bytes()
+		p.arena.ReadAt(base, buf)
+	}
+	p.env.Clock.Advance(p.env.Costs.TierCompress(p.objSize))
+	if p.tier.Put(uint64(id), buf) {
+		sim.Inc(&p.env.Counters.TierDemotes)
+	}
+	lease.Release()
 }
 
 // consumeGhostLocked reports whether id was evicted within the thrash
@@ -865,11 +922,14 @@ func (p *Pool) Prefetch(id ObjectID) {
 		return // nothing cold to displace; skip rather than pollute
 	}
 	base := uint64(slot) * uint64(p.objSize)
+	fromTier := false
 	if m == 0 {
 		// Never-touched object: materialize zeros without network.
 		p.arena.WriteAt(base, mem.Zeros(p.objSize))
 	} else {
-		if err := p.fetchInto(id, base, true); err != nil {
+		var err error
+		fromTier, err = p.fetchInto(id, base, true)
+		if err != nil {
 			// Prefetch is speculation: on persistent failure, give the
 			// slot back and leave the object remote rather than
 			// installing a zero-filled ghost.
@@ -877,8 +937,10 @@ func (p *Pool) Prefetch(id ObjectID) {
 			p.abandonFetch(st, id)
 			return
 		}
-		sim.Inc(&p.env.Counters.PrefetchIssued)
-		sim.Inc(&p.env.Counters.RemoteFetches)
+		if !fromTier {
+			sim.Inc(&p.env.Counters.PrefetchIssued)
+			sim.Inc(&p.env.Counters.RemoteFetches)
+		}
 	}
 	p.lockStripe(st)
 	p.setOwner(int(slot), id)
@@ -888,10 +950,10 @@ func (p *Pool) Prefetch(id ObjectID) {
 	st.done.Broadcast()
 	st.mu.Unlock()
 	p.resident.Add(1)
-	if refault {
+	if refault && !fromTier {
 		sim.Inc(&p.env.Counters.Refaults)
 	}
-	if m != 0 {
+	if m != 0 && !fromTier {
 		p.noteFetchSample(refault)
 	}
 }
@@ -934,6 +996,7 @@ func (p *Pool) RegisterObs(reg *obs.Registry, labels ...obs.Label) {
 	reg.CounterFunc("trackfm_pool_resizes_total",
 		"Runtime budget Resize calls absorbed by the pool.",
 		func() uint64 { return p.resizes.Load() }, labels...)
+	p.tier.Register(reg, labels...)
 }
 
 // opDeadline starts a fresh per-op deadline, or the zero Deadline when the
@@ -978,22 +1041,23 @@ func (p *Pool) noteRemoteErr(err error, start uint64) bool {
 	return true
 }
 
-// fetchInto pulls object id into the arena at base, retrying transport
-// failures up to the pool's budget. Every failed attempt is tallied in
-// Counters.RemoteFetchFaults, so injected fault counts reconcile exactly
-// with what the runtime observed. With an OpDeadline configured the
-// deadline bounds the whole retry loop, and while the pool is degraded
-// all but a probe trickle of fetches fail fast with ErrDegraded.
-func (p *Pool) fetchInto(id ObjectID, base uint64, async bool) error {
+// fetchInto pulls object id into the arena at base: first by probing the
+// compressed middle tier (a hit decompresses straight into the slot and
+// touches no fabric — it even works while degraded), then by the remote
+// transport, retrying transport failures up to the pool's budget. Every
+// failed attempt is tallied in Counters.RemoteFetchFaults, so injected
+// fault counts reconcile exactly with what the runtime observed. With an
+// OpDeadline configured the deadline bounds the whole retry loop, and
+// while the pool is degraded all but a probe trickle of fetches fail fast
+// with ErrDegraded. The bool result reports a tier hit, so callers can
+// keep the remote-fetch and thrash accounting honest.
+func (p *Pool) fetchInto(id ObjectID, base uint64, async bool) (bool, error) {
 	start := p.env.Clock.Cycles()
-	defer func() { p.lat.RemoteFetch.Observe(p.env.Clock.Cycles() - start) }()
-	if p.degradedNow() && p.probeTick.Add(1)%degradedProbeEvery != 0 {
-		return fmt.Errorf("aifm: fetch object %d: %w", id, ErrDegraded)
-	}
-	// Zero-copy when the arena can window its bytes: the transport fills
-	// the claimed slot directly (the slot is unpublished, so a failed
-	// attempt scribbling on it is harmless). Windowless arenas bounce
-	// through a pooled slab buffer instead of a per-fetch allocation.
+	// Zero-copy when the arena can window its bytes: the transport (or
+	// the tier's decompressor) fills the claimed slot directly (the slot
+	// is unpublished, so a failed attempt scribbling on it is harmless).
+	// Windowless arenas bounce through a pooled slab buffer instead of a
+	// per-fetch allocation.
 	var lease bufpool.Lease
 	var buf []byte
 	direct := false
@@ -1003,6 +1067,24 @@ func (p *Pool) fetchInto(id ObjectID, base uint64, async bool) error {
 	if !direct {
 		lease = p.slab.Get()
 		buf = lease.Bytes()
+	}
+	if p.tier.Get(uint64(id), buf) {
+		p.env.Clock.Advance(p.env.Costs.TierDecompress(p.objSize))
+		if !direct {
+			p.arena.WriteAt(base, buf)
+		}
+		lease.Release()
+		sim.Inc(&p.env.Counters.TierHits)
+		p.lat.TierDecompress.Observe(p.env.Clock.Cycles() - start)
+		return true, nil
+	}
+	if p.tier != nil {
+		sim.Inc(&p.env.Counters.TierMisses)
+	}
+	defer func() { p.lat.RemoteFetch.Observe(p.env.Clock.Cycles() - start) }()
+	if p.degradedNow() && p.probeTick.Add(1)%degradedProbeEvery != 0 {
+		lease.Release()
+		return false, fmt.Errorf("aifm: fetch object %d: %w", id, ErrDegraded)
 	}
 	key := p.transportKey(id)
 	dl := p.opDeadline()
@@ -1022,7 +1104,7 @@ func (p *Pool) fetchInto(id ObjectID, base uint64, async bool) error {
 			}
 			lease.Release()
 			p.noteRemoteOK()
-			return nil
+			return false, nil
 		}
 		last = err
 		sim.Inc(&p.env.Counters.RemoteFetchFaults)
@@ -1031,7 +1113,7 @@ func (p *Pool) fetchInto(id ObjectID, base uint64, async bool) error {
 		}
 	}
 	lease.Release()
-	return fmt.Errorf("aifm: fetch object %d after %d attempts: %w", id, attempts, last)
+	return false, fmt.Errorf("aifm: fetch object %d after %d attempts: %w", id, attempts, last)
 }
 
 // pushWithRetry evacuates a dirty object's bytes, retrying transport
@@ -1357,6 +1439,11 @@ func (p *Pool) evictLocked(slot uint32, id ObjectID) bool {
 			return false
 		}
 	}
+	// Park a compressed copy in the middle tier. Write-through: for a
+	// dirty object the fabric push above has already succeeded, and a
+	// clean object's remote copy is current by definition, so the tier
+	// never holds the only copy and dropping its entry is always safe.
+	p.demoteToTier(id, base)
 	p.storeMeta(id, RemoteMeta(id, uint32(p.objSize), p.dsID))
 	p.setOwner(int(slot), noOwner)
 	p.resident.Add(-1)
@@ -1518,6 +1605,7 @@ func (p *Pool) Free(id ObjectID) {
 		p.resident.Add(-1)
 		p.giveSlot(slot)
 	}
+	p.tier.Delete(uint64(id)) // a freed object must not be revivable
 	// Deletes are idempotent and harmless to lose: a leaked remote blob
 	// is unreachable once the metadata word resets (a reused id is
 	// re-materialized as fresh zeros, and any later push overwrites the

@@ -97,6 +97,7 @@ type Governor struct {
 	calm        int
 	savedDepth  int
 	savedHW     float64
+	savedTier   uint64
 	transitions atomic.Uint64
 	throttles   atomic.Uint64
 	degrades    atomic.Uint64
@@ -191,9 +192,11 @@ func (g *Governor) Tick() {
 }
 
 // enterThrottled quiets speculation and tightens eviction: stride
-// prefetch pauses, prefetch admission gates at ThrottleHighWater, and
-// eviction switches to pressure mode. The pool's own settings are saved
-// for recovery. Caller holds g.mu.
+// prefetch pauses, prefetch admission gates at ThrottleHighWater,
+// eviction switches to pressure mode, and the compressed tier — the
+// most expendable consumer of local bytes — is halved before anything
+// else gives ground. The pool's own settings are saved for recovery.
+// Caller holds g.mu.
 func (g *Governor) enterThrottled() {
 	p := g.cfg.Pool
 	g.savedDepth = p.PrefetchDepth()
@@ -201,36 +204,54 @@ func (g *Governor) enterThrottled() {
 	p.SetPrefetchDepth(0)
 	p.SetPrefetchHighWater(g.cfg.ThrottleHighWater)
 	p.SetPressureEvict(true)
+	if tier := p.CompressedTier(); tier != nil {
+		g.savedTier = tier.Budget()
+		tier.Resize(g.savedTier / 2)
+	}
 	g.calm = 0
 	g.setState(GovThrottled)
 	g.throttles.Add(1)
 }
 
-// exitThrottled restores the saved prefetch depth and admission gate and
-// leaves pressure mode. Caller holds g.mu.
+// exitThrottled restores the saved prefetch depth, admission gate, and
+// compressed-tier budget, and leaves pressure mode. Caller holds g.mu.
 func (g *Governor) exitThrottled() {
 	p := g.cfg.Pool
 	p.SetPrefetchDepth(g.savedDepth)
 	p.SetPrefetchHighWater(g.savedHW)
 	p.SetPressureEvict(false)
+	if tier := p.CompressedTier(); tier != nil && g.savedTier > 0 {
+		tier.Resize(g.savedTier)
+	}
 	g.calm = 0
 	g.setState(GovNormal)
 }
 
-// enterDegraded trips the pool into fail-fast degraded mode on top of the
-// throttled knobs. Caller holds g.mu.
+// enterDegraded trips the pool into fail-fast degraded mode on top of
+// the throttled knobs and squeezes the compressed tier to a quarter of
+// its configured budget. The tier is deliberately not zeroed: degraded
+// pools shed fabric fetches, so tier hits are the only remote data still
+// being served. Caller holds g.mu.
 func (g *Governor) enterDegraded() {
-	g.cfg.Pool.ForceDegrade(true)
+	p := g.cfg.Pool
+	p.ForceDegrade(true)
+	if tier := p.CompressedTier(); tier != nil && g.savedTier > 0 {
+		tier.Resize(g.savedTier / 4)
+	}
 	g.calm = 0
 	g.setState(GovDegraded)
 	g.degrades.Add(1)
 }
 
 // exitDegraded lifts the forced degradation, stepping back to Throttled
-// (recovery retraces the escalation ladder one state at a time). Caller
-// holds g.mu.
+// (recovery retraces the escalation ladder one state at a time), and
+// re-expands the tier to the throttled half-budget. Caller holds g.mu.
 func (g *Governor) exitDegraded() {
-	g.cfg.Pool.ForceDegrade(false)
+	p := g.cfg.Pool
+	p.ForceDegrade(false)
+	if tier := p.CompressedTier(); tier != nil && g.savedTier > 0 {
+		tier.Resize(g.savedTier / 2)
+	}
 	g.calm = 0
 	g.setState(GovThrottled)
 }

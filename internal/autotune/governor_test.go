@@ -173,3 +173,65 @@ func TestGovernorTickRateLimited(t *testing.T) {
 		t.Fatalf("tick past the interval made no decision")
 	}
 }
+
+// TestGovernorShrinksTierFirst verifies the escalation ladder squeezes
+// the compressed middle tier before anything else gives ground: half the
+// budget when throttled, a quarter when degraded, full restore on
+// recovery to Normal.
+func TestGovernorShrinksTierFirst(t *testing.T) {
+	env := sim.NewEnv()
+	const tierBudget = 1 << 16
+	p, err := aifm.NewPool(aifm.Config{
+		Env:              env,
+		ObjectSize:       64,
+		HeapSize:         1 << 16,
+		LocalBudget:      1 << 12,
+		AutoPrefetch:     true,
+		PrefetchDepth:    4,
+		CompressedBudget: tierBudget,
+	})
+	if err != nil {
+		t.Fatalf("NewPool: %v", err)
+	}
+	tier := p.CompressedTier()
+	if tier == nil {
+		t.Fatalf("pool with CompressedBudget has no tier")
+	}
+	ratio := 0.9
+	g, err := NewGovernor(GovernorConfig{
+		Pool: p, Clock: &env.Clock,
+		High: 0.3, Low: 0.1, DegradeAt: 0.8, Hold: 1,
+		ratio: func() float64 { return ratio },
+	})
+	if err != nil {
+		t.Fatalf("NewGovernor: %v", err)
+	}
+
+	tickAt(g, env) // Normal -> Throttled
+	if g.State() != GovThrottled {
+		t.Fatalf("state = %v, want throttled", g.State())
+	}
+	if b := tier.Budget(); b != tierBudget/2 {
+		t.Fatalf("throttled tier budget = %d, want %d", b, tierBudget/2)
+	}
+	tickAt(g, env) // Throttled -> Degraded
+	if g.State() != GovDegraded {
+		t.Fatalf("state = %v, want degraded", g.State())
+	}
+	if b := tier.Budget(); b != tierBudget/4 {
+		t.Fatalf("degraded tier budget = %d, want %d", b, tierBudget/4)
+	}
+
+	ratio = 0.05
+	tickAt(g, env) // Degraded -> Throttled
+	if b := tier.Budget(); b != tierBudget/2 {
+		t.Fatalf("re-throttled tier budget = %d, want %d", b, tierBudget/2)
+	}
+	tickAt(g, env) // Throttled -> Normal
+	if g.State() != GovNormal {
+		t.Fatalf("state = %v, want normal", g.State())
+	}
+	if b := tier.Budget(); b != tierBudget {
+		t.Fatalf("recovered tier budget = %d, want %d", b, tierBudget)
+	}
+}

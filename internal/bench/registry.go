@@ -46,6 +46,7 @@ func Experiments() []Experiment {
 		{"overload", "overload soak: admission control (extension)", Overload},
 		{"crash", "crash-consistency soak: WAL + recovery (extension)", Crash},
 		{"thrash", "memory-pressure soak: anti-thrash governor (extension)", Thrash},
+		{"tiers", "multi-tier caching: compressed-RAM crossover (extension)", Tiers},
 	}
 }
 

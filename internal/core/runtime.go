@@ -8,6 +8,7 @@ import (
 
 	"trackfm/internal/aifm"
 	"trackfm/internal/fabric"
+	"trackfm/internal/mem/ctier"
 	"trackfm/internal/sim"
 )
 
@@ -58,6 +59,12 @@ type Config struct {
 	// BackgroundEvacuate runs the pool's background evacuator goroutine
 	// (see aifm.Config.BackgroundEvacuate).
 	BackgroundEvacuate bool
+	// CompressedBudget enables the pool's compressed-RAM middle tier
+	// with this byte budget (see aifm.Config.CompressedBudget).
+	CompressedBudget uint64
+	// CompressedPolicy selects the tier's eviction scheme (default
+	// S3-FIFO; ctier.PolicyClock is the ablation).
+	CompressedPolicy ctier.Policy
 }
 
 // Runtime is the TrackFM runtime attached to one transformed application.
@@ -128,6 +135,8 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		AutoPrefetch:       false, // TrackFM prefetch is compiler-directed
 		PrefetchDepth:      cfg.PrefetchDepth,
 		BackgroundEvacuate: cfg.BackgroundEvacuate,
+		CompressedBudget:   cfg.CompressedBudget,
+		CompressedPolicy:   cfg.CompressedPolicy,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)

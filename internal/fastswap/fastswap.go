@@ -26,6 +26,7 @@ import (
 	"trackfm/internal/fabric"
 	"trackfm/internal/mem"
 	"trackfm/internal/mem/bufpool"
+	"trackfm/internal/mem/ctier"
 	"trackfm/internal/sim"
 )
 
@@ -78,6 +79,17 @@ type Config struct {
 	// after the RemoteRetries budget panics — the moral equivalent of the
 	// SIGBUS the kernel delivers when swap-in I/O fails.
 	fabric.RemoteConfig
+	// CompressedBudget enables a zswap-style compressed swap cache:
+	// reclaimed pages park an LZ-compressed copy locally (write-through
+	// — the remote push still happens, so remote state is identical with
+	// or without the cache) and a major fault probes it before the RDMA
+	// pull; a hit costs a decompression instead of a network round trip
+	// and is accounted as a minor fault (page present in the swap
+	// cache). Zero disables it.
+	CompressedBudget uint64
+	// CompressedPolicy selects the cache's eviction scheme (default
+	// S3-FIFO; ctier.PolicyClock is the ablation).
+	CompressedPolicy ctier.Policy
 }
 
 // Backing mirrors aifm.Backing without importing it, keeping the two
@@ -122,6 +134,7 @@ type Swap struct {
 	arena      mem.Store
 	arenaWin   mem.Windower  // non-nil when arena exposes zero-copy windows
 	slab       *bufpool.Slab // pageSize bounce buffers for windowless arenas
+	tier       *ctier.Tier   // zswap-style compressed swap cache; nil when off
 	frameOwner []uint32      // frame -> page number
 	freeFrames []uint32
 	retired    []uint32 // capacity parked outside the current cgroup limit
@@ -206,6 +219,9 @@ func New(cfg Config) (*Swap, error) {
 	} else {
 		s.slab = bufpool.NewSlab(cfg.PageSize)
 	}
+	if cfg.CompressedBudget > 0 {
+		s.tier = ctier.New(ctier.Config{Budget: cfg.CompressedBudget, Policy: cfg.CompressedPolicy})
+	}
 	for i := range s.frameOwner {
 		s.frameOwner[i] = noPage
 		if uint64(i) < nFrames {
@@ -231,11 +247,16 @@ func (s *Swap) ReplicaSet() *fabric.ReplicaSet { return s.replicas }
 // Config.RemoteAddr path). Swaps over caller-provided transports close
 // nothing — the caller owns the transport's lifetime.
 func (s *Swap) Close() error {
+	s.tier.Clear() // return the swap cache's buffer leases to the pool
 	if s.closer == nil {
 		return nil
 	}
 	return s.closer()
 }
+
+// CompressedTier exposes the zswap-style compressed swap cache, or nil
+// when Config.CompressedBudget was zero.
+func (s *Swap) CompressedTier() *ctier.Tier { return s.tier }
 
 // ResidentBytes reports bytes of resident pages (cgroup usage).
 func (s *Swap) ResidentBytes() uint64 {
@@ -324,14 +345,33 @@ func (s *Swap) fault(pg uint64, write bool) uint64 {
 		s.install(pg, f, write)
 		return base
 	case PageRemote:
-		// Major fault: the kernel fault path (mapping + cgroups) plus
-		// the frontswap RDMA pull, which the link charges. Together
-		// they land on the paper's ~34K-cycle remote fault (Table 2).
+		// Fault on a reclaimed page: the kernel fault path (mapping +
+		// cgroups), then the zswap-style compressed cache, then the
+		// frontswap RDMA pull, which the link charges. The remote path
+		// lands on the paper's ~34K-cycle remote fault (Table 2); a
+		// compressed-cache hit pays a decompression instead and counts
+		// as a minor fault (the page never left local memory).
 		s.env.Clock.Advance(s.env.Costs.SwapFaultLocal)
-		sim.Inc(&s.env.Counters.MajorFaults)
 		f := s.takeFrame()
 		base := uint64(f) * uint64(s.pageSize)
 		buf, lease, direct := s.frameBuf(base)
+		if s.tier.Get(pg, buf) {
+			start := s.env.Clock.Cycles()
+			s.env.Clock.Advance(s.env.Costs.TierDecompress(s.pageSize))
+			sim.Inc(&s.env.Counters.MinorFaults)
+			sim.Inc(&s.env.Counters.TierHits)
+			s.lat.TierDecompress.Observe(s.env.Clock.Cycles() - start)
+			if !direct {
+				s.arena.WriteAt(base, buf)
+			}
+			lease.Release()
+			s.install(pg, f, write)
+			return base
+		}
+		if s.tier != nil {
+			sim.Inc(&s.env.Counters.TierMisses)
+		}
+		sim.Inc(&s.env.Counters.MajorFaults)
 		if err := s.fetchPage(pg, buf); err != nil {
 			// The kernel's swap-in I/O-error path: the process gets
 			// SIGBUS. Panicking with the typed fabric error is the
@@ -529,10 +569,31 @@ func (s *Swap) evict(f uint32, pg uint64) bool {
 		}
 		s.dirty[pg] = false
 	}
+	// Park a compressed copy in the swap cache (write-through: the
+	// remote copy is already current, so dropping the cache entry is
+	// always safe).
+	s.demoteToTier(pg, base)
 	s.states[pg] = PageRemote
 	s.frameOwner[f] = noPage
 	sim.Inc(&s.env.Counters.PageEvictions)
 	return true
+}
+
+// demoteToTier compresses the page at base into the zswap-style cache
+// (a no-op without a CompressedBudget).
+func (s *Swap) demoteToTier(pg, base uint64) {
+	if s.tier == nil {
+		return
+	}
+	buf, lease, direct := s.frameBuf(base)
+	if !direct {
+		s.arena.ReadAt(base, buf)
+	}
+	s.env.Clock.Advance(s.env.Costs.TierCompress(s.pageSize))
+	if s.tier.Put(pg, buf) {
+		sim.Inc(&s.env.Counters.TierDemotes)
+	}
+	lease.Release()
 }
 
 // pushPage writes a page back with the swap system's retry budget,

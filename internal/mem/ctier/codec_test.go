@@ -1,0 +1,151 @@
+package ctier
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// roundTrip encodes src and decodes the result, failing on any mismatch.
+func roundTrip(t *testing.T, enc *Encoder, src []byte) {
+	t.Helper()
+	e := enc.Encode(nil, src)
+	if len(e) > MaxEncodedLen(len(src)) {
+		t.Fatalf("encoded %d bytes into %d > MaxEncodedLen %d", len(src), len(e), MaxEncodedLen(len(src)))
+	}
+	if n, err := DecodedLen(e); err != nil || n != len(src) {
+		t.Fatalf("DecodedLen = %d, %v; want %d", n, err, len(src))
+	}
+	got, err := Decode(nil, e)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("round trip mismatch: %d bytes in, %d out", len(src), len(got))
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	var enc Encoder
+	rng := rand.New(rand.NewSource(42))
+	cases := [][]byte{
+		nil,
+		{},
+		{0},
+		[]byte("a"),
+		[]byte("abcd"),
+		[]byte("abcabcabcabcabcabcabcabc"),
+		bytes.Repeat([]byte{0}, 4096),
+		bytes.Repeat([]byte("0123456789abcdef"), 4096), // 64 KiB periodic
+	}
+	// Incompressible random blocks of assorted sizes.
+	for _, n := range []int{1, 3, 4, 5, 64, 127, 128, 129, 4096, 65536} {
+		b := make([]byte, n)
+		rng.Read(b)
+		cases = append(cases, b)
+	}
+	// Half-compressible: random prefix, repeated suffix.
+	for _, n := range []int{256, 4096} {
+		b := make([]byte, n)
+		rng.Read(b[:n/2])
+		copy(b[n/2:], bytes.Repeat([]byte{0xAB}, n/2))
+		cases = append(cases, b)
+	}
+	for i, src := range cases {
+		roundTrip(t, &enc, src)
+		_ = i
+	}
+}
+
+func TestCodecCompresses(t *testing.T) {
+	var enc Encoder
+	src := bytes.Repeat([]byte("the quick brown fox "), 200)
+	e := enc.Encode(nil, src)
+	if len(e) >= len(src)/2 {
+		t.Fatalf("periodic text should compress well: %d -> %d", len(src), len(e))
+	}
+	src = make([]byte, 4096)
+	rand.New(rand.NewSource(7)).Read(src)
+	e = enc.Encode(nil, src)
+	if len(e) > MaxEncodedLen(len(src)) {
+		t.Fatalf("random block blew past MaxEncodedLen: %d", len(e))
+	}
+}
+
+func TestCodecScratchReuseNoAlloc(t *testing.T) {
+	var enc Encoder
+	src := bytes.Repeat([]byte("abcdefgh"), 512)
+	scratch := make([]byte, MaxEncodedLen(len(src)))
+	dst := make([]byte, len(src))
+	e := enc.Encode(scratch, src)
+	allocs := testing.AllocsPerRun(100, func() {
+		e = enc.Encode(scratch, src)
+		out, err := Decode(dst, e)
+		if err != nil || len(out) != len(src) {
+			t.Fatal("round trip failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state encode+decode allocated %.1f/op, want 0", allocs)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	var enc Encoder
+	src := bytes.Repeat([]byte("abcabcabc"), 100)
+	e := enc.Encode(nil, src)
+	// Truncations.
+	for _, n := range []int{0, 1, 2, len(e) / 2, len(e) - 1} {
+		if n >= len(e) {
+			continue
+		}
+		if _, err := Decode(nil, e[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded cleanly", n)
+		}
+	}
+	// A claimed length beyond maxBlock must be rejected up front.
+	huge := []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F}
+	if _, err := Decode(nil, huge); err == nil {
+		t.Fatal("oversize header decoded cleanly")
+	}
+	if _, err := DecodedLen(huge); err == nil {
+		t.Fatal("oversize header passed DecodedLen")
+	}
+	// An unknown flag byte.
+	bad := append([]byte{4, 9}, 1, 2, 3, 4)
+	if _, err := Decode(nil, bad); err == nil {
+		t.Fatal("unknown flag decoded cleanly")
+	}
+}
+
+// FuzzCodec checks both directions: Encode output must round-trip
+// byte-identically, and Decode of arbitrary bytes must either succeed or
+// return ErrCorrupt — never panic, never read or write out of bounds.
+func FuzzCodec(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("hello hello hello"))
+	f.Add(bytes.Repeat([]byte{0}, 300))
+	f.Add([]byte{4, 1, 0x06, 'a', 'b', 'c', 'd', 0xFF, 1, 0}) // hand-built LZ block
+	f.Add([]byte{4, 0, 'a', 'b', 'c', 'd'})                   // raw block
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var enc Encoder
+		e := enc.Encode(nil, data)
+		if len(e) > MaxEncodedLen(len(data)) {
+			t.Fatalf("encode overflow: %d > %d", len(e), MaxEncodedLen(len(data)))
+		}
+		got, err := Decode(nil, e)
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("round trip mismatch")
+		}
+		// Treat the input as a (likely corrupt) encoded block: must not
+		// panic, and on success must honour the claimed length.
+		if out, err := Decode(nil, data); err == nil {
+			if n, lerr := DecodedLen(data); lerr != nil || len(out) != n {
+				t.Fatalf("inconsistent decode: len %d vs header %d (%v)", len(out), n, lerr)
+			}
+		}
+	})
+}

@@ -55,10 +55,17 @@ func TestMetricNamesLint(t *testing.T) {
 	}
 	rs.Register(reg)
 
+	// Compressed-at-rest store: same gauge names as the plain store plus
+	// the raw-byte and ratio series, so it needs a distinguishing label.
+	remote.NewCompressedStore().Register(reg, obs.L("node", "compressed"))
+
 	// Pool health (degraded flag, occupancy gauges, thrash ratio, resizes)
-	// and the anti-thrash governor's state/transition series.
+	// and the anti-thrash governor's state/transition series. The
+	// CompressedBudget pulls the tier's trackfm_ctier_* block into the
+	// pool's RegisterObs, so those names are linted too.
 	pool, err := aifm.NewPool(aifm.Config{
 		Env: env, ObjectSize: 64, HeapSize: 1 << 16, LocalBudget: 1 << 12,
+		CompressedBudget: 1 << 14,
 	})
 	if err != nil {
 		t.Fatal(err)

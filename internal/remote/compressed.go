@@ -1,0 +1,207 @@
+// compressed.go implements the compressed-at-rest variant of the remote
+// node's blob store: the server-side sibling of the client's compressed
+// middle tier (internal/mem/ctier). Where the tier trades local CPU for
+// avoided fabric round trips, this store trades remote CPU for remote
+// DRAM — a far-memory node provisioned with N bytes of physical memory
+// advertises roughly N×ratio bytes of far memory.
+package remote
+
+import (
+	"sync"
+
+	"trackfm/internal/mem/bufpool"
+	"trackfm/internal/mem/ctier"
+	"trackfm/internal/obs"
+)
+
+// cblob is one compressed-at-rest payload. data holds a ctier codec
+// stream (which degrades to a flagged verbatim copy for incompressible
+// input), rawLen the decoded width, and crc a CRC32-C over the RAW bytes
+// — the same checksum identity Store records, so corruption of either
+// the stored stream or the decompressor's output is caught before a
+// client sees it.
+type cblob struct {
+	data   []byte
+	rawLen int
+	crc    uint32
+	lease  bufpool.Lease
+}
+
+// CompressedStore is a thread-safe blob store that keeps every payload
+// compressed in memory. It implements the same contract as Store (and
+// therefore fabric.BlobStore): absent keys zero-fill and report false,
+// truncated blobs fail with ErrSizeMismatch, corrupt blobs fail with
+// ErrChecksum, and a blob wider than the read serves the prefix. The
+// zero value is not ready; use NewCompressedStore.
+type CompressedStore struct {
+	mu      sync.RWMutex
+	blobs   map[uint64]cblob
+	enc     ctier.Encoder
+	scratch []byte // Put-side encode buffer, reused under mu
+	bytes   uint64 // compressed (stored) payload bytes
+	raw     uint64 // decoded payload bytes the blobs represent
+	stats   StoreStats
+}
+
+// NewCompressedStore returns an empty compressed-at-rest store.
+func NewCompressedStore() *CompressedStore {
+	return &CompressedStore{blobs: make(map[uint64]cblob)}
+}
+
+// Put compresses src and stores it under key, replacing any previous
+// blob. The recorded CRC32-C is computed over the raw bytes, matching
+// Store, so replica-set read-repair and the wire trailer share one
+// checksum identity regardless of which store variant a node runs.
+func (s *CompressedStore) Put(key uint64, src []byte) error {
+	crc := Checksum(src)
+	s.mu.Lock()
+	enc := s.enc.Encode(s.scratch, src)
+	s.scratch = enc[:0]
+	lease := bufpool.Get(len(enc))
+	data := lease.Bytes()
+	copy(data, enc)
+	if old, ok := s.blobs[key]; ok {
+		s.bytes -= uint64(len(old.data))
+		s.raw -= uint64(old.rawLen)
+		old.lease.Release()
+	}
+	s.blobs[key] = cblob{data: data, rawLen: len(src), crc: crc, lease: lease}
+	s.bytes += uint64(len(data))
+	s.raw += uint64(len(src))
+	s.mu.Unlock()
+	return nil
+}
+
+// Get decompresses the blob under key into dst and reports whether it
+// existed. Absent keys zero-fill and return (false, nil). A stream that
+// fails to decode, or whose decoded bytes fail the recorded CRC32-C,
+// returns ErrChecksum; a blob narrower than dst returns ErrSizeMismatch;
+// a wider one serves the prefix (decoded through a pooled scratch
+// buffer, so the common exact-width read decodes straight into dst).
+func (s *CompressedStore) Get(key uint64, dst []byte) (bool, error) {
+	s.mu.RLock()
+	b, ok := s.blobs[key]
+	if !ok {
+		s.mu.RUnlock()
+		for i := range dst {
+			dst[i] = 0
+		}
+		return false, nil
+	}
+	if b.rawLen < len(dst) {
+		s.mu.RUnlock()
+		s.noteSizeMismatch()
+		return true, ErrSizeMismatch
+	}
+	if b.rawLen == len(dst) {
+		// Exact-width read: decode straight into the caller's buffer.
+		out, err := ctier.Decode(dst[:0], b.data)
+		s.mu.RUnlock()
+		if err != nil || len(out) != len(dst) || Checksum(out) != b.crc {
+			s.noteChecksumFail()
+			return true, ErrChecksum
+		}
+		return true, nil
+	}
+	// Sub-object read: decode the full blob into scratch, verify, copy
+	// the prefix.
+	lease := bufpool.Get(b.rawLen)
+	out, err := ctier.Decode(lease.Bytes()[:0], b.data)
+	if err != nil || len(out) != b.rawLen || Checksum(out) != b.crc {
+		s.mu.RUnlock()
+		lease.Release()
+		s.noteChecksumFail()
+		return true, ErrChecksum
+	}
+	copy(dst, out)
+	s.mu.RUnlock()
+	lease.Release()
+	return true, nil
+}
+
+// Delete removes key. Deleting an absent key is a no-op; the error is
+// always nil (see Store.Put).
+func (s *CompressedStore) Delete(key uint64) error {
+	s.mu.Lock()
+	if old, ok := s.blobs[key]; ok {
+		s.bytes -= uint64(len(old.data))
+		s.raw -= uint64(old.rawLen)
+		delete(s.blobs, key)
+		old.lease.Release()
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *CompressedStore) noteSizeMismatch() {
+	s.mu.Lock()
+	s.stats.SizeMismatches++
+	s.mu.Unlock()
+}
+
+func (s *CompressedStore) noteChecksumFail() {
+	s.mu.Lock()
+	s.stats.ChecksumFails++
+	s.mu.Unlock()
+}
+
+// Stats returns a copy of the store's integrity counters.
+func (s *CompressedStore) Stats() StoreStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.stats
+}
+
+// Len reports the number of stored blobs.
+func (s *CompressedStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.blobs)
+}
+
+// Bytes reports the compressed payload bytes actually held in memory.
+func (s *CompressedStore) Bytes() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.bytes
+}
+
+// RawBytes reports the decoded payload bytes the store represents; the
+// ratio RawBytes/Bytes is the node's effective memory multiplier.
+func (s *CompressedStore) RawBytes() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.raw
+}
+
+// Register exposes the store's inventory gauges, compression ratio, and
+// integrity counters on reg. The blob/byte gauge names match *Store so
+// dashboards work against either store variant; the raw-byte gauge and
+// ratio are the compressed store's additions.
+func (s *CompressedStore) Register(reg *obs.Registry, labels ...obs.Label) {
+	reg.GaugeFunc("trackfm_store_blobs",
+		"Blobs currently held by the remote node.",
+		func() float64 { return float64(s.Len()) }, labels...)
+	reg.GaugeFunc("trackfm_store_bytes",
+		"Total payload bytes currently held by the remote node (compressed).",
+		func() float64 { return float64(s.Bytes()) }, labels...)
+	reg.GaugeFunc("trackfm_store_raw_bytes",
+		"Decoded payload bytes the compressed blobs represent.",
+		func() float64 { return float64(s.RawBytes()) }, labels...)
+	reg.GaugeFunc("trackfm_store_compression_ratio",
+		"Raw bytes divided by stored bytes across all blobs (effective memory multiplier).",
+		func() float64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			if s.bytes == 0 {
+				return 1
+			}
+			return float64(s.raw) / float64(s.bytes)
+		}, labels...)
+	reg.CounterFunc("trackfm_store_size_mismatches_total",
+		"Gets that found a stored blob shorter than the requested read.",
+		func() uint64 { return s.Stats().SizeMismatches }, labels...)
+	reg.CounterFunc("trackfm_store_checksum_fails_total",
+		"Gets that found a stored blob failing its CRC32-C.",
+		func() uint64 { return s.Stats().ChecksumFails }, labels...)
+}

@@ -1,0 +1,164 @@
+package remote
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"trackfm/internal/mem/bufpool"
+	"trackfm/internal/obs"
+)
+
+func TestCompressedStorePutGet(t *testing.T) {
+	s := NewCompressedStore()
+	src := bytes.Repeat([]byte("far memory "), 100)
+	if err := s.Put(7, src); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	dst := make([]byte, len(src))
+	ok, err := s.Get(7, dst)
+	if err != nil || !ok {
+		t.Fatalf("Get = %v, %v", ok, err)
+	}
+	if !bytes.Equal(dst, src) {
+		t.Fatalf("round trip mismatch")
+	}
+	if s.Len() != 1 || s.RawBytes() != uint64(len(src)) {
+		t.Fatalf("Len=%d RawBytes=%d, want 1/%d", s.Len(), s.RawBytes(), len(src))
+	}
+	if s.Bytes() >= s.RawBytes() {
+		t.Fatalf("compressible payload not compressed: stored %d raw %d", s.Bytes(), s.RawBytes())
+	}
+}
+
+func TestCompressedStoreIncompressible(t *testing.T) {
+	s := NewCompressedStore()
+	src := make([]byte, 4096)
+	rand.New(rand.NewSource(1)).Read(src)
+	if err := s.Put(1, src); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	dst := make([]byte, len(src))
+	if ok, err := s.Get(1, dst); err != nil || !ok {
+		t.Fatalf("Get = %v, %v", ok, err)
+	}
+	if !bytes.Equal(dst, src) {
+		t.Fatalf("round trip mismatch")
+	}
+}
+
+func TestCompressedStoreGetMissingZeroFills(t *testing.T) {
+	s := NewCompressedStore()
+	dst := []byte{1, 2, 3, 4}
+	ok, err := s.Get(42, dst)
+	if ok || err != nil {
+		t.Fatalf("Get missing = %v, %v", ok, err)
+	}
+	for _, b := range dst {
+		if b != 0 {
+			t.Fatalf("missing key did not zero-fill: %v", dst)
+		}
+	}
+}
+
+func TestCompressedStorePrefixAndMismatch(t *testing.T) {
+	s := NewCompressedStore()
+	src := bytes.Repeat([]byte{0xAB, 0xCD}, 512)
+	if err := s.Put(3, src); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	// Narrower read serves the decoded prefix.
+	dst := make([]byte, 100)
+	if ok, err := s.Get(3, dst); err != nil || !ok {
+		t.Fatalf("prefix Get = %v, %v", ok, err)
+	}
+	if !bytes.Equal(dst, src[:100]) {
+		t.Fatalf("prefix mismatch")
+	}
+	// Wider read is corruption, not a miss.
+	wide := make([]byte, len(src)+1)
+	ok, err := s.Get(3, wide)
+	if !ok || !errors.Is(err, ErrSizeMismatch) {
+		t.Fatalf("wide Get = %v, %v, want true/ErrSizeMismatch", ok, err)
+	}
+	if st := s.Stats(); st.SizeMismatches != 1 {
+		t.Fatalf("SizeMismatches = %d, want 1", st.SizeMismatches)
+	}
+}
+
+func TestCompressedStoreDetectsCorruptStream(t *testing.T) {
+	s := NewCompressedStore()
+	src := bytes.Repeat([]byte("abcdefgh"), 128)
+	if err := s.Put(9, src); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	// Flip a byte of the stored (compressed) stream behind the store's
+	// back: either the decode fails or the decoded bytes miss the CRC.
+	s.mu.Lock()
+	b := s.blobs[9]
+	b.data[len(b.data)/2] ^= 0xFF
+	s.mu.Unlock()
+	dst := make([]byte, len(src))
+	ok, err := s.Get(9, dst)
+	if !ok || !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupt Get = %v, %v, want true/ErrChecksum", ok, err)
+	}
+	if st := s.Stats(); st.ChecksumFails != 1 {
+		t.Fatalf("ChecksumFails = %d, want 1", st.ChecksumFails)
+	}
+}
+
+func TestCompressedStoreReplaceAndDeleteAccounting(t *testing.T) {
+	bufpool.SetDebug(true)
+	defer bufpool.SetDebug(false)
+	start := bufpool.Outstanding()
+	s := NewCompressedStore()
+	if err := s.Put(1, bytes.Repeat([]byte{1}, 1024)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := s.Put(1, bytes.Repeat([]byte{2}, 2048)); err != nil {
+		t.Fatalf("replace Put: %v", err)
+	}
+	if s.Len() != 1 || s.RawBytes() != 2048 {
+		t.Fatalf("after replace Len=%d RawBytes=%d, want 1/2048", s.Len(), s.RawBytes())
+	}
+	dst := make([]byte, 2048)
+	if ok, err := s.Get(1, dst); err != nil || !ok || dst[0] != 2 {
+		t.Fatalf("Get after replace = %v, %v, dst[0]=%d", ok, err, dst[0])
+	}
+	if err := s.Delete(1); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if err := s.Delete(1); err != nil { // absent delete is a no-op
+		t.Fatalf("second Delete: %v", err)
+	}
+	if s.Len() != 0 || s.Bytes() != 0 || s.RawBytes() != 0 {
+		t.Fatalf("after delete Len=%d Bytes=%d RawBytes=%d, want zeros", s.Len(), s.Bytes(), s.RawBytes())
+	}
+	if got := bufpool.Outstanding(); got != start {
+		t.Fatalf("leaked %d buffer leases", got-start)
+	}
+}
+
+func TestCompressedStoreRegister(t *testing.T) {
+	s := NewCompressedStore()
+	if err := s.Put(1, bytes.Repeat([]byte{7}, 4096)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	reg := obs.NewRegistry()
+	s.Register(reg)
+	var dump bytes.Buffer
+	if err := reg.WritePrometheus(&dump); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	for _, name := range []string{
+		"trackfm_store_blobs 1",
+		"trackfm_store_raw_bytes 4096",
+		"trackfm_store_compression_ratio",
+	} {
+		if !bytes.Contains(dump.Bytes(), []byte(name)) {
+			t.Fatalf("metric %q missing from dump:\n%s", name, dump.String())
+		}
+	}
+}

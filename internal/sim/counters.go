@@ -69,6 +69,11 @@ type Counters struct {
 	// Memory pressure (elastic budget + thrash detection).
 	Refaults                uint64 // fetches of an object evicted within the thrash window
 	PrefetchSkippedPressure uint64 // prefetches skipped because occupancy was above the high-water mark
+
+	// Compressed middle tier (zero when no CompressedBudget is set).
+	TierHits    uint64 // localizations served by decompressing from the tier
+	TierMisses  uint64 // tier probes that fell through to the fabric
+	TierDemotes uint64 // evictions that parked a compressed copy in the tier
 }
 
 // Inc atomically adds one to a counter field: sim.Inc(&env.Counters.X).
@@ -105,6 +110,7 @@ func (c *Counters) fields() []*uint64 {
 		&c.DeadlineMisses, &c.OverloadRejects, &c.DegradedEntries,
 		&c.StripeContention, &c.SingleflightShared, &c.EvacAborts,
 		&c.Refaults, &c.PrefetchSkippedPressure,
+		&c.TierHits, &c.TierMisses, &c.TierDemotes,
 	}
 }
 
@@ -188,6 +194,9 @@ func (c *Counters) String() string {
 	add("evacAbort", c.EvacAborts)
 	add("refault", c.Refaults)
 	add("pfSkip", c.PrefetchSkippedPressure)
+	add("tierHit", c.TierHits)
+	add("tierMiss", c.TierMisses)
+	add("tierDemote", c.TierDemotes)
 	return strings.TrimSpace(b.String())
 }
 

@@ -12,13 +12,14 @@ import (
 // (divide by Frequency for seconds); buckets are
 // obs.DefaultCycleBuckets.
 type Latencies struct {
-	RemoteFetch *obs.Histogram // fetch one object/page from the remote node
-	RemotePush  *obs.Histogram // push one object/page to the remote node
-	Evacuation  *obs.Histogram // full evacuation of one slot (push + bookkeeping)
-	GuardSlow   *obs.Histogram // guard slow path end-to-end (localize incl. fetch)
-	Failover     *obs.Histogram // replicated fetch that needed >=1 failover
-	LockWait     *obs.Histogram // contended pool stripe-lock waits (wall time converted to cycles)
-	DeadlineMiss *obs.Histogram // how far past its budget a deadline-missing op finished
+	RemoteFetch    *obs.Histogram // fetch one object/page from the remote node
+	RemotePush     *obs.Histogram // push one object/page to the remote node
+	Evacuation     *obs.Histogram // full evacuation of one slot (push + bookkeeping)
+	GuardSlow      *obs.Histogram // guard slow path end-to-end (localize incl. fetch)
+	Failover       *obs.Histogram // replicated fetch that needed >=1 failover
+	LockWait       *obs.Histogram // contended pool stripe-lock waits (wall time converted to cycles)
+	DeadlineMiss   *obs.Histogram // how far past its budget a deadline-missing op finished
+	TierDecompress *obs.Histogram // promotion from the compressed tier (decompress into the arena)
 }
 
 // metricDefs names each Counters field for the obs registry, in the same
@@ -53,6 +54,9 @@ var metricDefs = []struct{ name, help string }{
 	{"trackfm_evac_aborts_total", "Background-evacuation candidates aborted (pinned or re-touched)."},
 	{"trackfm_refaults_total", "Fetches that re-localized an object evicted within the thrash window."},
 	{"trackfm_prefetch_skipped_pressure_total", "Prefetches skipped because pool occupancy exceeded the admission high-water mark."},
+	{"trackfm_tier_hits_total", "Localizations served by decompressing from the compressed middle tier."},
+	{"trackfm_tier_misses_total", "Compressed-tier probes that fell through to the fabric."},
+	{"trackfm_tier_demotes_total", "Evictions that parked a compressed copy in the middle tier."},
 }
 
 // obsState holds the lazily built registry wiring so Env itself stays a
@@ -88,6 +92,8 @@ func (e *Env) initObs() {
 				"Contended stripe-lock wait time, wall nanoseconds converted to cycles at the simulated frequency.", nil),
 			DeadlineMiss: reg.Histogram("trackfm_deadline_miss_cycles",
 				"Overrun of deadline-missing remote operations, in simulated cycles past the budget.", nil),
+			TierDecompress: reg.Histogram("trackfm_tier_decompress_cycles",
+				"Latency of promotions served from the compressed tier, in simulated cycles.", nil),
 		}
 		e.obs.registry = reg
 		e.obs.lat = lat
@@ -121,7 +127,7 @@ func (e *Env) resetObs() {
 	for _, h := range []*obs.Histogram{
 		e.obs.lat.RemoteFetch, e.obs.lat.RemotePush,
 		e.obs.lat.Evacuation, e.obs.lat.GuardSlow, e.obs.lat.Failover,
-		e.obs.lat.LockWait, e.obs.lat.DeadlineMiss,
+		e.obs.lat.LockWait, e.obs.lat.DeadlineMiss, e.obs.lat.TierDecompress,
 	} {
 		h.Reset()
 	}
